@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces the Section 5.6 A/B methodology: the same trained model
+ * served on MTIA 2i (LUT-approximated numerics) and the GPU baseline
+ * (exact math) on identical traffic, compared on normalized entropy,
+ * prediction distributions, and raw numeric divergence.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "models/model_zoo.h"
+#include "serving/ab_testing.h"
+
+using namespace mtia;
+
+int
+main()
+{
+    bench::banner("Section 5.6 — large-scale A/B testing",
+                  "MTIA arm vs GPU-reference arm on identical "
+                  "synthetic traffic (real numerics both sides).");
+
+    RankingModelParams p;
+    p.name = "ab-model";
+    p.batch = 128;
+    p.dense_features = 64;
+    p.bottom_mlp = {64, 32};
+    p.tbe = TbeTableSpec{.tables = 8,
+                         .rows_per_table = 8192,
+                         .dim = 16,
+                         .dtype = DType::FP16,
+                         .zipf_alpha = 0.9};
+    p.tbe_pooling = 8;
+    p.top_mlp = {128, 1};
+    p.dhen_layers = 2;
+    p.dhen_width = 128;
+    ModelInfo model = buildRankingModel(p);
+
+    AbTestHarness harness;
+    const AbResult r = harness.compare(model.graph, 8);
+
+    bench::section("holistic comparison");
+    std::printf("  samples scored:            %zu\n", r.samples);
+    std::printf("  NE (GPU reference arm):    %.5f\n",
+                r.ne_reference);
+    std::printf("  NE (MTIA candidate arm):   %.5f\n",
+                r.ne_candidate);
+    std::printf("  mean prediction (GPU):     %.5f\n",
+                r.mean_pred_reference);
+    std::printf("  mean prediction (MTIA):    %.5f\n",
+                r.mean_pred_candidate);
+    std::printf("  max per-sample |delta|:    %.2e\n",
+                r.max_pred_diff);
+
+    bench::section("paper vs measured");
+    bench::row("model quality on MTIA", "comparable (launch gate)",
+               bench::fmt("NE delta %+.3f%%", r.neDeltaPercent()));
+    bench::row("numeric divergence source",
+               "accelerator-specific kernels (LUT nonlinearity)",
+               "nonzero but tiny per-sample deltas above");
+    return 0;
+}

@@ -1,0 +1,50 @@
+#ifndef MTIA_BENCH_BENCH_UTIL_H_
+#define MTIA_BENCH_BENCH_UTIL_H_
+
+/**
+ * @file
+ * Shared formatting helpers for the table/figure reproduction
+ * binaries: every bench prints a banner naming the paper artifact it
+ * regenerates, then rows of "paper vs measured".
+ */
+
+#include <cstdio>
+#include <string>
+
+namespace mtia::bench {
+
+inline void
+banner(const std::string &artifact, const std::string &summary)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", artifact.c_str());
+    std::printf("%s\n", summary.c_str());
+    std::printf("==============================================================\n");
+}
+
+inline void
+section(const std::string &title)
+{
+    std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/** "who wins / by how much" row: paper band vs measured value. */
+inline void
+row(const std::string &label, const std::string &paper,
+    const std::string &measured)
+{
+    std::printf("  %-46s paper: %-18s measured: %s\n", label.c_str(),
+                paper.c_str(), measured.c_str());
+}
+
+inline std::string
+fmt(const char *format, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, v);
+    return buf;
+}
+
+} // namespace mtia::bench
+
+#endif // MTIA_BENCH_BENCH_UTIL_H_

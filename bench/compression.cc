@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces the Section 3.3 compression findings with the real
+ * codecs: rANS reaches ~50% on INT8 weight spectra but does little
+ * for FP16; the LZ (GZIP-analog) engine raises effective PCIe
+ * bandwidth for input-heavy retrieval models on congested links.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "host/compression.h"
+#include "host/pcie.h"
+#include "sim/random.h"
+#include "tensor/dtype.h"
+
+using namespace mtia;
+
+int
+main()
+{
+    bench::banner("Section 3.3 — ANS weight compression & PCIe GZIP",
+                  "Real rANS and LZ codecs on synthetic weight and "
+                  "input-feature bytes (all round-trip verified).");
+
+    Rng rng(9);
+    bench::section("rANS on weight tensors (1 MB each)");
+    std::printf("  %-36s %10s %12s\n", "payload", "ratio",
+                "entropy b/B");
+    auto report = [&](const char *label, const ByteBuffer &data) {
+        const ByteBuffer c = RansCodec::compress(data);
+        const bool ok = RansCodec::decompress(c) == data;
+        std::printf("  %-36s %9.1f%% %12.2f %s\n", label,
+                    100.0 * static_cast<double>(c.size()) /
+                        static_cast<double>(data.size()),
+                    RansCodec::entropyBitsPerByte(data),
+                    ok ? "" : "ROUND-TRIP FAILED");
+    };
+
+    ByteBuffer int8_narrow(1 << 20);
+    for (auto &b : int8_narrow)
+        b = static_cast<std::uint8_t>(static_cast<std::int8_t>(
+            std::clamp(rng.gaussian(0.0, 4.0), -127.0, 127.0)));
+    report("INT8 weights, narrow spectrum", int8_narrow);
+
+    ByteBuffer int8_wide(1 << 20);
+    for (auto &b : int8_wide)
+        b = static_cast<std::uint8_t>(static_cast<std::int8_t>(
+            std::clamp(rng.gaussian(0.0, 18.0), -127.0, 127.0)));
+    report("INT8 weights, wide spectrum", int8_wide);
+
+    ByteBuffer fp16(1 << 20);
+    for (std::size_t i = 0; i + 1 < fp16.size(); i += 2) {
+        const std::uint16_t h = fp32ToFp16Bits(
+            static_cast<float>(rng.gaussian(0.0, 1.0)));
+        fp16[i] = static_cast<std::uint8_t>(h);
+        fp16[i + 1] = static_cast<std::uint8_t>(h >> 8);
+    }
+    report("FP16 weights", fp16);
+
+    bench::row("INT8 weight savings", "up to 50%",
+               "see narrow-spectrum row");
+    bench::row("FP16 compresses poorly", "yes",
+               "see FP16 row (mantissa bytes near 8 b/B)");
+
+    bench::section("LZ (GZIP analog) on batched input features");
+    ByteBuffer features(1 << 20);
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        features[i] = static_cast<std::uint8_t>((i % 128) * 3);
+        if (rng.chance(0.02))
+            features[i] ^= 0xff;
+    }
+    const ByteBuffer lz = LzCodec::compress(features);
+    const double lz_ratio = static_cast<double>(lz.size()) /
+        static_cast<double>(features.size());
+    const bool lz_ok = LzCodec::decompress(lz) == features;
+    std::printf("  repeated feature rows: %.1f%% of original %s\n",
+                lz_ratio * 100.0, lz_ok ? "" : "ROUND-TRIP FAILED");
+
+    bench::section("effective PCIe bandwidth (congested uplink)");
+    PcieLink congested(PcieConfig{.generation = 5, .lanes = 2});
+    const Bytes batch_bytes = 256ull << 20;
+    const Tick raw = congested.transferTime(batch_bytes);
+    const Tick comp = congested.compressedTransferTime(
+        batch_bytes,
+        static_cast<Bytes>(batch_bytes * lz_ratio),
+        gbPerSec(25.0));
+    bench::row("decompression engine rate", "up to 25 GB/s",
+               "25 GB/s modeled");
+    bench::row("input transfer speedup on congested link",
+               "alleviates PCIe congestion (retrieval models)",
+               bench::fmt("%.2fx", static_cast<double>(raw) / comp));
+    return 0;
+}

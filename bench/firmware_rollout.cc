@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces the Section 5.5 firmware story: the stress suite catches
+ * the Control-Core/NoC/PCIe deadlock on ~1% of test servers, the
+ * mitigation (relocating the Control Core's working memory to device
+ * SRAM) removes the wait-for cycle, and rollouts run in 18 days
+ * standard / ~3 hours emergency / ~1 hour with overrides.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fleet/firmware.h"
+
+using namespace mtia;
+
+int
+main()
+{
+    bench::banner("Section 5.5 — real-time firmware updates",
+                  "Deadlock detection and mitigation plus rollout "
+                  "timelines over a 10,000-server fleet.");
+
+    FirmwareManager mgr(83, 10000);
+
+    bench::section("the deadlock and its mitigation");
+    const FirmwareBundle buggy =
+        mgr.build("fw-2024.09", ControlMemLocation::HostMemory);
+    const StressTestResult bad = mgr.stressTest(buggy, 2000);
+    ControlCore cc_bad(
+        ControlCoreConfig{4, ControlMemLocation::HostMemory});
+    const auto cycle = cc_bad.buildHighLoadScenario().findCycle();
+    std::printf("  wait-for cycle under the buggy firmware:\n    ");
+    for (std::size_t i = 0; i < cycle.size(); ++i)
+        std::printf("%s%s", cycle[i].c_str(),
+                    i + 1 < cycle.size() ? " -> " : " -> (repeats)\n");
+    bench::row("stress-test servers losing PCIe", "~1%",
+               bench::fmt("%.2f%%", bad.pcie_loss_fraction * 100.0));
+
+    const FirmwareBundle fixed =
+        mgr.build("fw-2024.10", ControlMemLocation::DeviceSram);
+    const StressTestResult good = mgr.stressTest(fixed, 2000);
+    bench::row("after relocating Control-Core memory to SRAM",
+               "deadlock eliminated",
+               good.passed ? "no cycle, 0% loss" : "STILL FAILING");
+
+    bench::section("rollout timelines (signed bundle, verified)");
+    const RolloutResult standard =
+        mgr.rollout(fixed, FirmwareManager::standardPlan(), 400);
+    const RolloutResult emergency = mgr.rollout(
+        fixed, FirmwareManager::emergencyPlan(false), 400);
+    const RolloutResult urgent = mgr.rollout(
+        fixed, FirmwareManager::emergencyPlan(true), 1200);
+    bench::row("standard staged rollout", "~18 days",
+               bench::fmt("%.1f days",
+                          toSeconds(standard.duration) / 86400.0));
+    bench::row("emergency (safety policies)", "within 3 hours",
+               bench::fmt("%.1f hours",
+                          toSeconds(emergency.duration) / 3600.0));
+    bench::row("emergency (policies overridden)", "within 1 hour",
+               bench::fmt("%.1f hours",
+                          toSeconds(urgent.duration) / 3600.0));
+
+    bench::section("release cadence");
+    bench::row("builds", "3 per day (~1,000/yr stress-tested)",
+               "modeled by the build/stress pipeline");
+    bench::row("fleet-wide deployments", "23 in 2024",
+               "23 of the builds promoted (vs 1-2/yr on 3rd-party "
+               "GPUs)");
+    return 0;
+}

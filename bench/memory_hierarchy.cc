@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces the Section 3.6/4.2 memory-hierarchy results: the 13x
+ * SRAM:LPDDR bandwidth gap, the batch-size balance between LLS fit
+ * and GEMM intensity, and the decoupled weight-broadcast kernel that
+ * cuts the 512 x 26592 x 2048 merge FC latency 45% while exceeding
+ * 95% of DRAM bandwidth.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/device.h"
+#include "core/kernel_cost_model.h"
+
+using namespace mtia;
+
+int
+main()
+{
+    bench::banner("Sections 3.6 & 4.2 — the SRAM + LPDDR hierarchy",
+                  "Bandwidth cliff, batch-size balance, and the "
+                  "weight-broadcast kernel.");
+
+    Device dev(ChipConfig::mtia2i());
+    KernelCostModel km(dev);
+
+    bench::section("bandwidth hierarchy at 1.35 GHz");
+    std::printf("  local memory (aggregate): %7.2f TB/s\n",
+                km.placementBandwidth(Placement::LocalMemory, true) /
+                    1e12);
+    std::printf("  shared SRAM:              %7.2f TB/s\n",
+                dev.sramBandwidth() / 1e12);
+    std::printf("  LPDDR5 (ECC, streamed):   %7.2f TB/s\n",
+                km.placementBandwidth(Placement::Dram, true) / 1e12);
+    bench::row("SRAM : LPDDR ratio", "13x",
+               bench::fmt("%.1fx",
+                          dev.sramBandwidth() /
+                              dev.dram().effectiveReadBandwidth()));
+
+    bench::section("batch-size balance (FC 4096 x 4096 weights)");
+    std::printf("  %-8s %14s %14s %12s\n", "batch", "act bytes",
+                "kernel time", "eff vs peak");
+    for (std::int64_t batch : {64, 256, 1024, 4096, 16384}) {
+        const FcShape s{batch, 4096, 4096};
+        FcOptions opt;
+        opt.weights = Placement::Dram; // weights stream while acts pin
+        const KernelTime t = km.fc(s, opt);
+        const Tick ideal = fromSeconds(
+            s.flops() / dev.peakGemmFlops(DType::FP16));
+        std::printf("  %-8lld %11.1f MB %11.0f us %11.1f%%\n",
+                    static_cast<long long>(batch),
+                    static_cast<double>(
+                        s.activationBytes(DType::FP16)) /
+                        (1 << 20),
+                    toMicros(t.total),
+                    t.efficiencyVs(ideal) * 100.0);
+    }
+
+    bench::section("decoupled weight broadcast: 512 x 26592 x 2048");
+    const FcShape big{512, 26592, 2048};
+    FcOptions opt;
+    opt.weights = Placement::Dram;
+    opt.coordinated_loading = true;
+    const KernelTime coord = km.fc(big, opt);
+
+    Device plain(ChipConfig::mtia2i());
+    plain.noc().setBroadcastReads(false);
+    KernelCostModel km_plain(plain);
+    opt.coordinated_loading = false;
+    const KernelTime uncoord = km_plain.fc(big, opt);
+
+    const double dram_frac =
+        static_cast<double>(big.weightBytes(DType::FP16)) /
+        toSeconds(coord.total) / dev.dram().effectiveReadBandwidth();
+
+    bench::row("weight tensor size", "109 MB",
+               bench::fmt("%.0f MB",
+                          static_cast<double>(
+                              big.weightBytes(DType::FP16)) /
+                              (1 << 20)));
+    bench::row("latency improvement", "45%",
+               bench::fmt("%.0f%%",
+                          (1.0 - static_cast<double>(coord.total) /
+                               uncoord.total) *
+                              100.0));
+    bench::row("DRAM bandwidth achieved", "> 95%",
+               bench::fmt("%.1f%%", dram_frac * 100.0));
+    return 0;
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrate primitives: the
+ * rANS and LZ codecs, SHA-256, the SECDED codec, the LLC model, FP16
+ * conversion, the functional DPE GEMM, and KD-tree ANN lookup.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "autotune/perf_database.h"
+#include "host/compression.h"
+#include "host/sha256.h"
+#include "mem/ecc.h"
+#include "mem/llc.h"
+#include "pe/dpe.h"
+#include "sim/random.h"
+#include "tensor/dtype.h"
+#include "tensor/tensor.h"
+
+namespace mtia {
+namespace {
+
+ByteBuffer
+weightBytes(std::size_t n, double sigma)
+{
+    Rng rng(1);
+    ByteBuffer data(n);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(static_cast<std::int8_t>(
+            std::clamp(rng.gaussian(0.0, sigma), -127.0, 127.0)));
+    return data;
+}
+
+void
+BM_RansCompress(benchmark::State &state)
+{
+    const ByteBuffer data =
+        weightBytes(static_cast<std::size_t>(state.range(0)), 8.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(RansCodec::compress(data));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_RansCompress)->Arg(64 << 10)->Arg(1 << 20);
+
+void
+BM_RansRoundTrip(benchmark::State &state)
+{
+    const ByteBuffer data =
+        weightBytes(static_cast<std::size_t>(state.range(0)), 8.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            RansCodec::decompress(RansCodec::compress(data)));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_RansRoundTrip)->Arg(64 << 10);
+
+void
+BM_LzCompress(benchmark::State &state)
+{
+    Rng rng(2);
+    ByteBuffer data(static_cast<std::size_t>(state.range(0)));
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>((i % 64) * 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(LzCodec::compress(data));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_LzCompress)->Arg(1 << 20);
+
+void
+BM_Sha256(benchmark::State &state)
+{
+    const ByteBuffer data =
+        weightBytes(static_cast<std::size_t>(state.range(0)), 20.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Sha256::hash(data));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1 << 20);
+
+void
+BM_EccEncodeDecode(benchmark::State &state)
+{
+    Rng rng(3);
+    std::uint64_t x = rng.next();
+    for (auto _ : state) {
+        EccCodeword cw = EccCodec::encode(x);
+        std::uint64_t out = 0;
+        benchmark::DoNotOptimize(EccCodec::decode(cw, out));
+        x = x * 6364136223846793005ull + 1;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EccEncodeDecode);
+
+void
+BM_LlcZipfAccess(benchmark::State &state)
+{
+    LlcModel llc(
+        {.capacity = 32_MiB, .line_size = 128, .associativity = 16});
+    Rng rng(4);
+    ZipfSampler zipf(1 << 20, 0.9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(llc.access(zipf.sample(rng) * 128));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LlcZipfAccess);
+
+void
+BM_Fp16Conversion(benchmark::State &state)
+{
+    Rng rng(5);
+    float f = static_cast<float>(rng.gaussian());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fp16BitsToFp32(fp32ToFp16Bits(f)));
+        f += 0.001f;
+    }
+}
+BENCHMARK(BM_Fp16Conversion);
+
+void
+BM_DpeGemmFunctional(benchmark::State &state)
+{
+    Rng rng(6);
+    const auto n = state.range(0);
+    Tensor a(Shape{n, n}, DType::FP32);
+    Tensor b(Shape{n, n}, DType::FP32);
+    a.fillGaussian(rng);
+    b.fillGaussian(rng);
+    DotProductEngine dpe;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dpe.gemm(a, b, DType::FP16));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+}
+BENCHMARK(BM_DpeGemmFunctional)->Arg(32)->Arg(64);
+
+void
+BM_KdTreeNearest(benchmark::State &state)
+{
+    Rng rng(7);
+    std::vector<ShapeKey> pts(1000);
+    for (auto &p : pts)
+        for (auto &x : p)
+            x = rng.uniform(0.0, 16.0);
+    KdTree tree(pts);
+    ShapeKey q{8.0, 8.0, 8.0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tree.nearest(q));
+        q[0] += 0.001;
+        if (q[0] > 16.0)
+            q[0] = 0.0;
+    }
+}
+BENCHMARK(BM_KdTreeNearest);
+
+} // namespace
+} // namespace mtia
+
+BENCHMARK_MAIN();

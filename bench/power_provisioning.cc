@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces the Section 5.3 result: re-deriving the rack power
+ * budget from production data (the max of the P90-peak experiment
+ * and the P90 fully-utilized-server analysis) cuts the provisioned
+ * power by nearly 40%.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fleet/power_provisioning.h"
+
+using namespace mtia;
+
+int
+main()
+{
+    bench::banner("Section 5.3 — reducing provisioned power",
+                  "Stress-test budget vs the production-derived "
+                  "budget (200 servers, 14 days of samples).");
+
+    Device dev(ChipConfig::mtia2i());
+    PowerProvisioningStudy study(73, dev);
+    const PowerBudgetReport rep = study.run(200, 14);
+
+    bench::section("per-server budgets");
+    std::printf("  initial (stress test + margin):   %7.0f W\n",
+                rep.initial_budget_w);
+    std::printf("  experiment (24 x P90-peak load):  %7.0f W\n",
+                rep.experiment_budget_w);
+    std::printf("  analysis (P90 production power):  %7.0f W\n",
+                rep.analysis_budget_w);
+    std::printf("  final = max(experiment, analysis):%7.0f W\n",
+                rep.final_budget_w);
+
+    bench::section("paper vs measured");
+    bench::row("rack power budget reduction", "nearly 40%",
+               bench::fmt("%.0f%%", rep.reduction() * 100.0));
+    bench::row("method", "max of experiment and analysis",
+               "same (both computed above)");
+    bench::row("why so large",
+               "initial estimates used unoptimized models; small "
+               "chips allow granular allocation",
+               "margin + typical-vs-TDP + measured host power");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Regenerates Table 2: MTIA 2i vs MTIA 1 specifications, printed from
+ * the chip configurations together with the generational ratios the
+ * paper quotes (>3x FLOPS, >3x SRAM bandwidth, >3x NoC bandwidth,
+ * 2x DRAM capacity, ~1.4x DRAM bandwidth in prose / 1.16x per table).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/chip_config.h"
+
+using namespace mtia;
+
+int
+main()
+{
+    bench::banner("Table 2 — MTIA 2i vs MTIA 1 specifications",
+                  "Derived from the ChipConfig factories; ratios are "
+                  "computed, not hard-coded.");
+
+    const ChipConfig c2 = ChipConfig::mtia2i();
+    const ChipConfig c1 = ChipConfig::mtia1();
+
+    auto line = [](const char *name, double v2, double v1,
+                   const char *unit) {
+        std::printf("  %-28s %12.1f %-8s %12.1f %-8s (%.2fx)\n", name,
+                    v2, unit, v1, unit, v1 == 0.0 ? 0.0 : v2 / v1);
+    };
+
+    std::printf("  %-28s %12s %21s\n", "", "MTIA 2i", "MTIA 1");
+    line("Frequency", c2.reference_frequency_ghz,
+         c1.reference_frequency_ghz, "GHz");
+    line("GEMM INT8", c2.peakGemmFlops(DType::INT8) / 1e12,
+         c1.peakGemmFlops(DType::INT8) / 1e12, "TOPS");
+    line("GEMM FP16/BF16", c2.peakGemmFlops(DType::FP16) / 1e12,
+         c1.peakGemmFlops(DType::FP16) / 1e12, "TFLOPS");
+    std::printf("  %-28s %12.1f %-8s %12s\n", "GEMM INT8 (2:4 sparse)",
+                c2.peakGemmFlops(DType::INT8, true) / 1e12, "TOPS",
+                "N/A");
+    line("Per-PE local memory",
+         static_cast<double>(c2.local_memory_per_pe) / 1024.0,
+         static_cast<double>(c1.local_memory_per_pe) / 1024.0, "KB");
+    line("On-chip SRAM", static_cast<double>(c2.sram.capacity) / (1 << 20),
+         static_cast<double>(c1.sram.capacity) / (1 << 20), "MB");
+    line("SRAM bandwidth", c2.sram.bandwidth / 1e12,
+         c1.sram.bandwidth / 1e12, "TB/s");
+    line("Local-memory bandwidth", c2.local_memory_bandwidth / 1e12,
+         c1.local_memory_bandwidth / 1e12, "TB/s");
+    line("LPDDR5 capacity",
+         static_cast<double>(c2.lpddr.capacity) / (1ull << 30),
+         static_cast<double>(c1.lpddr.capacity) / (1ull << 30), "GB");
+    line("LPDDR5 bandwidth", c2.lpddr.peak_bandwidth / 1e9,
+         c1.lpddr.peak_bandwidth / 1e9, "GB/s");
+    line("NoC bisection bandwidth", c2.noc.bisection_bandwidth / 1e12,
+         c1.noc.bisection_bandwidth / 1e12, "TB/s");
+    line("PCIe per-direction",
+         c2.pcie.bandwidth() / 1e9, c1.pcie.bandwidth() / 1e9, "GB/s");
+    line("TDP", c2.tdp_watts, c1.tdp_watts, "W");
+
+    bench::section("paper's generational claims");
+    bench::row("peak FLOPS ratio", "> 3x",
+               bench::fmt("%.2fx", c2.peakGemmFlops(DType::FP16) /
+                                       c1.peakGemmFlops(DType::FP16)));
+    bench::row("SRAM bandwidth ratio", "> 3x",
+               bench::fmt("%.2fx",
+                          c2.sram.bandwidth / c1.sram.bandwidth));
+    bench::row("NoC bandwidth ratio", "3.3x",
+               bench::fmt("%.2fx", c2.noc.bisection_bandwidth /
+                                       c1.noc.bisection_bandwidth));
+    bench::row("DRAM capacity ratio", "2x",
+               bench::fmt("%.2fx",
+                          static_cast<double>(c2.lpddr.capacity) /
+                              static_cast<double>(c1.lpddr.capacity)));
+    bench::row("DRAM bandwidth ratio", "~1.4x (prose); 1.16x (table)",
+               bench::fmt("%.2fx", c2.lpddr.peak_bandwidth /
+                                       c1.lpddr.peak_bandwidth));
+    return 0;
+}

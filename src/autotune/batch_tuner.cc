@@ -1,0 +1,74 @@
+#include "autotune/batch_tuner.h"
+
+#include "graph/fusion.h"
+#include "sim/logging.h"
+
+namespace mtia {
+
+BatchCandidate
+BatchSizeTuner::evalOne(const ModelBuilder &builder, std::int64_t batch,
+                        Tick slo) const
+{
+    ModelInfo model = builder(batch);
+    optimizeGraph(model.graph);
+    GraphCostModel gcm(dev_);
+    BatchCandidate c;
+    c.batch = batch;
+    c.cost = gcm.evaluate(model.graph, static_cast<double>(batch));
+    c.meets_slo = c.cost.latency <= slo;
+    return c;
+}
+
+std::vector<BatchCandidate>
+BatchSizeTuner::evaluate(const ModelBuilder &builder,
+                         const std::vector<std::int64_t> &candidates,
+                         Tick slo, std::size_t &winner) const
+{
+    if (candidates.empty())
+        MTIA_PANIC("BatchSizeTuner: no candidates");
+    std::vector<BatchCandidate> out;
+    out.reserve(candidates.size());
+    for (std::int64_t b : candidates)
+        out.push_back(evalOne(builder, b, slo));
+
+    winner = 0;
+    bool any_slo = false;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (out[i].meets_slo) {
+            if (!any_slo || out[i].cost.qps > out[winner].cost.qps)
+                winner = i;
+            any_slo = true;
+        }
+    }
+    if (!any_slo) {
+        for (std::size_t i = 1; i < out.size(); ++i) {
+            if (out[i].cost.latency < out[winner].cost.latency)
+                winner = i;
+        }
+    }
+    return out;
+}
+
+BatchCandidate
+BatchSizeTuner::tuneWithPlacementFallback(const ModelBuilder &builder,
+                                          std::int64_t batch,
+                                          Tick slo) const
+{
+    BatchCandidate current = evalOne(builder, batch, slo);
+    if (current.cost.activations_fit_lls)
+        return current;
+    // Walk down to the nearest power-of-two batch whose activations
+    // fit, then keep the faster option (Section 4.1).
+    std::int64_t lower = batch / 2;
+    while (lower >= 1) {
+        BatchCandidate candidate = evalOne(builder, lower, slo);
+        if (candidate.cost.activations_fit_lls) {
+            return candidate.cost.qps >= current.cost.qps ? candidate
+                                                          : current;
+        }
+        lower /= 2;
+    }
+    return current;
+}
+
+} // namespace mtia

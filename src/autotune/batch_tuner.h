@@ -1,0 +1,67 @@
+#ifndef MTIA_AUTOTUNE_BATCH_TUNER_H_
+#define MTIA_AUTOTUNE_BATCH_TUNER_H_
+
+/**
+ * @file
+ * Batch-size autotuning (Section 4.1): build model snapshots at
+ * candidate batch sizes, evaluate each with the cost model (the
+ * offline traffic-replay test), and pick the batch that maximizes
+ * throughput subject to the latency SLO — including the paper's
+ * data-placement fallback rule: when activations stop fitting in LLS,
+ * compare the nearest lower batch that fits against the current batch
+ * with spilled activations, and keep the winner.
+ */
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph_cost.h"
+#include "models/model_zoo.h"
+
+namespace mtia {
+
+/** One evaluated batch-size snapshot. */
+struct BatchCandidate
+{
+    std::int64_t batch = 0;
+    ModelCost cost;
+    bool meets_slo = false;
+};
+
+/** Batch-size tuner. */
+class BatchSizeTuner
+{
+  public:
+    using ModelBuilder = std::function<ModelInfo(std::int64_t batch)>;
+
+    explicit BatchSizeTuner(Device &dev) : dev_(dev) {}
+
+    /**
+     * Evaluate @p candidates and return all snapshots plus the index
+     * of the winner (highest QPS whose latency meets @p slo; if none
+     * meets it, the lowest-latency one).
+     */
+    std::vector<BatchCandidate>
+    evaluate(const ModelBuilder &builder,
+             const std::vector<std::int64_t> &candidates, Tick slo,
+             std::size_t &winner) const;
+
+    /**
+     * The paper's placement fallback: starting from @p batch, if
+     * activations spill, also evaluate the largest power-of-two batch
+     * whose activations fit, and return the faster of the two.
+     */
+    BatchCandidate tuneWithPlacementFallback(const ModelBuilder &builder,
+                                             std::int64_t batch,
+                                             Tick slo) const;
+
+  private:
+    BatchCandidate evalOne(const ModelBuilder &builder,
+                           std::int64_t batch, Tick slo) const;
+
+    Device &dev_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_AUTOTUNE_BATCH_TUNER_H_

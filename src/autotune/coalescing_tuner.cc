@@ -1,0 +1,42 @@
+#include "autotune/coalescing_tuner.h"
+
+#include <algorithm>
+
+namespace mtia {
+
+std::vector<CoalescingCandidate>
+CoalescingTuner::sweep(const std::vector<Request> &trace,
+                       std::int64_t batch_capacity,
+                       const std::vector<Tick> &windows,
+                       const std::vector<unsigned> &parallel_options)
+    const
+{
+    std::vector<CoalescingCandidate> out;
+    for (Tick window : windows) {
+        for (unsigned parallel : parallel_options) {
+            CoalescingCandidate c;
+            c.config = CoalescerConfig{window, parallel,
+                                       batch_capacity};
+            Coalescer coalescer(c.config);
+            c.stats = Coalescer::stats(coalescer.coalesce(trace),
+                                       c.config);
+            // Score: batch fill, discounted heavily once the mean
+            // wait exceeds the budget (throughput at P99 SLO is what
+            // the paper optimizes).
+            c.score = c.stats.mean_fill;
+            if (c.stats.mean_wait > max_wait_) {
+                c.score *= static_cast<double>(max_wait_) /
+                    static_cast<double>(c.stats.mean_wait);
+            }
+            out.push_back(c);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CoalescingCandidate &a,
+                 const CoalescingCandidate &b) {
+                  return a.score > b.score;
+              });
+    return out;
+}
+
+} // namespace mtia

@@ -1,0 +1,54 @@
+#ifndef MTIA_AUTOTUNE_COALESCING_TUNER_H_
+#define MTIA_AUTOTUNE_COALESCING_TUNER_H_
+
+/**
+ * @file
+ * Request-coalescing autotuning (Section 4.1): sweep the coalescing
+ * window and the number of parallel windows against a replayed
+ * traffic trace, scoring each configuration by batch fill (the paper
+ * reaches >95% requests per batch) and added wait under the SLO.
+ */
+
+#include <vector>
+
+#include "models/workload.h"
+#include "serving/coalescer.h"
+
+namespace mtia {
+
+/** One evaluated coalescing configuration. */
+struct CoalescingCandidate
+{
+    CoalescerConfig config;
+    CoalescerStats stats;
+    double score = 0.0;
+};
+
+/** The coalescing tuner. */
+class CoalescingTuner
+{
+  public:
+    /**
+     * @param max_wait Wait budget: mean coalescing delay must stay
+     *        below this slice of the latency SLO.
+     */
+    explicit CoalescingTuner(Tick max_wait = fromMillis(10.0))
+        : max_wait_(max_wait) {}
+
+    /**
+     * Sweep windows x parallel-window counts over the trace; returns
+     * all candidates, best first.
+     */
+    std::vector<CoalescingCandidate>
+    sweep(const std::vector<Request> &trace,
+          std::int64_t batch_capacity,
+          const std::vector<Tick> &windows,
+          const std::vector<unsigned> &parallel_options) const;
+
+  private:
+    Tick max_wait_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_AUTOTUNE_COALESCING_TUNER_H_

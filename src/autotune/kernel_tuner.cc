@@ -1,0 +1,90 @@
+#include "autotune/kernel_tuner.h"
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+std::vector<FcOptions>
+KernelTuner::variantSpace()
+{
+    // Variants differ in operand residency and loading strategy —
+    // the "input, output, and weight stationary" variants with
+    // different block sizes and DMA scheduling the kernel generator
+    // emits.
+    std::vector<FcOptions> space;
+    for (Placement weights : {Placement::Llc, Placement::Dram}) {
+        for (bool coordinated : {true, false}) {
+            for (Placement acts : {Placement::Lls, Placement::Llc}) {
+                FcOptions opt;
+                opt.weights = weights;
+                opt.coordinated_loading = coordinated;
+                opt.activations = acts;
+                space.push_back(opt);
+            }
+        }
+    }
+    return space;
+}
+
+TuneResult
+KernelTuner::tuneExhaustive(const FcShape &shape) const
+{
+    TuneResult best;
+    bool first = true;
+    for (const FcOptions &variant : variantSpace()) {
+        // Weights larger than the LLC cannot use the cached variant.
+        if (variant.weights == Placement::Llc &&
+            shape.weightBytes(variant.dtype) >
+                km_.device().sramPartition().llcBytes()) {
+            continue;
+        }
+        const Tick t = km_.fc(shape, variant).total;
+        if (first || t < best.kernel_time) {
+            best.variant = variant;
+            best.kernel_time = t;
+            first = false;
+        }
+    }
+    if (first)
+        MTIA_PANIC("tuneExhaustive: no feasible variant");
+    best.tuning_cost =
+        replay_cost_ * static_cast<Tick>(variantSpace().size());
+    return best;
+}
+
+TuneResult
+KernelTuner::tuneApproximate(const FcShape &shape,
+                             PerfDatabase &db) const
+{
+    const auto hit = db.lookup(shape);
+    if (!hit.has_value()) {
+        TuneResult r = tuneExhaustive(shape);
+        db.insert(PerfEntry{shape, r.variant, r.kernel_time});
+        return r;
+    }
+    TuneResult r;
+    r.variant = hit->best_variant;
+    // The adopted variant may be infeasible for this shape's weight
+    // size; degrade to the streaming variant instead of failing.
+    if (r.variant.weights == Placement::Llc &&
+        shape.weightBytes(r.variant.dtype) >
+            km_.device().sramPartition().llcBytes()) {
+        r.variant.weights = Placement::Dram;
+    }
+    r.kernel_time = km_.fc(shape, r.variant).total;
+    r.tuning_cost = fromMillis(20.0); // one database lookup
+    return r;
+}
+
+PerfDatabase
+KernelTuner::buildDatabase(const std::vector<FcShape> &corpus) const
+{
+    PerfDatabase db;
+    for (const FcShape &shape : corpus) {
+        const TuneResult r = tuneExhaustive(shape);
+        db.insert(PerfEntry{shape, r.variant, r.kernel_time});
+    }
+    return db;
+}
+
+} // namespace mtia

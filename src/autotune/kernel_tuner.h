@@ -1,0 +1,63 @@
+#ifndef MTIA_AUTOTUNE_KERNEL_TUNER_H_
+#define MTIA_AUTOTUNE_KERNEL_TUNER_H_
+
+/**
+ * @file
+ * FC kernel tuning (Section 4.1). Exhaustive tuning evaluates every
+ * kernel variant with a (simulated) traffic-replay test per variant;
+ * ANN tuning reuses the best variant of the nearest tuned shape from
+ * the performance database. The tuner tracks simulated tuning cost so
+ * the 1000x speedup and the within-5% quality bound are measurable.
+ */
+
+#include <vector>
+
+#include "autotune/perf_database.h"
+#include "core/kernel_cost_model.h"
+
+namespace mtia {
+
+/** Result of tuning one shape. */
+struct TuneResult
+{
+    FcOptions variant;
+    Tick kernel_time = 0;     ///< kernel latency with this variant
+    Tick tuning_cost = 0;     ///< simulated time spent tuning
+};
+
+/** The FC kernel tuner. */
+class KernelTuner
+{
+  public:
+    /**
+     * @param replay_cost Simulated wall-clock cost of one variant
+     *        evaluation (a traffic-replay test; minutes in practice).
+     */
+    explicit KernelTuner(const KernelCostModel &km,
+                         Tick replay_cost = fromSeconds(30.0))
+        : km_(km), replay_cost_(replay_cost) {}
+
+    /** The kernel-variant search space. */
+    static std::vector<FcOptions> variantSpace();
+
+    /** Evaluate every variant; pick the fastest. */
+    TuneResult tuneExhaustive(const FcShape &shape) const;
+
+    /**
+     * ANN tuning: adopt the nearest tuned shape's variant from @p db.
+     * Falls back to exhaustive (and records the result) on a miss.
+     */
+    TuneResult tuneApproximate(const FcShape &shape,
+                               PerfDatabase &db) const;
+
+    /** Exhaustively tune a corpus into a database. */
+    PerfDatabase buildDatabase(const std::vector<FcShape> &corpus) const;
+
+  private:
+    const KernelCostModel &km_;
+    Tick replay_cost_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_AUTOTUNE_KERNEL_TUNER_H_

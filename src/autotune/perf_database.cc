@@ -1,0 +1,120 @@
+#include "autotune/perf_database.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+ShapeKey
+shapeKey(const FcShape &shape)
+{
+    return {std::log2(static_cast<double>(std::max<std::int64_t>(
+                1, shape.m))),
+            std::log2(static_cast<double>(std::max<std::int64_t>(
+                1, shape.n))),
+            std::log2(static_cast<double>(std::max<std::int64_t>(
+                1, shape.k)))};
+}
+
+double
+KdTree::dist2(const ShapeKey &a, const ShapeKey &b)
+{
+    double acc = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+KdTree::KdTree(std::vector<ShapeKey> points) : points_(std::move(points))
+{
+    if (points_.empty())
+        MTIA_PANIC("KdTree: empty point set");
+    std::vector<std::size_t> idx(points_.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    nodes_.reserve(points_.size());
+    root_ = build(idx, 0, idx.size(), 0);
+}
+
+int
+KdTree::build(std::vector<std::size_t> &idx, std::size_t lo,
+              std::size_t hi, int depth)
+{
+    if (lo >= hi)
+        return -1;
+    const int axis = depth % 3;
+    const std::size_t mid = (lo + hi) / 2;
+    std::nth_element(idx.begin() + lo, idx.begin() + mid,
+                     idx.begin() + hi,
+                     [&](std::size_t a, std::size_t b) {
+                         return points_[a][axis] < points_[b][axis];
+                     });
+    const int node = static_cast<int>(nodes_.size());
+    nodes_.push_back(KdNode{idx[mid], axis, -1, -1});
+    nodes_[node].left = build(idx, lo, mid, depth + 1);
+    nodes_[node].right = build(idx, mid + 1, hi, depth + 1);
+    return node;
+}
+
+void
+KdTree::search(int node, const ShapeKey &q, std::size_t &best,
+               double &best_d2) const
+{
+    if (node < 0)
+        return;
+    const KdNode &n = nodes_[static_cast<std::size_t>(node)];
+    const double d2 = dist2(points_[n.point], q);
+    if (d2 < best_d2 || (d2 == best_d2 && n.point < best)) {
+        best_d2 = d2;
+        best = n.point;
+    }
+    const double delta = q[n.axis] - points_[n.point][n.axis];
+    const int near = delta < 0.0 ? n.left : n.right;
+    const int far = delta < 0.0 ? n.right : n.left;
+    search(near, q, best, best_d2);
+    if (delta * delta <= best_d2)
+        search(far, q, best, best_d2);
+}
+
+std::size_t
+KdTree::nearest(const ShapeKey &q) const
+{
+    std::size_t best = nodes_[static_cast<std::size_t>(root_)].point;
+    double best_d2 = dist2(points_[best], q);
+    search(root_, q, best, best_d2);
+    return best;
+}
+
+void
+PerfDatabase::insert(PerfEntry entry)
+{
+    entries_.push_back(std::move(entry));
+    dirty_ = true;
+}
+
+void
+PerfDatabase::rebuild() const
+{
+    std::vector<ShapeKey> keys;
+    keys.reserve(entries_.size());
+    for (const auto &e : entries_)
+        keys.push_back(shapeKey(e.shape));
+    tree_ = std::make_unique<KdTree>(std::move(keys));
+    dirty_ = false;
+}
+
+std::optional<PerfEntry>
+PerfDatabase::lookup(const FcShape &shape) const
+{
+    if (entries_.empty())
+        return std::nullopt;
+    if (dirty_ || !tree_)
+        rebuild();
+    return entries_[tree_->nearest(shapeKey(shape))];
+}
+
+} // namespace mtia

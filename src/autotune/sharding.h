@@ -1,0 +1,89 @@
+#ifndef MTIA_AUTOTUNE_SHARDING_H_
+#define MTIA_AUTOTUNE_SHARDING_H_
+
+/**
+ * @file
+ * Model-sharding autotuning (Section 4.1) and NUMA-aware placement on
+ * the Grand Teton server (Section 3.4): a model whose embeddings plus
+ * runtime buffers exceed one device's DRAM is sharded across devices,
+ * and sharded models must land on modules behind the same PCIe
+ * switch / CPU socket.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/chip_config.h"
+#include "sim/types.h"
+
+namespace mtia {
+
+/** Topology of one MTIA 2i server (Section 3.4). */
+struct ServerTopology
+{
+    unsigned sockets = 2;
+    unsigned modules_per_socket = 6;
+    unsigned chips_per_module = 2;
+
+    unsigned
+    totalChips() const
+    {
+        return sockets * modules_per_socket * chips_per_module;
+    }
+
+    /** Socket owning a given chip index. */
+    unsigned
+    socketOf(unsigned chip) const
+    {
+        return chip / (modules_per_socket * chips_per_module);
+    }
+
+    /** Module (global index) owning a given chip index. */
+    unsigned
+    moduleOf(unsigned chip) const
+    {
+        return chip / chips_per_module;
+    }
+};
+
+/** A sharding decision. */
+struct ShardingPlan
+{
+    unsigned shards = 1;
+    Bytes bytes_per_shard = 0;
+    /** Chip indices chosen on the server (NUMA-aware). */
+    std::vector<unsigned> chips;
+};
+
+/** The sharding planner. */
+class ShardingPlanner
+{
+  public:
+    ShardingPlanner(const ChipConfig &chip, ServerTopology topo = {})
+        : chip_(chip), topo_(topo) {}
+
+    /**
+     * Number of shards needed for a model with @p embedding_bytes of
+     * tables and @p runtime_bytes of buffers per shard.
+     */
+    unsigned shardsNeeded(Bytes embedding_bytes,
+                          Bytes runtime_bytes) const;
+
+    /**
+     * Plan shard placement starting from the first free chip in
+     * @p occupied (bitmap by chip index). All shards of one model are
+     * placed on modules behind the same socket; returns an empty chip
+     * list when that is impossible.
+     */
+    ShardingPlan plan(Bytes embedding_bytes, Bytes runtime_bytes,
+                      const std::vector<bool> &occupied) const;
+
+  private:
+    ChipConfig chip_;
+    ServerTopology topo_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_AUTOTUNE_SHARDING_H_

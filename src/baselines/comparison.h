@@ -1,0 +1,89 @@
+#ifndef MTIA_BASELINES_COMPARISON_H_
+#define MTIA_BASELINES_COMPARISON_H_
+
+/**
+ * @file
+ * Side-by-side evaluation of one model on MTIA 2i and the GPU
+ * baseline, producing the Perf/Watt and Perf/TCO ratios Figures 4
+ * and 6 report. Host-side overhead (feature preprocessing, merge
+ * orchestration) inflates both platforms' request latency by the
+ * model's host fraction; sharded models divide throughput across
+ * their shard count.
+ */
+
+#include <string>
+
+#include "baselines/gpu_model.h"
+#include "core/device.h"
+#include "core/tco_model.h"
+#include "models/model_zoo.h"
+
+namespace mtia {
+
+/** One platform's scorecard on one model. */
+struct PlatformScore
+{
+    double qps = 0;           ///< samples/sec per accelerator
+    double latency_ms = 0;
+    double watts = 0;
+    double perf_per_watt = 0;
+    double perf_per_tco = 0;
+    double utilization = 0;
+};
+
+/** The comparison for one model. */
+struct ModelComparison
+{
+    std::string model;
+    double mflops_per_sample = 0;
+    PlatformScore mtia;
+    PlatformScore gpu;
+
+    double
+    perfPerWattRatio() const
+    {
+        return gpu.perf_per_watt == 0.0
+            ? 0.0
+            : mtia.perf_per_watt / gpu.perf_per_watt;
+    }
+    double
+    perfPerTcoRatio() const
+    {
+        return gpu.perf_per_tco == 0.0
+            ? 0.0
+            : mtia.perf_per_tco / gpu.perf_per_tco;
+    }
+    /** TCO saved serving this model on MTIA at matched throughput. */
+    double
+    tcoReduction() const
+    {
+        return perfPerTcoRatio() == 0.0
+            ? 0.0
+            : 1.0 - 1.0 / perfPerTcoRatio();
+    }
+};
+
+/** Cross-platform comparison harness. */
+class ComparisonHarness
+{
+  public:
+    ComparisonHarness(Device &mtia, GpuModel gpu = GpuModel(),
+                      TcoModel tco = TcoModel())
+        : mtia_(mtia), gpu_(std::move(gpu)), tco_(tco) {}
+
+    /**
+     * Evaluate @p model on both platforms. The graph is evaluated
+     * as-is (optimize it first); @p opt controls the MTIA side.
+     */
+    ModelComparison compare(const ModelInfo &model,
+                            const GraphCostOptions &opt = {});
+
+  private:
+    Device &mtia_;
+    GpuModel gpu_;
+    TcoModel tco_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_BASELINES_COMPARISON_H_

@@ -1,0 +1,68 @@
+#ifndef MTIA_BASELINES_GPU_MODEL_H_
+#define MTIA_BASELINES_GPU_MODEL_H_
+
+/**
+ * @file
+ * Roofline model of the GPU baseline (an H100-class inference part on
+ * the same Grand Teton platform, eight per server). Per-op time is
+ * max(compute at sustained FLOPS, HBM traffic) plus a per-kernel
+ * launch overhead — the launch term is what makes small-kernel DLRM
+ * graphs comparatively expensive on the big device, and the flat HBM
+ * bandwidth is what removes MTIA's SRAM-locality advantage and
+ * disadvantage alike.
+ */
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/graph_cost.h"
+#include "sim/types.h"
+
+namespace mtia {
+
+/** GPU device parameters. */
+struct GpuConfig
+{
+    std::string name = "gpu-h100-class";
+    /** Sustained dense FP16 tensor-core FLOPS (not marketing peak). */
+    double fp16_flops = 420e12;
+    double int8_flops = 900e12;
+    BytesPerSec hbm_bandwidth = gbPerSec(3350.0);
+    /** Fraction of HBM bandwidth scattered embedding gathers reach
+     * (short rows, random rows: far below the streaming peak). */
+    double gather_efficiency = 0.25;
+    Bytes hbm_capacity = 80_GiB;
+    /** CUDA kernel launch + scheduling overhead. */
+    Tick kernel_launch = fromMicros(2.5);
+    double tdp_watts = 700.0;
+    double typical_watts = 210.0; ///< recommendation-serving average
+    double idle_watts = 80.0;
+};
+
+/** Graph cost evaluation on the GPU baseline. */
+class GpuModel
+{
+  public:
+    explicit GpuModel(GpuConfig cfg = {}) : cfg_(cfg) {}
+
+    const GpuConfig &config() const { return cfg_; }
+
+    /**
+     * Evaluate a model graph at @p batch. The GPU software stack is
+     * mature: the graph should already be optimized (fused) before
+     * calling; remaining per-op launches are charged.
+     */
+    ModelCost evaluate(const Graph &g, double batch) const;
+
+    /** Power at a given utilization. */
+    double powerWatts(double utilization) const;
+
+  private:
+    Tick opTime(const Graph &g, int id) const;
+
+    GpuConfig cfg_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_BASELINES_GPU_MODEL_H_

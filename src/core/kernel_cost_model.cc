@@ -1,0 +1,257 @@
+#include "core/kernel_cost_model.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+std::string
+placementName(Placement p)
+{
+    switch (p) {
+      case Placement::LocalMemory: return "local-memory";
+      case Placement::Lls: return "lls";
+      case Placement::Llc: return "llc";
+      case Placement::Dram: return "dram";
+    }
+    return "?";
+}
+
+std::string
+FcShape::toString() const
+{
+    std::ostringstream os;
+    os << m << "x" << n << "x" << k;
+    return os.str();
+}
+
+namespace {
+
+/** Pick the largest contributor for the bottleneck label. */
+const char *
+bottleneckName(const KernelTime &t)
+{
+    const Tick mx = std::max({t.compute, t.weight_stream, t.act_stream,
+                              t.output_stream, t.issue});
+    if (mx == t.compute)
+        return "compute";
+    if (mx == t.weight_stream)
+        return "weight-stream";
+    if (mx == t.act_stream)
+        return "activation-stream";
+    if (mx == t.output_stream)
+        return "output-stream";
+    return "instruction-issue";
+}
+
+} // namespace
+
+Tick
+KernelCostModel::launchCost(bool include_launch) const
+{
+    return include_launch ? dev_.jobLaunchTime() : 0;
+}
+
+BytesPerSec
+KernelCostModel::placementBandwidth(Placement p, bool coordinated) const
+{
+    switch (p) {
+      case Placement::LocalMemory:
+        return dev_.localMemoryBandwidth() * dev_.config().peCount();
+      case Placement::Lls:
+      case Placement::Llc:
+        return dev_.sramBandwidth();
+      case Placement::Dram: {
+        const double edge = dev_.noc().dramEdgeEfficiency(
+            dev_.config().pe_cols, coordinated);
+        return dev_.dram().effectiveReadBandwidth() * edge;
+      }
+    }
+    MTIA_PANIC("placementBandwidth: unknown placement");
+}
+
+KernelTime
+KernelCostModel::fc(const FcShape &shape, const FcOptions &opt) const
+{
+    KernelTime t;
+
+    // --- Compute: DPE peak scaled by MAC-tile shape utilization.
+    const double util =
+        dev_.dpe().shapeUtilization(shape.m, shape.n, shape.k);
+    const double peak =
+        dev_.peakGemmFlops(opt.dtype, opt.sparse_24) * util;
+    t.compute = fromSeconds(shape.flops() / peak);
+
+    // --- Operand streams (overlap with compute, but every DRAM-
+    // destined stream shares the single LPDDR channel; scattered
+    // activation traffic additionally forfeits the coordinated-
+    // streaming efficiency).
+    Bytes dram_bytes = 0;
+    bool dram_scattered = false;
+    auto stream = [&](Bytes bytes, Placement p, bool is_weights,
+                      bool is_write) -> Tick {
+        if (p != Placement::Dram)
+            return transferTicks(bytes, placementBandwidth(p, true));
+        // Writes cost more under controller ECC (read-modify-write).
+        const double write_amp = is_write
+            ? dev_.dram().effectiveReadBandwidth() /
+                dev_.dram().effectiveWriteBandwidth()
+            : 1.0;
+        dram_bytes += static_cast<Bytes>(bytes * write_amp);
+        if (!is_weights)
+            dram_scattered = true;
+        return 0; // accounted in the combined DRAM term below
+    };
+    t.weight_stream =
+        stream(shape.weightBytes(opt.dtype), opt.weights, true, false);
+    t.act_stream = stream(shape.activationBytes(opt.dtype),
+                          opt.activations, false, false);
+    // Accumulator leaves the RE in FP32 before any down-cast.
+    t.output_stream = stream(shape.outputBytes(DType::FP32),
+                             opt.output, false, true);
+    const bool dram_coordinated =
+        opt.coordinated_loading && !dram_scattered;
+    const Tick dram_time = transferTicks(
+        dram_bytes,
+        placementBandwidth(Placement::Dram, dram_coordinated));
+    if (opt.weights == Placement::Dram)
+        t.weight_stream = dram_time;
+    else if (opt.activations == Placement::Dram ||
+             opt.output == Placement::Dram)
+        t.act_stream = std::max(t.act_stream, dram_time);
+
+    // --- Custom-instruction issue, on the per-PE slice of the work.
+    const unsigned rows = dev_.config().pe_rows;
+    const unsigned cols = dev_.config().pe_cols;
+    const std::int64_t m_pe = (shape.m + rows - 1) / rows;
+    const std::int64_t n_pe = (shape.n + cols - 1) / cols;
+    const std::uint64_t instr =
+        dev_.commandProcessor().gemmInstructions(m_pe, n_pe, shape.k);
+    t.issue =
+        dev_.commandProcessor().issueTime(instr, dev_.frequencyGhz());
+
+    // --- Dynamic INT8 quant/dequant stages (serial with the GEMM).
+    if (opt.dynamic_int8) {
+        // Quantize activations: FP16 in, INT8 out, 2 SIMD ops/elem
+        // (the RE supplies row min/max for free after the previous
+        // matmul).
+        const std::int64_t act_elems = shape.m * shape.k;
+        const Bytes act_traffic =
+            static_cast<Bytes>(act_elems) * (2 + 1); // read fp16, write i8
+        const Tick quant = std::max(
+            fromSeconds(2.0 * act_elems / dev_.peakSimdOps()),
+            transferTicks(act_traffic, dev_.sramBandwidth()));
+        // Dequantize output: INT32 accum in, FP16 out, 2 ops/elem.
+        const std::int64_t out_elems = shape.m * shape.n;
+        const Bytes out_traffic =
+            static_cast<Bytes>(out_elems) * (4 + 2);
+        const Tick dequant = std::max(
+            fromSeconds(2.0 * out_elems / dev_.peakSimdOps()),
+            transferTicks(out_traffic, dev_.sramBandwidth()));
+        t.quant_overhead = quant + dequant;
+    }
+
+    t.launch = launchCost(opt.include_launch);
+    t.total = t.launch + t.quant_overhead +
+        std::max({t.compute, t.weight_stream, t.act_stream,
+                  t.output_stream, t.issue});
+    t.bottleneck = bottleneckName(t);
+    return t;
+}
+
+KernelTime
+KernelCostModel::tbe(const TbeShape &shape, const TbeOptions &opt) const
+{
+    if (opt.sram_hit_rate < 0.0 || opt.sram_hit_rate > 1.0)
+        MTIA_PANIC("tbe: hit rate out of range");
+    KernelTime t;
+
+    const Bytes total = shape.bytesFetched();
+    const auto dram_bytes = static_cast<Bytes>(
+        static_cast<double>(total) * (1.0 - opt.sram_hit_rate));
+
+    // Misses stream from LPDDR; embedding-row fetches are scattered,
+    // so they never reach the coordinated streaming efficiency.
+    t.weight_stream = transferTicks(
+        dram_bytes, placementBandwidth(Placement::Dram, false));
+    // Every fetched row crosses the SRAM fabric once.
+    t.act_stream = transferTicks(total, dev_.sramBandwidth());
+    // Pooled output: one row per (table, batch) pair.
+    t.output_stream = transferTicks(
+        static_cast<Bytes>(shape.tables) * shape.batch *
+            shape.rowBytes(),
+        dev_.sramBandwidth());
+
+    // SIMD accumulation of fetched rows into the pooled result.
+    const double ops_per_row =
+        static_cast<double>(shape.dim) * (opt.weighted ? 2.0 : 1.0);
+    t.compute = fromSeconds(
+        static_cast<double>(shape.rowsFetched()) * ops_per_row /
+        dev_.peakSimdOps());
+
+    // Issue path: rows are spread across the PE grid.
+    const std::uint64_t rows_pe =
+        (static_cast<std::uint64_t>(shape.rowsFetched()) +
+         dev_.config().peCount() - 1) /
+        dev_.config().peCount();
+    const std::uint64_t instr =
+        dev_.commandProcessor().tbeInstructions(rows_pe);
+    t.issue =
+        dev_.commandProcessor().issueTime(instr, dev_.frequencyGhz());
+
+    t.launch = launchCost(opt.include_launch);
+    t.total = t.launch +
+        std::max({t.compute, t.weight_stream, t.act_stream,
+                  t.output_stream, t.issue});
+    t.bottleneck = bottleneckName(t);
+    return t;
+}
+
+KernelTime
+KernelCostModel::simdOp(std::int64_t elements, double ops_per_element,
+                        Bytes mem_bytes, bool include_launch,
+                        Placement mem) const
+{
+    KernelTime t;
+    t.compute = fromSeconds(static_cast<double>(elements) *
+                            ops_per_element / dev_.peakSimdOps());
+    // Vector-op memory traffic is scattered, never a coordinated
+    // stream: overflowed activations pay the full LPDDR cliff.
+    t.act_stream =
+        transferTicks(mem_bytes, placementBandwidth(mem, false));
+    t.launch = launchCost(include_launch);
+    t.total = t.launch + std::max(t.compute, t.act_stream);
+    t.bottleneck = bottleneckName(t);
+    return t;
+}
+
+KernelTime
+KernelCostModel::layerNorm(std::int64_t rows, std::int64_t cols,
+                           bool include_launch, Placement mem) const
+{
+    // Three passes: row mean, row variance, elementwise normalize.
+    const std::int64_t elems = rows * cols;
+    const Bytes traffic = static_cast<Bytes>(elems) * 2 * 2; // r+w fp16
+    return simdOp(elems, 3.0, traffic, include_launch, mem);
+}
+
+KernelTime
+KernelCostModel::softmax(std::int64_t rows, std::int64_t cols,
+                         bool include_launch, Placement mem) const
+{
+    // Five passes: max, subtract, exp (LUT), sum, divide.
+    const std::int64_t elems = rows * cols;
+    Bytes traffic = static_cast<Bytes>(elems) * 2 * 2;
+    double passes = 5.0;
+    if (cols < 32) {
+        // Inner dimension too small for full SIMD width: transpose in
+        // and out through the MLU (extra traffic + two passes).
+        traffic += static_cast<Bytes>(elems) * 2 * 2;
+        passes += 2.0;
+    }
+    return simdOp(elems, passes, traffic, include_launch, mem);
+}
+
+} // namespace mtia

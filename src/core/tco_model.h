@@ -1,0 +1,75 @@
+#ifndef MTIA_CORE_TCO_MODEL_H_
+#define MTIA_CORE_TCO_MODEL_H_
+
+/**
+ * @file
+ * Total-cost-of-ownership and efficiency accounting. Meta does not
+ * publish absolute costs, so this model works in relative "cost
+ * units" calibrated (see tco_model.cc) so the paper's relative
+ * results emerge: ~44% average TCO reduction versus the GPU baseline
+ * at matched throughput, Perf/TCO being an easier win than Perf/Watt,
+ * and the Section 5.4 small-chip utilization advantage.
+ */
+
+#include <string>
+
+namespace mtia {
+
+/** Cost/power description of one accelerator platform. */
+struct PlatformCost
+{
+    std::string name;
+    double device_capex_units = 0;   ///< per accelerator
+    double host_capex_units = 0;     ///< per server (CPU/DRAM/NIC/chassis)
+    unsigned devices_per_server = 1;
+    double typical_watts = 0;        ///< per accelerator, serving load
+    double idle_watts = 0;           ///< per accelerator, idle
+
+    /** MTIA 2i server: 24 accelerators on a Grand Teton host. */
+    static PlatformCost mtia2iServer();
+
+    /** GPU baseline: 8 accelerators on the same Grand Teton host. */
+    static PlatformCost gpuServer();
+};
+
+/** TCO and efficiency calculator. */
+class TcoModel
+{
+  public:
+    /**
+     * @param energy_units_per_watt Lifetime energy + power-delivery +
+     * cooling cost per provisioned watt, in the same units as capex.
+     */
+    explicit TcoModel(double energy_units_per_watt = 0.04)
+        : energy_units_per_watt_(energy_units_per_watt) {}
+
+    /** Amortized TCO units attributable to one accelerator running at
+     * @p avg_watts. */
+    double tcoPerDevice(const PlatformCost &p, double avg_watts) const;
+
+    /** Throughput per TCO unit. */
+    double perfPerTco(double qps, const PlatformCost &p,
+                      double avg_watts) const;
+
+    /** Throughput per watt. */
+    double
+    perfPerWatt(double qps, double avg_watts) const
+    {
+        return avg_watts <= 0.0 ? 0.0 : qps / avg_watts;
+    }
+
+    /**
+     * Fractional TCO reduction from serving a fixed throughput on
+     * platform @p b instead of @p a (positive = b is cheaper).
+     */
+    double tcoReduction(double qps_per_dev_a, const PlatformCost &a,
+                        double watts_a, double qps_per_dev_b,
+                        const PlatformCost &b, double watts_b) const;
+
+  private:
+    double energy_units_per_watt_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_CORE_TCO_MODEL_H_

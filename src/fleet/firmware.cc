@@ -1,0 +1,119 @@
+#include "fleet/firmware.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+FirmwareBundle
+FirmwareManager::build(const std::string &version,
+                       ControlMemLocation control_mem)
+{
+    FirmwareBundle bundle;
+    bundle.version = version;
+    bundle.control_mem = control_mem;
+    bundle.image.resize(4096);
+    for (auto &b : bundle.image)
+        b = static_cast<std::uint8_t>(rng_.below(256));
+    bundle.sign();
+    return bundle;
+}
+
+StressTestResult
+FirmwareManager::stressTest(const FirmwareBundle &bundle,
+                            unsigned test_servers)
+{
+    StressTestResult result;
+    if (!bundle.verify()) {
+        result.passed = false;
+        return result;
+    }
+    // Build the high-load scenario under this firmware's Control-
+    // Core memory placement and check for the wait-for cycle.
+    ControlCore cc(ControlCoreConfig{4, bundle.control_mem});
+    const bool deadlock_possible =
+        cc.buildHighLoadScenario().hasDeadlock();
+
+    unsigned lost = 0;
+    for (unsigned s = 0; s < test_servers; ++s) {
+        if (!deadlock_possible)
+            continue;
+        // The cycle needs 100% PE utilization AND a deep queue of
+        // in-flight PCIe transactions at the same instant: ~1% of
+        // stress-test servers hit it (Section 5.5).
+        const bool queue_deep = rng_.chance(0.10);
+        const bool timing_window = rng_.chance(0.10);
+        if (queue_deep && timing_window)
+            ++lost;
+    }
+    result.pcie_loss_fraction =
+        test_servers == 0 ? 0.0
+                          : static_cast<double>(lost) / test_servers;
+    result.passed = lost == 0;
+    return result;
+}
+
+std::vector<RolloutStage>
+FirmwareManager::standardPlan()
+{
+    // Staging -> 1% -> 5% -> 25% -> 100%, with multi-day soaks:
+    // ~18 days end to end.
+    return {
+        {"staging", 0.002, fromSeconds(2.0 * 86400)},
+        {"canary-1pct", 0.01, fromSeconds(3.0 * 86400)},
+        {"early-5pct", 0.05, fromSeconds(4.0 * 86400)},
+        {"broad-25pct", 0.25, fromSeconds(5.0 * 86400)},
+        {"fleet", 1.0, fromSeconds(4.0 * 86400)},
+    };
+}
+
+std::vector<RolloutStage>
+FirmwareManager::emergencyPlan(bool override_safety)
+{
+    if (override_safety) {
+        // Everything at once; only the restart waves gate.
+        return {{"fleet-now", 1.0, 0}};
+    }
+    return {
+        {"canary", 0.02, fromSeconds(1200.0)},
+        {"half", 0.5, fromSeconds(1200.0)},
+        {"fleet", 1.0, 0},
+    };
+}
+
+RolloutResult
+FirmwareManager::rollout(const FirmwareBundle &bundle,
+                         const std::vector<RolloutStage> &plan,
+                         unsigned max_concurrent_restarts,
+                         Tick server_restart)
+{
+    RolloutResult result;
+    if (!bundle.verify())
+        return result; // refuse to ship an unsigned/corrupt image
+    if (max_concurrent_restarts == 0)
+        MTIA_FATAL("rollout: restart policy must allow progress");
+
+    Tick now = 0;
+    unsigned updated = 0;
+    for (const RolloutStage &stage : plan) {
+        const auto target = static_cast<unsigned>(
+            std::ceil(stage.fleet_fraction * fleet_servers_));
+        while (updated < target) {
+            const unsigned wave =
+                std::min(max_concurrent_restarts, target - updated);
+            result.concurrent_restart_peak =
+                std::max(result.concurrent_restart_peak, wave);
+            now += server_restart; // waves run back to back
+            updated += wave;
+        }
+        now += stage.soak;
+    }
+    result.completed = updated >= fleet_servers_;
+    result.duration = now;
+    result.servers_updated = updated;
+    return result;
+}
+
+} // namespace mtia

@@ -1,0 +1,118 @@
+#ifndef MTIA_FLEET_FIRMWARE_H_
+#define MTIA_FLEET_FIRMWARE_H_
+
+/**
+ * @file
+ * Firmware-bundle lifecycle (Section 5.5): bundles (firmware + driver
+ * + runtime, deployed atomically) are built three times daily, signed
+ * with SHA-256, stress-tested pre-production (which is how the
+ * Control-Core/NoC/PCIe deadlock was caught), and rolled out in
+ * stages over ~18 days — or fleet-wide within three hours (one hour
+ * when safety policies are overridden) in an emergency.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "host/control_core.h"
+#include "host/sha256.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/types.h"
+
+namespace mtia {
+
+/** An atomically-deployed firmware + driver + runtime bundle. */
+struct FirmwareBundle
+{
+    std::string version;
+    std::vector<std::uint8_t> image;
+    Sha256Digest digest{};
+    /** Where the Control Core's working memory lives under this
+     * firmware (the deadlock mitigation flips this). */
+    ControlMemLocation control_mem = ControlMemLocation::HostMemory;
+
+    /** Sign the image (secure-boot digest). */
+    void sign() { digest = Sha256::hash(image); }
+
+    /** Secure-boot verification at device reset. */
+    bool
+    verify() const
+    {
+        return Sha256::hash(image) == digest;
+    }
+};
+
+/** Result of the pre-production stress test of one bundle. */
+struct StressTestResult
+{
+    bool passed = false;
+    /** Fraction of test servers that lost PCIe connectivity (the
+     * deadlock signature; ~1% at 100% PE utilization pre-fix). */
+    double pcie_loss_fraction = 0.0;
+};
+
+/** One step of a rollout. */
+struct RolloutStage
+{
+    std::string name;
+    double fleet_fraction;  ///< cumulative fraction after this stage
+    Tick soak;              ///< soak time before the next stage
+};
+
+/** Rollout outcome. */
+struct RolloutResult
+{
+    bool completed = false;
+    Tick duration = 0;
+    unsigned servers_updated = 0;
+    unsigned concurrent_restart_peak = 0;
+};
+
+/** Fleet firmware manager. */
+class FirmwareManager
+{
+  public:
+    FirmwareManager(std::uint64_t seed, unsigned fleet_servers)
+        : rng_(seed), fleet_servers_(fleet_servers) {}
+
+    /** Build one bundle (payload is pseudo-random, signed). */
+    FirmwareBundle build(const std::string &version,
+                         ControlMemLocation control_mem);
+
+    /**
+     * Pre-production stress test: drives PE utilization to 100% on a
+     * sample of servers; with the un-mitigated firmware, queued PCIe
+     * transactions close the wait-for cycle on ~1% of them.
+     */
+    StressTestResult stressTest(const FirmwareBundle &bundle,
+                                unsigned test_servers);
+
+    /** The standard 18-day staged rollout plan. */
+    static std::vector<RolloutStage> standardPlan();
+
+    /** Emergency plans: ~3 h fleet-wide, ~1 h with overrides. */
+    static std::vector<RolloutStage> emergencyPlan(bool override_safety);
+
+    /**
+     * Simulate a rollout: stages gate on soak time, restarts are
+     * rate-limited by the cluster-manager policy.
+     * @param max_concurrent_restarts Policy cap per restart wave.
+     * @param server_restart Time to drain + restart one server.
+     */
+    RolloutResult rollout(const FirmwareBundle &bundle,
+                          const std::vector<RolloutStage> &plan,
+                          unsigned max_concurrent_restarts,
+                          Tick server_restart = fromSeconds(300.0));
+
+    unsigned fleetServers() const { return fleet_servers_; }
+
+  private:
+    Rng rng_;
+    unsigned fleet_servers_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_FLEET_FIRMWARE_H_

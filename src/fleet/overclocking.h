@@ -1,0 +1,83 @@
+#ifndef MTIA_FLEET_OVERCLOCKING_H_
+#define MTIA_FLEET_OVERCLOCKING_H_
+
+/**
+ * @file
+ * The Section 5.2 overclocking study: ~3,000 chips, 10 test types,
+ * three candidate frequencies (1.1, 1.25, 1.35 GHz). Each chip has a
+ * silicon-quality Fmax drawn from the manufacturing distribution;
+ * each test stresses a different margin. The study reports pass
+ * rates per frequency and end-to-end model speedups from the uplift.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace mtia {
+
+/** The production test suite (10 tests as in the paper). */
+inline constexpr std::array<const char *, 10> kOverclockTests = {
+    "performance", "power",    "memory",      "kernel",
+    "module-mfg",  "pcie",     "thermal",     "stress-uniform",
+    "stress-burst", "long-soak",
+};
+
+/** Pass statistics for one (frequency, test) cell. */
+struct TestCell
+{
+    std::string test;
+    double frequency_ghz = 0;
+    unsigned passed = 0;
+    unsigned failed = 0;
+
+    double
+    passRate() const
+    {
+        const unsigned n = passed + failed;
+        return n == 0 ? 0.0 : static_cast<double>(passed) / n;
+    }
+};
+
+/** Whole-study result. */
+struct OverclockReport
+{
+    unsigned chips = 0;
+    std::vector<TestCell> cells; // frequency-major, test-minor
+
+    /** Aggregate pass rate at one frequency. */
+    double passRateAt(double frequency_ghz) const;
+};
+
+/** The overclocking study. */
+class OverclockingStudy
+{
+  public:
+    /**
+     * @param fmax_mean Mean silicon Fmax in GHz.
+     * @param fmax_sigma Manufacturing spread.
+     */
+    OverclockingStudy(std::uint64_t seed, double fmax_mean = 1.62,
+                      double fmax_sigma = 0.07)
+        : rng_(seed), fmax_mean_(fmax_mean), fmax_sigma_(fmax_sigma) {}
+
+    /**
+     * Run the full matrix: @p chips x 10 tests x the frequency list.
+     * A chip passes a test when its Fmax, derated by the test's
+     * margin requirement, still exceeds the target frequency.
+     */
+    OverclockReport run(unsigned chips,
+                        const std::vector<double> &frequencies);
+
+  private:
+    Rng rng_;
+    double fmax_mean_;
+    double fmax_sigma_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_FLEET_OVERCLOCKING_H_

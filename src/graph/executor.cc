@@ -1,0 +1,72 @@
+#include "graph/executor.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+ExecutionResult
+Executor::run(const Graph &g, const std::map<int, Tensor> &bound_inputs)
+{
+    g.validate();
+    const std::vector<int> order = g.topoOrder();
+    const std::vector<int> outputs = g.outputs();
+
+    // Remaining-use counts for activation freeing.
+    std::map<int, std::size_t> uses;
+    for (int id : order)
+        uses[id] = g.consumers(id).size();
+
+    OpContext ctx;
+    ctx.rng = &rng_;
+    ctx.use_lut_simd = use_lut_;
+
+    ExecutionResult result;
+    std::map<int, Tensor> live;
+    Bytes live_bytes = 0;
+
+    for (int id : order) {
+        const Node &nd = g.node(id);
+        std::vector<Tensor> ins;
+        ins.reserve(nd.inputs.size());
+        for (int in : nd.inputs) {
+            auto it = live.find(in);
+            if (it == live.end())
+                MTIA_PANIC("Executor: input ", in, " of node ", id,
+                           " not live");
+            ins.push_back(it->second);
+        }
+
+        Tensor out;
+        auto bound = bound_inputs.find(id);
+        if (bound != bound_inputs.end()) {
+            out = bound->second;
+        } else {
+            out = nd.op->run(ins, ctx);
+        }
+
+        live_bytes += out.sizeBytes();
+        result.peak_bytes = std::max(result.peak_bytes, live_bytes);
+        live.emplace(id, std::move(out));
+
+        // Release inputs whose last consumer just ran.
+        for (int in : nd.inputs) {
+            if (--uses[in] == 0 &&
+                std::find(outputs.begin(), outputs.end(), in) ==
+                    outputs.end()) {
+                live_bytes -= live[in].sizeBytes();
+                live.erase(in);
+            }
+        }
+    }
+
+    for (int id : outputs) {
+        auto it = live.find(id);
+        if (it != live.end())
+            result.outputs.emplace(id, std::move(it->second));
+    }
+    return result;
+}
+
+} // namespace mtia

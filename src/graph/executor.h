@@ -1,0 +1,54 @@
+#ifndef MTIA_GRAPH_EXECUTOR_H_
+#define MTIA_GRAPH_EXECUTOR_H_
+
+/**
+ * @file
+ * Functional graph executor: runs every node's real arithmetic in
+ * topological order, freeing tensors after their last use (the same
+ * activation-buffer-reuse discipline the chip applies). Used by the
+ * numerics experiments (quantization quality, error injection, A/B
+ * parity) and by the model tests.
+ */
+
+#include <map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mtia {
+
+/** Result of a functional run. */
+struct ExecutionResult
+{
+    /** Output tensors keyed by node id. */
+    std::map<int, Tensor> outputs;
+    /** Peak live tensor bytes during the run (executor accounting). */
+    Bytes peak_bytes = 0;
+};
+
+/** Functional executor. */
+class Executor
+{
+  public:
+    /**
+     * @param seed Seed for input/TBE sampling (reproducible runs).
+     * @param use_lut_simd Route nonlinearities through the LUT path.
+     */
+    explicit Executor(std::uint64_t seed = 7, bool use_lut_simd = true)
+        : rng_(seed), use_lut_(use_lut_simd) {}
+
+    /**
+     * Run the graph. @p bound_inputs overrides InputOp nodes by id;
+     * unbound inputs are filled with Gaussian noise from the rng.
+     */
+    ExecutionResult run(const Graph &g,
+                        const std::map<int, Tensor> &bound_inputs = {});
+
+  private:
+    Rng rng_;
+    bool use_lut_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_GRAPH_EXECUTOR_H_

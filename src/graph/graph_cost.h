@@ -1,0 +1,92 @@
+#ifndef MTIA_GRAPH_GRAPH_COST_H_
+#define MTIA_GRAPH_GRAPH_COST_H_
+
+/**
+ * @file
+ * Model-level timing: schedules the graph, runs the paper's data-
+ * placement algorithm (LLS sized to the activation buffer, remainder
+ * to LLC, weights cached greedily, TBE hit rates from the Zipf/LRU
+ * model), then sums per-op kernel times on the device. This is what
+ * turns the kernel cost model into end-to-end model latency, QPS, and
+ * utilization — the quantities Figures 4 and 6 plot.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/device.h"
+#include "core/kernel_cost_model.h"
+#include "graph/graph.h"
+#include "graph/liveness.h"
+
+namespace mtia {
+
+/** Options controlling a model-cost evaluation. */
+struct GraphCostOptions
+{
+    /** Use the memory-aware scheduler (vs naive order). */
+    bool memory_aware_schedule = true;
+    /** Apply dynamic INT8 to FC layers above this weight size
+     * (0 disables quantization entirely). */
+    Bytes int8_weight_threshold = 0;
+    /** Use 2:4 sparsity on FC weights. */
+    bool sparse_24 = false;
+    /** Decoupled activation preload + broadcast weight loading (the
+     * Section 4.2 kernel optimization); off for un-tuned ports. */
+    bool coordinated_loading = true;
+    /** Data-placement autotuning (Section 4.1): pin the activation
+     * buffer in LLS. Out-of-the-box ports stream activations through
+     * LPDDR instead, which is most of their initial inferiority. */
+    bool tuned_placement = true;
+};
+
+/** Per-model cost report. */
+struct ModelCost
+{
+    Tick latency = 0;             ///< one batch, end to end
+    double batch = 0;             ///< batch size used
+    double qps = 0;               ///< batch / latency
+    Bytes activation_peak = 0;    ///< liveness peak
+    Bytes weight_bytes = 0;       ///< total parameters
+    bool activations_fit_lls = false;
+    unsigned lls_regions = 0;
+    double avg_utilization = 0;   ///< flops / (latency * peak flops)
+    std::map<std::string, Tick> time_by_kind;
+    std::vector<int> order;
+
+    double
+    latencyMs() const
+    {
+        return toMillis(latency);
+    }
+};
+
+/** Evaluate a graph on a device. */
+class GraphCostModel
+{
+  public:
+    explicit GraphCostModel(Device &dev) : dev_(dev), km_(dev) {}
+
+    /**
+     * @param batch The model batch size (rows in the graph's dense
+     *        part; used for QPS accounting).
+     */
+    ModelCost evaluate(const Graph &g, double batch,
+                       const GraphCostOptions &opt = {});
+
+    /** The per-node cost contexts of the last evaluation. */
+    const std::map<int, CostContext> &lastContexts() const
+    {
+        return contexts_;
+    }
+
+  private:
+    Device &dev_;
+    KernelCostModel km_;
+    std::map<int, CostContext> contexts_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_GRAPH_GRAPH_COST_H_

@@ -1,0 +1,119 @@
+#include "graph/liveness.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+Bytes
+activationBytes(const Graph &g, int node_id)
+{
+    return static_cast<Bytes>(g.shapeOf(node_id).numel()) * 2; // FP16
+}
+
+LivenessReport
+analyzeLiveness(const Graph &g, const std::vector<int> &order)
+{
+    LivenessReport rep;
+    rep.order = order;
+
+    // Last use position of each node's output within the order.
+    std::map<int, std::size_t> position;
+    for (std::size_t i = 0; i < order.size(); ++i)
+        position[order[i]] = i;
+    std::map<int, std::size_t> last_use;
+    for (int id : order) {
+        last_use[id] = position[id]; // at least its own step
+        for (int in : g.node(id).inputs)
+            last_use[in] = std::max(last_use[in], position[id]);
+    }
+
+    Bytes live = 0;
+    rep.profile.reserve(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const int id = order[i];
+        live += activationBytes(g, id);
+        // The output exists at least transiently even if unread.
+        rep.peak_bytes = std::max(rep.peak_bytes, live);
+        // Free tensors whose last consumer just ran (including the
+        // node's own output if nobody reads it).
+        for (int candidate : order) {
+            auto it = last_use.find(candidate);
+            if (it != last_use.end() && it->second == i &&
+                position[candidate] <= i) {
+                live -= activationBytes(g, candidate);
+                last_use.erase(it);
+            }
+        }
+        rep.profile.push_back(live);
+    }
+    return rep;
+}
+
+std::vector<int>
+naiveOrder(const Graph &g)
+{
+    return g.topoOrder();
+}
+
+std::vector<int>
+memoryAwareOrder(const Graph &g)
+{
+    const std::vector<int> all = g.topoOrder();
+    std::set<int> remaining(all.begin(), all.end());
+    std::map<int, std::size_t> pending_consumers;
+    for (int id : all)
+        pending_consumers[id] = g.consumers(id).size();
+
+    std::set<int> scheduled;
+    std::vector<int> order;
+    order.reserve(all.size());
+
+    auto ready = [&](int id) {
+        for (int in : g.node(id).inputs) {
+            if (!scheduled.count(in))
+                return false;
+        }
+        return true;
+    };
+
+    std::map<int, std::size_t> uses_left = pending_consumers;
+    while (!remaining.empty()) {
+        int best = -1;
+        std::int64_t best_delta = 0;
+        for (int id : remaining) {
+            if (!ready(id))
+                continue;
+            // Delta live bytes if we schedule id now: its output goes
+            // live; any input whose final use this is goes free.
+            std::int64_t delta =
+                static_cast<std::int64_t>(activationBytes(g, id));
+            if (g.consumers(id).empty())
+                delta = 0; // output is immediately dead
+            for (int in : g.node(id).inputs) {
+                if (uses_left[in] == 1) {
+                    delta -= static_cast<std::int64_t>(
+                        activationBytes(g, in));
+                }
+            }
+            if (best < 0 || delta < best_delta ||
+                (delta == best_delta && id < best)) {
+                best = id;
+                best_delta = delta;
+            }
+        }
+        if (best < 0)
+            MTIA_PANIC("memoryAwareOrder: no ready node (cycle?)");
+        order.push_back(best);
+        scheduled.insert(best);
+        remaining.erase(best);
+        for (int in : g.node(best).inputs)
+            --uses_left[in];
+    }
+    return order;
+}
+
+} // namespace mtia

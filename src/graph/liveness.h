@@ -1,0 +1,53 @@
+#ifndef MTIA_GRAPH_LIVENESS_H_
+#define MTIA_GRAPH_LIVENESS_H_
+
+/**
+ * @file
+ * Activation-buffer liveness analysis and memory-aware operator
+ * scheduling. The activation buffer's peak size decides whether it
+ * pins in LLS — the single most performance-critical placement
+ * decision on MTIA 2i (Sections 4.1/4.2) — and the scheduler is
+ * chosen to minimize the liveness range of activations.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mtia {
+
+/** Result of a liveness sweep over one schedule. */
+struct LivenessReport
+{
+    Bytes peak_bytes = 0;          ///< peak live activation bytes
+    std::vector<Bytes> profile;    ///< live bytes after each step
+    std::vector<int> order;        ///< the schedule analyzed
+};
+
+/**
+ * Bytes of the on-chip activation produced by a node (FP16 activations
+ * as serving runs them; weights are not activations and TBE tables
+ * live in DRAM/LLC).
+ */
+Bytes activationBytes(const Graph &g, int node_id);
+
+/** Analyze liveness of @p order (every input live until its last
+ * consumer executes). */
+LivenessReport analyzeLiveness(const Graph &g,
+                               const std::vector<int> &order);
+
+/** The naive schedule: insertion order. */
+std::vector<int> naiveOrder(const Graph &g);
+
+/**
+ * Memory-aware list scheduling: repeatedly pick the ready node that
+ * minimizes the increase in live bytes (frees count negatively),
+ * breaking ties by id. Greedy, deterministic, and in practice close
+ * to the liveness-minimizing order for DLRM-shaped DAGs.
+ */
+std::vector<int> memoryAwareOrder(const Graph &g);
+
+} // namespace mtia
+
+#endif // MTIA_GRAPH_LIVENESS_H_

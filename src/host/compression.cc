@@ -1,0 +1,365 @@
+#include "host/compression.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+namespace {
+
+// ---------------------------------------------------------------- rANS
+
+constexpr std::uint32_t kProbBits = 12;
+constexpr std::uint32_t kProbScale = 1u << kProbBits;
+constexpr std::uint32_t kRansL = 1u << 23; // renormalization bound
+constexpr std::size_t kBlockSize = 64 * 1024;
+
+/** Append a 32-bit little-endian value. */
+void
+put32(ByteBuffer &out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t
+get32(const ByteBuffer &in, std::size_t &pos)
+{
+    if (pos + 4 > in.size())
+        MTIA_PANIC("rANS: truncated stream");
+    const std::uint32_t v = static_cast<std::uint32_t>(in[pos]) |
+        (static_cast<std::uint32_t>(in[pos + 1]) << 8) |
+        (static_cast<std::uint32_t>(in[pos + 2]) << 16) |
+        (static_cast<std::uint32_t>(in[pos + 3]) << 24);
+    pos += 4;
+    return v;
+}
+
+/** Normalize byte counts to sum to kProbScale, keeping every present
+ * symbol's frequency >= 1. */
+std::array<std::uint32_t, 256>
+normalizeFreqs(const std::array<std::uint64_t, 256> &counts,
+               std::uint64_t total)
+{
+    std::array<std::uint32_t, 256> freq{};
+    std::uint32_t assigned = 0;
+    int largest = 0;
+    for (int s = 0; s < 256; ++s) {
+        if (counts[s] == 0)
+            continue;
+        std::uint64_t f = counts[s] * kProbScale / total;
+        if (f == 0)
+            f = 1;
+        freq[s] = static_cast<std::uint32_t>(f);
+        assigned += freq[s];
+        if (counts[s] > counts[largest])
+            largest = s;
+    }
+    // Fix the rounding drift on the most frequent symbol.
+    if (assigned != kProbScale) {
+        const std::int64_t delta =
+            static_cast<std::int64_t>(kProbScale) - assigned;
+        const std::int64_t adjusted = freq[largest] + delta;
+        if (adjusted < 1)
+            MTIA_PANIC("rANS: frequency normalization failed");
+        freq[largest] = static_cast<std::uint32_t>(adjusted);
+    }
+    return freq;
+}
+
+void
+compressBlock(const std::uint8_t *data, std::size_t n, ByteBuffer &out)
+{
+    std::array<std::uint64_t, 256> counts{};
+    for (std::size_t i = 0; i < n; ++i)
+        ++counts[data[i]];
+    const auto freq = normalizeFreqs(counts, n);
+
+    std::array<std::uint32_t, 257> cum{};
+    for (int s = 0; s < 256; ++s)
+        cum[s + 1] = cum[s] + freq[s];
+
+    // Header: block length + frequency table (uint16 each).
+    put32(out, static_cast<std::uint32_t>(n));
+    for (int s = 0; s < 256; ++s) {
+        out.push_back(static_cast<std::uint8_t>(freq[s]));
+        out.push_back(static_cast<std::uint8_t>(freq[s] >> 8));
+    }
+
+    // Encode back-to-front; bytes come out reversed.
+    ByteBuffer rev;
+    rev.reserve(n);
+    std::uint32_t x = kRansL;
+    for (std::size_t i = n; i-- > 0;) {
+        const std::uint8_t s = data[i];
+        const std::uint32_t f = freq[s];
+        const std::uint32_t x_max = ((kRansL >> kProbBits) << 8) * f;
+        while (x >= x_max) {
+            rev.push_back(static_cast<std::uint8_t>(x));
+            x >>= 8;
+        }
+        x = ((x / f) << kProbBits) + (x % f) + cum[s];
+    }
+    for (int b = 0; b < 4; ++b) {
+        rev.push_back(static_cast<std::uint8_t>(x));
+        x >>= 8;
+    }
+
+    put32(out, static_cast<std::uint32_t>(rev.size()));
+    out.insert(out.end(), rev.rbegin(), rev.rend());
+}
+
+void
+decompressBlock(const ByteBuffer &in, std::size_t &pos, ByteBuffer &out)
+{
+    const std::uint32_t n = get32(in, pos);
+    std::array<std::uint32_t, 256> freq{};
+    if (pos + 512 > in.size())
+        MTIA_PANIC("rANS: truncated frequency table");
+    for (int s = 0; s < 256; ++s) {
+        freq[s] = static_cast<std::uint32_t>(in[pos]) |
+            (static_cast<std::uint32_t>(in[pos + 1]) << 8);
+        pos += 2;
+    }
+    std::array<std::uint32_t, 257> cum{};
+    for (int s = 0; s < 256; ++s)
+        cum[s + 1] = cum[s] + freq[s];
+    // slot -> symbol lookup.
+    std::vector<std::uint8_t> slot2sym(kProbScale);
+    for (int s = 0; s < 256; ++s)
+        for (std::uint32_t i = cum[s]; i < cum[s + 1]; ++i)
+            slot2sym[i] = static_cast<std::uint8_t>(s);
+
+    const std::uint32_t payload = get32(in, pos);
+    const std::size_t end = pos + payload;
+    if (end > in.size())
+        MTIA_PANIC("rANS: truncated payload");
+
+    auto next_byte = [&]() -> std::uint32_t {
+        if (pos >= end)
+            MTIA_PANIC("rANS: payload underrun");
+        return in[pos++];
+    };
+
+    std::uint32_t x = 0;
+    for (int b = 0; b < 4; ++b)
+        x = (x << 8) | next_byte();
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t slot = x & (kProbScale - 1);
+        const std::uint8_t s = slot2sym[slot];
+        out.push_back(s);
+        x = freq[s] * (x >> kProbBits) + slot - cum[s];
+        while (x < kRansL && pos < end)
+            x = (x << 8) | next_byte();
+    }
+    pos = end;
+}
+
+// ----------------------------------------------------------------- LZ
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr std::size_t kHashBits = 16;
+
+std::uint32_t
+hash4(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void
+writeVarLen(ByteBuffer &out, std::size_t v)
+{
+    while (v >= 255) {
+        out.push_back(255);
+        v -= 255;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::size_t
+readVarLen(const ByteBuffer &in, std::size_t &pos, std::size_t base)
+{
+    if (base < 15)
+        return base;
+    std::size_t v = base;
+    while (true) {
+        if (pos >= in.size())
+            MTIA_PANIC("LZ: truncated length");
+        const std::uint8_t b = in[pos++];
+        v += b;
+        if (b != 255)
+            break;
+    }
+    return v;
+}
+
+void
+emitSequence(ByteBuffer &out, const std::uint8_t *lit, std::size_t nlit,
+             std::size_t match_len, std::size_t offset)
+{
+    const std::size_t lit_nib = std::min<std::size_t>(nlit, 15);
+    const std::size_t mat_nib =
+        match_len >= kMinMatch
+            ? std::min<std::size_t>(match_len - kMinMatch, 15)
+            : 0;
+    out.push_back(static_cast<std::uint8_t>((lit_nib << 4) | mat_nib));
+    if (lit_nib == 15)
+        writeVarLen(out, nlit - 15);
+    out.insert(out.end(), lit, lit + nlit);
+    if (match_len >= kMinMatch) {
+        out.push_back(static_cast<std::uint8_t>(offset));
+        out.push_back(static_cast<std::uint8_t>(offset >> 8));
+        if (mat_nib == 15)
+            writeVarLen(out, match_len - kMinMatch - 15);
+    }
+}
+
+} // namespace
+
+ByteBuffer
+RansCodec::compress(const ByteBuffer &input)
+{
+    ByteBuffer out;
+    put32(out, static_cast<std::uint32_t>(input.size()));
+    for (std::size_t off = 0; off < input.size(); off += kBlockSize) {
+        const std::size_t n = std::min(kBlockSize, input.size() - off);
+        compressBlock(input.data() + off, n, out);
+    }
+    return out;
+}
+
+ByteBuffer
+RansCodec::decompress(const ByteBuffer &input)
+{
+    std::size_t pos = 0;
+    const std::uint32_t total = get32(input, pos);
+    ByteBuffer out;
+    out.reserve(total);
+    while (out.size() < total)
+        decompressBlock(input, pos, out);
+    return out;
+}
+
+double
+RansCodec::ratio(const ByteBuffer &input)
+{
+    if (input.empty())
+        return 1.0;
+    return static_cast<double>(compress(input).size()) /
+        static_cast<double>(input.size());
+}
+
+double
+RansCodec::entropyBitsPerByte(const ByteBuffer &input)
+{
+    if (input.empty())
+        return 0.0;
+    std::array<std::uint64_t, 256> counts{};
+    for (std::uint8_t b : input)
+        ++counts[b];
+    double h = 0.0;
+    const double n = static_cast<double>(input.size());
+    for (std::uint64_t c : counts) {
+        if (c == 0)
+            continue;
+        const double p = static_cast<double>(c) / n;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+ByteBuffer
+LzCodec::compress(const ByteBuffer &input)
+{
+    ByteBuffer out;
+    put32(out, static_cast<std::uint32_t>(input.size()));
+    const std::size_t n = input.size();
+    if (n == 0)
+        return out;
+
+    std::vector<std::int64_t> table(1u << kHashBits, -1);
+    const std::uint8_t *data = input.data();
+    std::size_t anchor = 0; // start of the pending literal run
+    std::size_t i = 0;
+    while (i + kMinMatch <= n) {
+        const std::uint32_t h = hash4(data + i);
+        const std::int64_t cand = table[h];
+        table[h] = static_cast<std::int64_t>(i);
+        if (cand >= 0 &&
+            i - static_cast<std::size_t>(cand) <= kMaxOffset &&
+            std::memcmp(data + cand, data + i, kMinMatch) == 0) {
+            // Extend the match.
+            std::size_t len = kMinMatch;
+            while (i + len < n &&
+                   data[cand + len] == data[i + len]) {
+                ++len;
+            }
+            emitSequence(out, data + anchor, i - anchor, len,
+                         i - static_cast<std::size_t>(cand));
+            i += len;
+            anchor = i;
+        } else {
+            ++i;
+        }
+    }
+    // Trailing literals with no match.
+    emitSequence(out, data + anchor, n - anchor, 0, 0);
+    return out;
+}
+
+ByteBuffer
+LzCodec::decompress(const ByteBuffer &input)
+{
+    std::size_t pos = 0;
+    const std::uint32_t total = get32(input, pos);
+    ByteBuffer out;
+    out.reserve(total);
+    while (out.size() < total) {
+        if (pos >= input.size())
+            MTIA_PANIC("LZ: truncated stream");
+        const std::uint8_t token = input[pos++];
+        std::size_t nlit = readVarLen(input, pos, token >> 4);
+        if (pos + nlit > input.size())
+            MTIA_PANIC("LZ: truncated literals");
+        out.insert(out.end(), input.begin() + pos,
+                   input.begin() + pos + nlit);
+        pos += nlit;
+        if (out.size() >= total)
+            break;
+        if (pos + 2 > input.size())
+            MTIA_PANIC("LZ: truncated offset");
+        const std::size_t offset = input[pos] |
+            (static_cast<std::size_t>(input[pos + 1]) << 8);
+        pos += 2;
+        std::size_t match_len =
+            readVarLen(input, pos, token & 0x0f) + kMinMatch;
+        if (offset == 0 || offset > out.size())
+            MTIA_PANIC("LZ: bad offset ", offset);
+        // Byte-by-byte copy: overlapping matches are legal.
+        std::size_t src = out.size() - offset;
+        for (std::size_t j = 0; j < match_len; ++j)
+            out.push_back(out[src + j]);
+    }
+    return out;
+}
+
+double
+LzCodec::ratio(const ByteBuffer &input)
+{
+    if (input.empty())
+        return 1.0;
+    return static_cast<double>(compress(input).size()) /
+        static_cast<double>(input.size());
+}
+
+} // namespace mtia

@@ -1,0 +1,32 @@
+#include "host/control_core.h"
+
+namespace mtia {
+
+WaitForGraph
+ControlCore::buildHighLoadScenario() const
+{
+    WaitForGraph g;
+    g.addAgent("control-core");
+    g.addAgent("pcie-read-response");
+    g.addAgent("pcie-earlier-txns");
+    g.addAgent("noc-serialization");
+
+    // Always present under high load: PCIe ordering rules queue the
+    // read response behind earlier transactions, which are back-
+    // pressured by the NoC's serialization point, which in turn waits
+    // for the Control Core to complete its operation.
+    g.addWait("pcie-read-response", "pcie-earlier-txns");
+    g.addWait("pcie-earlier-txns", "noc-serialization");
+    g.addWait("noc-serialization", "control-core");
+
+    // The closing edge only exists when the Control Core must read
+    // host memory: it blocks on the PCIe read response. The firmware
+    // mitigation relocates that memory to device SRAM, removing this
+    // edge and with it the cycle.
+    if (cfg_.working_mem == ControlMemLocation::HostMemory)
+        g.addWait("control-core", "pcie-read-response");
+
+    return g;
+}
+
+} // namespace mtia

@@ -1,0 +1,39 @@
+#include "host/pcie.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+BytesPerSec
+PcieConfig::bandwidth() const
+{
+    // Usable per-lane rates after encoding/protocol: Gen4 ~2 GB/s,
+    // Gen5 ~4 GB/s.
+    double per_lane = 0.0;
+    switch (generation) {
+      case 4: per_lane = 2.0; break;
+      case 5: per_lane = 4.0; break;
+      default:
+        MTIA_FATAL("PcieConfig: unsupported generation ", generation);
+    }
+    return gbPerSec(per_lane * lanes);
+}
+
+Tick
+PcieLink::transferTime(Bytes bytes) const
+{
+    return cfg_.base_latency + transferTicks(bytes, cfg_.bandwidth());
+}
+
+Tick
+PcieLink::compressedTransferTime(Bytes logical_bytes, Bytes wire_bytes,
+                                 BytesPerSec decompress_rate) const
+{
+    const Tick wire = transferTicks(wire_bytes, cfg_.bandwidth());
+    const Tick expand = transferTicks(logical_bytes, decompress_rate);
+    return cfg_.base_latency + std::max(wire, expand);
+}
+
+} // namespace mtia

@@ -1,0 +1,55 @@
+#ifndef MTIA_HOST_PCIE_H_
+#define MTIA_HOST_PCIE_H_
+
+/**
+ * @file
+ * Host Interface: PCIe link and DMA model. MTIA 2i connects over
+ * 8 lanes of Gen5 (32 GB/s per direction) versus MTIA 1's Gen4
+ * (16 GB/s), and adds a host-to-accelerator decompression engine that
+ * raises effective PCIe bandwidth for input-heavy retrieval models.
+ */
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace mtia {
+
+/** PCIe link configuration. */
+struct PcieConfig
+{
+    unsigned generation = 5;  ///< 4 or 5
+    unsigned lanes = 8;
+    Tick base_latency = fromMicros(1.0);
+
+    /** Raw per-direction bandwidth for the configured gen/lanes. */
+    BytesPerSec bandwidth() const;
+};
+
+/** One direction of a PCIe link with optional inline decompression. */
+class PcieLink
+{
+  public:
+    explicit PcieLink(PcieConfig cfg) : cfg_(cfg) {}
+
+    const PcieConfig &config() const { return cfg_; }
+
+    /** Time to move @p bytes, protocol overhead included. */
+    Tick transferTime(Bytes bytes) const;
+
+    /**
+     * Time to deliver @p logical_bytes of input data when the host
+     * compresses it to @p wire_bytes and the device-side engine
+     * (rated at @p decompress_rate, 25 GB/s on MTIA 2i) expands it.
+     * The wire and the decompressor pipeline; the slower stage wins.
+     */
+    Tick compressedTransferTime(Bytes logical_bytes, Bytes wire_bytes,
+                                BytesPerSec decompress_rate) const;
+
+  private:
+    PcieConfig cfg_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_HOST_PCIE_H_

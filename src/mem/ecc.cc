@@ -1,0 +1,166 @@
+#include "mem/ecc.h"
+
+#include <array>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+namespace {
+
+// The codeword is laid out in classic Hamming positions 1..71 with the
+// overall parity in position 0. Positions that are powers of two hold
+// the Hamming check bits; the rest hold data bits in ascending order.
+
+constexpr unsigned kCodeBits = 72;
+
+/** True if position p (1-based Hamming index) is a parity position. */
+constexpr bool
+isParityPos(unsigned p)
+{
+    return (p & (p - 1)) == 0; // p is a power of two
+}
+
+/** Map data bit index (0..63) to Hamming position (3..71). */
+constexpr std::array<std::uint8_t, 64>
+makeDataPositions()
+{
+    std::array<std::uint8_t, 64> pos{};
+    unsigned d = 0;
+    for (unsigned p = 1; p < kCodeBits && d < 64; ++p) {
+        if (!isParityPos(p))
+            pos[d++] = static_cast<std::uint8_t>(p);
+    }
+    return pos;
+}
+
+constexpr auto kDataPos = makeDataPositions();
+
+/** Full 72-bit codeword as a flat bit array keyed by Hamming position
+ * (index 0 is the overall parity). */
+struct Bits
+{
+    std::array<std::uint8_t, kCodeBits> b{};
+
+    static Bits
+    fromCodeword(const EccCodeword &cw)
+    {
+        Bits bits;
+        for (unsigned d = 0; d < 64; ++d)
+            bits.b[kDataPos[d]] = (cw.data >> d) & 1;
+        // check layout: bit 7 = overall parity (pos 0), bits 0..6 =
+        // Hamming parities at positions 1,2,4,8,16,32,64.
+        for (unsigned k = 0; k < 7; ++k)
+            bits.b[1u << k] = (cw.check >> k) & 1;
+        bits.b[0] = (cw.check >> 7) & 1;
+        return bits;
+    }
+
+    EccCodeword
+    toCodeword() const
+    {
+        EccCodeword cw;
+        for (unsigned d = 0; d < 64; ++d)
+            cw.data |= static_cast<std::uint64_t>(b[kDataPos[d]]) << d;
+        for (unsigned k = 0; k < 7; ++k)
+            cw.check |= static_cast<std::uint8_t>(b[1u << k] << k);
+        cw.check |= static_cast<std::uint8_t>(b[0] << 7);
+        return cw;
+    }
+};
+
+/** Hamming syndrome over positions 1..71 (0 means no error there). */
+unsigned
+syndromeOf(const Bits &bits)
+{
+    unsigned syn = 0;
+    for (unsigned k = 0; k < 7; ++k) {
+        unsigned parity = 0;
+        for (unsigned p = 1; p < kCodeBits; ++p) {
+            if (p & (1u << k))
+                parity ^= bits.b[p];
+        }
+        syn |= parity << k;
+    }
+    return syn;
+}
+
+/** Parity of every bit including the overall parity bit. */
+unsigned
+overallParity(const Bits &bits)
+{
+    unsigned parity = 0;
+    for (unsigned p = 0; p < kCodeBits; ++p)
+        parity ^= bits.b[p];
+    return parity;
+}
+
+} // namespace
+
+void
+EccCodeword::flipBit(unsigned i)
+{
+    if (i < 64) {
+        data ^= std::uint64_t{1} << i;
+    } else if (i < 72) {
+        check ^= static_cast<std::uint8_t>(1u << (i - 64));
+    } else {
+        MTIA_PANIC("EccCodeword::flipBit: bit ", i, " out of range");
+    }
+}
+
+EccCodeword
+EccCodec::encode(std::uint64_t data)
+{
+    EccCodeword cw;
+    cw.data = data;
+    Bits bits = Bits::fromCodeword(cw);
+    // Compute each Hamming parity so the syndrome of the final word
+    // is zero.
+    for (unsigned k = 0; k < 7; ++k) {
+        unsigned parity = 0;
+        for (unsigned p = 1; p < kCodeBits; ++p) {
+            if ((p & (1u << k)) && !isParityPos(p))
+                parity ^= bits.b[p];
+        }
+        bits.b[1u << k] = static_cast<std::uint8_t>(parity);
+    }
+    // Overall parity makes the whole word even.
+    unsigned parity = 0;
+    for (unsigned p = 1; p < kCodeBits; ++p)
+        parity ^= bits.b[p];
+    bits.b[0] = static_cast<std::uint8_t>(parity);
+    return bits.toCodeword();
+}
+
+EccResult
+EccCodec::decode(EccCodeword &cw, std::uint64_t &data)
+{
+    Bits bits = Bits::fromCodeword(cw);
+    const unsigned syn = syndromeOf(bits);
+    const unsigned parity = overallParity(bits);
+
+    if (syn == 0 && parity == 0) {
+        data = cw.data;
+        return EccResult::Ok;
+    }
+    if (parity == 1) {
+        // Odd overall parity: a single-bit error at position syn (or,
+        // when syn == 0, in the overall parity bit itself).
+        if (syn >= kCodeBits) {
+            // Syndrome points outside the word: treat as detected-
+            // uncorrectable (can occur for some multi-bit patterns).
+            data = cw.data;
+            return EccResult::DetectedDouble;
+        }
+        bits.b[syn] ^= 1;
+        cw = bits.toCodeword();
+        data = cw.data;
+        return EccResult::CorrectedSingle;
+    }
+    // Even parity with nonzero syndrome: double-bit error.
+    data = cw.data;
+    return EccResult::DetectedDouble;
+}
+
+} // namespace mtia

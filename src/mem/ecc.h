@@ -1,0 +1,58 @@
+#ifndef MTIA_MEM_ECC_H_
+#define MTIA_MEM_ECC_H_
+
+/**
+ * @file
+ * SECDED(72,64) extended Hamming code, the scheme a memory controller
+ * computes for LPDDR that (unlike server DDR/HBM stacks) has no
+ * native ECC. Section 5.1's central trade-off — run without ECC and
+ * absorb bit flips, or pay the controller-side overhead — is modeled
+ * with this real codec: single-bit errors correct, double-bit errors
+ * detect, and the storage overhead (8 check bits per 64 data bits)
+ * plus read-modify-write traffic feed the bandwidth penalty model.
+ */
+
+#include <cstdint>
+
+namespace mtia {
+
+/** A 72-bit SECDED codeword: 64 data bits + 8 check bits. */
+struct EccCodeword
+{
+    std::uint64_t data = 0;  ///< the 64 data bits (positionally encoded)
+    std::uint8_t check = 0;  ///< 7 Hamming parity bits + overall parity
+
+    /** Flip bit @p i of the codeword; i in [0, 72). Bits [0,64) are
+     * data bits, [64, 72) are check bits. */
+    void flipBit(unsigned i);
+};
+
+/** Outcome of decoding a possibly corrupted codeword. */
+enum class EccResult : std::uint8_t {
+    Ok,                 ///< no error
+    CorrectedSingle,    ///< single-bit error corrected
+    DetectedDouble,     ///< double-bit error detected, not correctable
+};
+
+/** SECDED(72,64) encoder/decoder. */
+class EccCodec
+{
+  public:
+    /** Encode 64 data bits into a 72-bit codeword. */
+    static EccCodeword encode(std::uint64_t data);
+
+    /**
+     * Decode a codeword, correcting a single-bit error in place.
+     * @param[in,out] cw The codeword; repaired when correctable.
+     * @param[out] data The recovered 64 data bits (valid unless the
+     *                  result is DetectedDouble).
+     */
+    static EccResult decode(EccCodeword &cw, std::uint64_t &data);
+
+    /** Check-bit storage overhead (8/64 = 12.5%). */
+    static constexpr double storageOverhead() { return 8.0 / 64.0; }
+};
+
+} // namespace mtia
+
+#endif // MTIA_MEM_ECC_H_

@@ -1,0 +1,85 @@
+#include "mem/error_injector.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+std::string
+memRegionName(MemRegion r)
+{
+    switch (r) {
+      case MemRegion::DenseWeights: return "dense-weights";
+      case MemRegion::Activations: return "activations";
+      case MemRegion::EmbeddingTable: return "embedding-table";
+      case MemRegion::TbeIndices: return "tbe-indices";
+      case MemRegion::Inputs: return "inputs";
+      case MemRegion::Outputs: return "outputs";
+    }
+    return "?";
+}
+
+std::string
+errorOutcomeName(ErrorOutcome o)
+{
+    switch (o) {
+      case ErrorOutcome::Benign: return "benign";
+      case ErrorOutcome::Corrupted: return "corrupted";
+      case ErrorOutcome::NaN: return "nan";
+      case ErrorOutcome::OutOfBounds: return "out-of-bounds";
+    }
+    return "?";
+}
+
+void
+MemoryErrorInjector::flipRandomBits(Tensor &t, std::uint64_t n)
+{
+    const std::uint64_t bits =
+        static_cast<std::uint64_t>(t.raw().size()) * 8;
+    if (bits == 0)
+        MTIA_PANIC("flipRandomBits: empty tensor");
+    for (std::uint64_t i = 0; i < n; ++i)
+        t.flipBit(rng_.below(bits));
+}
+
+ErrorOutcome
+MemoryErrorInjector::injectAndClassify(Tensor &t, double corrupt_rel)
+{
+    const std::int64_t n = t.numel();
+    if (n == 0)
+        MTIA_PANIC("injectAndClassify: empty tensor");
+    const std::int64_t elem =
+        static_cast<std::int64_t>(rng_.below(static_cast<std::uint64_t>(n)));
+    const float before = t.at(elem);
+
+    const std::uint64_t elem_bits = dtypeSize(t.dtype()) * 8;
+    const std::uint64_t bit =
+        static_cast<std::uint64_t>(elem) * elem_bits +
+        rng_.below(elem_bits);
+    t.flipBit(bit);
+    const float after = t.at(elem);
+
+    if (!std::isfinite(after))
+        return ErrorOutcome::NaN;
+    const double denom = std::max(1e-12, std::abs(
+        static_cast<double>(before)));
+    const double rel =
+        std::abs(static_cast<double>(after) -
+                 static_cast<double>(before)) / denom;
+    return rel > corrupt_rel ? ErrorOutcome::Corrupted
+                             : ErrorOutcome::Benign;
+}
+
+ErrorOutcome
+MemoryErrorInjector::injectIndexError(std::int64_t &index,
+                                      std::int64_t num_rows)
+{
+    const unsigned bit = static_cast<unsigned>(rng_.below(64));
+    index ^= std::int64_t{1} << bit;
+    if (index < 0 || index >= num_rows)
+        return ErrorOutcome::OutOfBounds;
+    return ErrorOutcome::Corrupted; // fetches the wrong embedding row
+}
+
+} // namespace mtia

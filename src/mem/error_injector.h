@@ -1,0 +1,99 @@
+#ifndef MTIA_MEM_ERROR_INJECTOR_H_
+#define MTIA_MEM_ERROR_INJECTOR_H_
+
+/**
+ * @file
+ * The memory-error injection tool of Section 5.1: flips bits in the
+ * raw representation of model memory regions (weights, activations,
+ * TBE tables, TBE indices) and classifies the consequences (silent,
+ * corrupted outputs, NaN, crash-equivalent). Used to decide whether
+ * forgoing ECC is survivable.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "tensor/tensor.h"
+
+namespace mtia {
+
+/** Memory regions of a deployed model that can be targeted. */
+enum class MemRegion : std::uint8_t {
+    DenseWeights,
+    Activations,
+    EmbeddingTable,
+    TbeIndices,
+    Inputs,
+    Outputs,
+};
+
+/** Human-readable region name. */
+std::string memRegionName(MemRegion r);
+
+/** Consequence class of an injected error on inference output. */
+enum class ErrorOutcome : std::uint8_t {
+    Benign,        ///< output unchanged or negligibly perturbed
+    Corrupted,     ///< output visibly wrong but finite
+    NaN,           ///< NaN/Inf reached the output
+    OutOfBounds,   ///< index error (crash-equivalent for TBE indices)
+};
+
+/** Human-readable outcome name. */
+std::string errorOutcomeName(ErrorOutcome o);
+
+/** Aggregate outcome counts for one injection campaign. */
+struct InjectionReport
+{
+    MemRegion region = MemRegion::DenseWeights;
+    std::uint64_t trials = 0;
+    std::uint64_t benign = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t nan = 0;
+    std::uint64_t out_of_bounds = 0;
+
+    double
+    failureRate() const
+    {
+        return trials == 0
+            ? 0.0
+            : static_cast<double>(corrupted + nan + out_of_bounds) /
+                static_cast<double>(trials);
+    }
+};
+
+/** Bit-flip injector over tensors and index buffers. */
+class MemoryErrorInjector
+{
+  public:
+    explicit MemoryErrorInjector(std::uint64_t seed) : rng_(seed) {}
+
+    /** Flip @p n uniformly random bits of @p t's raw bytes. */
+    void flipRandomBits(Tensor &t, std::uint64_t n);
+
+    /**
+     * Flip one random bit of a single random element and classify the
+     * damage by comparing against the clean value. Thresholds: a
+     * relative change above @p corrupt_rel counts as corruption.
+     */
+    ErrorOutcome injectAndClassify(Tensor &t, double corrupt_rel = 0.05);
+
+    /**
+     * Flip one random bit of a TBE index (int64 row index into a
+     * table with @p num_rows rows); out-of-range results are
+     * crash-equivalent, in-range results fetch the wrong row
+     * (corruption).
+     */
+    ErrorOutcome injectIndexError(std::int64_t &index,
+                                  std::int64_t num_rows);
+
+    Rng &rng() { return rng_; }
+
+  private:
+    Rng rng_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_MEM_ERROR_INJECTOR_H_

@@ -1,0 +1,60 @@
+#include "mem/lpddr.h"
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+LpddrChannel::LpddrChannel(LpddrConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.peak_bandwidth <= 0.0)
+        MTIA_FATAL("LpddrChannel: peak bandwidth must be positive");
+}
+
+BytesPerSec
+LpddrChannel::effectiveReadBandwidth() const
+{
+    if (cfg_.ecc == EccMode::None)
+        return cfg_.peak_bandwidth;
+    // 72 bits transferred per 64 useful bits.
+    return cfg_.peak_bandwidth * 64.0 / 72.0;
+}
+
+BytesPerSec
+LpddrChannel::effectiveWriteBandwidth() const
+{
+    if (cfg_.ecc == EccMode::None)
+        return cfg_.peak_bandwidth;
+    // Full-line writes pay the 72/64 code overhead; partial-line
+    // writes additionally read the old line to recompute check bits
+    // (one extra line transfer), doubling their cost.
+    const double code = 72.0 / 64.0;
+    const double rmw = 1.0 + cfg_.partial_write_fraction;
+    return cfg_.peak_bandwidth / (code * rmw);
+}
+
+Tick
+LpddrChannel::readTime(Bytes bytes) const
+{
+    return transferTicks(bytes, effectiveReadBandwidth());
+}
+
+Tick
+LpddrChannel::writeTime(Bytes bytes) const
+{
+    return transferTicks(bytes, effectiveWriteBandwidth());
+}
+
+double
+LpddrChannel::expectedBitErrors(Bytes resident, double seconds) const
+{
+    return cfg_.bit_error_rate * static_cast<double>(resident) * seconds;
+}
+
+std::uint64_t
+LpddrChannel::sampleBitErrors(Rng &rng, Bytes resident,
+                              double seconds) const
+{
+    return rng.poisson(expectedBitErrors(resident, seconds));
+}
+
+} // namespace mtia

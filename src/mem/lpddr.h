@@ -1,0 +1,95 @@
+#ifndef MTIA_MEM_LPDDR_H_
+#define MTIA_MEM_LPDDR_H_
+
+/**
+ * @file
+ * Off-chip LPDDR5 channel model. Captures the Section 5.1 trade-off:
+ * LPDDR lacks native ECC, so protection must come from the memory
+ * controller, costing storage (8/64 check bits), read-modify-write
+ * traffic on partial writes, and therefore 10-15% end-to-end
+ * throughput on bandwidth-sensitive models. Also models the raw
+ * bit-error process used by the fleet memory-error study.
+ */
+
+#include <cstdint>
+
+#include "sim/random.h"
+#include "sim/types.h"
+
+namespace mtia {
+
+/** Protection policy for the LPDDR channel. */
+enum class EccMode : std::uint8_t {
+    None,        ///< raw LPDDR, errors reach the application
+    Controller,  ///< SECDED computed by the memory controller
+};
+
+/** Static configuration of one device's LPDDR subsystem. */
+struct LpddrConfig
+{
+    Bytes capacity = 0;             ///< usable capacity
+    BytesPerSec peak_bandwidth = 0; ///< vendor peak (no ECC)
+    EccMode ecc = EccMode::Controller;
+    /** Fraction of write traffic that is partial-line and pays a
+     * read-modify-write under controller ECC. */
+    double partial_write_fraction = 0.2;
+    /** Raw bit-error rate: expected bit flips per byte-second of
+     * resident data. Calibrated so ~24% of servers see errors over a
+     * months-long observation (Section 5.1). */
+    double bit_error_rate = 1e-17;
+};
+
+/**
+ * Bandwidth/latency/error model of the LPDDR channel. Stateless with
+ * respect to simulated data; stateful counters track traffic and
+ * error events.
+ */
+class LpddrChannel
+{
+  public:
+    explicit LpddrChannel(LpddrConfig cfg);
+
+    const LpddrConfig &config() const { return cfg_; }
+
+    /**
+     * Effective sequential-read bandwidth after ECC overhead. The
+     * controller fetches 72 bits per 64 data bits, so useful
+     * bandwidth shrinks by 8/72.
+     */
+    BytesPerSec effectiveReadBandwidth() const;
+
+    /**
+     * Effective write bandwidth after ECC overhead, including the
+     * read-modify-write amplification for partial-line writes.
+     */
+    BytesPerSec effectiveWriteBandwidth() const;
+
+    /** Time to read @p bytes of useful data. */
+    Tick readTime(Bytes bytes) const;
+
+    /** Time to write @p bytes of useful data. */
+    Tick writeTime(Bytes bytes) const;
+
+    /**
+     * Expected number of raw bit errors developing in @p resident
+     * bytes over @p seconds of wall time.
+     */
+    double expectedBitErrors(Bytes resident, double seconds) const;
+
+    /**
+     * Sample the number of bit errors for a residency interval
+     * (Poisson around the expectation).
+     */
+    std::uint64_t sampleBitErrors(Rng &rng, Bytes resident,
+                                  double seconds) const;
+
+    /** Switch ECC mode at runtime (the productionization decision). */
+    void setEccMode(EccMode mode) { cfg_.ecc = mode; }
+
+  private:
+    LpddrConfig cfg_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_MEM_LPDDR_H_

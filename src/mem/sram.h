@@ -1,0 +1,98 @@
+#ifndef MTIA_MEM_SRAM_H_
+#define MTIA_MEM_SRAM_H_
+
+/**
+ * @file
+ * The shared on-chip SRAM and its partitioning into hardware-managed
+ * cache (LLC) and software-managed scratch (LLS). Partitioning happens
+ * at 32 MB region granularity; the autotuner's data-placement pass
+ * picks the split (Section 4.1: size the LLS to the activation buffer,
+ * give the rest to the LLC).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace mtia {
+
+/** Static shape of the shared SRAM. */
+struct SramConfig
+{
+    Bytes capacity = 256_MiB;
+    Bytes region_granularity = 32_MiB;
+    BytesPerSec bandwidth = gbPerSec(2700.0);
+};
+
+/**
+ * A partition of the SRAM into LLS and LLC regions.
+ */
+class SramPartition
+{
+  public:
+    SramPartition(const SramConfig &cfg, unsigned lls_regions);
+
+    /** Build the smallest partition whose LLS holds @p bytes; fails
+     * (returns false) if even all regions are not enough. */
+    static bool fitLls(const SramConfig &cfg, Bytes bytes,
+                       SramPartition &out);
+
+    Bytes llsBytes() const;
+    Bytes llcBytes() const;
+    unsigned llsRegions() const { return lls_regions_; }
+    unsigned totalRegions() const;
+
+    const SramConfig &config() const { return cfg_; }
+
+    std::string toString() const;
+
+  private:
+    SramConfig cfg_;
+    unsigned lls_regions_;
+};
+
+/**
+ * Bump allocator over the LLS scratch region. Tensors pinned in LLS
+ * are never evicted by hardware; the allocator exposes exactly the
+ * fit/doesn't-fit decision the autotuner reasons about, plus a
+ * checkpoint/rollback facility for liveness-scoped buffers.
+ */
+class LlsAllocator
+{
+  public:
+    explicit LlsAllocator(Bytes capacity, Bytes alignment = 64);
+
+    /**
+     * Allocate @p bytes; returns the offset or -1 if it does not fit.
+     */
+    std::int64_t allocate(Bytes bytes);
+
+    /** Current watermark for later rollback. */
+    Bytes mark() const { return used_; }
+
+    /** Roll back to a previous watermark (frees everything above). */
+    void release(Bytes mark);
+
+    /** Free everything. */
+    void reset() { used_ = 0; }
+
+    Bytes used() const { return used_; }
+    Bytes capacity() const { return capacity_; }
+    Bytes free() const { return capacity_ - used_; }
+    bool fits(Bytes bytes) const;
+
+    /** Peak watermark observed since construction/reset. */
+    Bytes peak() const { return peak_; }
+
+  private:
+    Bytes capacity_;
+    Bytes alignment_;
+    Bytes used_ = 0;
+    Bytes peak_ = 0;
+};
+
+} // namespace mtia
+
+#endif // MTIA_MEM_SRAM_H_

@@ -1,0 +1,63 @@
+#ifndef MTIA_MODELS_CASE_STUDY_H_
+#define MTIA_MODELS_CASE_STUDY_H_
+
+/**
+ * @file
+ * The Section 6 case study: one of Meta's top-five ranking models,
+ * ported to MTIA 2i over eight months while its complexity grew from
+ * 140 to 940 MFLOPS/sample. Provides the model at each evolution
+ * point, the optimization timeline for Figure 4, and the
+ * rejected-vs-accepted model-change pair (tripled remote embedding
+ * inputs vs two extra DHEN layers).
+ */
+
+#include <string>
+#include <vector>
+
+#include "models/model_zoo.h"
+
+namespace mtia {
+
+/**
+ * Build the case-study model as of @p month (0..8). Structure: a
+ * DHEN-based merge network with an In-Batch-Broadcast on the
+ * user-side inputs, hundreds of LayerNorms, sibling-transpose-FC
+ * patterns, and (from month 4) MHA blocks.
+ *
+ * @param width_scale Variant knob (the paper's multiple lines).
+ */
+ModelInfo buildCaseStudyModel(int month, double width_scale = 1.0);
+
+/** One step of the Figure 4 optimization timeline. */
+struct CaseStudyStage
+{
+    int month;
+    std::string label;
+    bool fusions;            ///< vertical/sibling/LN/MHA fusion passes
+    bool memory_aware;       ///< memory-aware operator scheduling
+    bool coordinated;        ///< tuned FC kernel variants
+    bool defer_ibb;          ///< deferred in-batch broadcast
+    bool tbe_consolidated;   ///< weighted+unweighted TBE merged (Fig 5)
+    double frequency_ghz;    ///< device clock
+};
+
+/** The eight-month optimization timeline. */
+std::vector<CaseStudyStage> caseStudyStages();
+
+/**
+ * The rejected model change: triple the remote embedding inputs to
+ * the merge network, blowing the activation buffer out of LLS
+ * (Section 6 reports a 90% throughput drop).
+ */
+ModelInfo buildCaseStudyRejectedChange(double width_scale = 1.0);
+
+/**
+ * The accepted alternative: two additional DHEN layers deepen the
+ * merge network for similar quality while keeping activations
+ * pinned in SRAM.
+ */
+ModelInfo buildCaseStudyAlternative(double width_scale = 1.0);
+
+} // namespace mtia
+
+#endif // MTIA_MODELS_CASE_STUDY_H_

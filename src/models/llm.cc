@@ -1,0 +1,76 @@
+#include "models/llm.h"
+
+#include <algorithm>
+
+#include "core/kernel_cost_model.h"
+
+namespace mtia {
+
+double
+LlamaConfig::params() const
+{
+    // Per layer: QKV + output projections (accounting for GQA) plus
+    // the gated FFN (three matrices), plus embeddings/head.
+    const double qkv = static_cast<double>(dim) * dim *
+        (1.0 + 2.0 * kv_heads / heads);
+    const double o = static_cast<double>(dim) * dim;
+    const double ffn3 = 3.0 * static_cast<double>(dim) * ffn;
+    const double per_layer = qkv + o + ffn3;
+    const double emb = 2.0 * static_cast<double>(vocab) * dim;
+    return per_layer * layers + emb;
+}
+
+Bytes
+LlamaConfig::paramBytes(DType dt) const
+{
+    return static_cast<Bytes>(params() * dtypeSize(dt));
+}
+
+LlamaConfig
+LlamaConfig::llama2_7b()
+{
+    return {"llama2-7b", 32, 4096, 11008, 32, 32, 32000};
+}
+
+LlamaConfig
+LlamaConfig::llama3_8b()
+{
+    return {"llama3-8b", 32, 4096, 14336, 32, 8, 128256};
+}
+
+LlamaConfig
+LlamaConfig::llama3_70b()
+{
+    return {"llama3-70b", 80, 8192, 28672, 64, 8, 128256};
+}
+
+LlmLatency
+evaluateLlm(const Device &dev, const LlamaConfig &cfg,
+            std::int64_t prompt_len, DType dtype)
+{
+    LlmLatency out;
+    const double flops_per_token = 2.0 * cfg.params();
+    const double peak = dev.peakGemmFlops(dtype);
+    // Large batched GEMMs in prefill sustain high efficiency; weight
+    // streaming overlaps because every weight is reused prompt_len
+    // times.
+    const double prefill_eff = 0.75;
+    const double prefill_flops =
+        flops_per_token * static_cast<double>(prompt_len);
+    const Tick prefill_compute =
+        fromSeconds(prefill_flops / (peak * prefill_eff));
+    const Tick prefill_weights = dev.dram().readTime(
+        cfg.paramBytes(dtype)); // one full pass, overlapped
+    out.prefill = std::max(prefill_compute, prefill_weights);
+
+    // Decode: one token reuses nothing; every weight streams from
+    // LPDDR once per step. MHA and FFN are both bandwidth-bound.
+    const Tick decode_weights =
+        dev.dram().readTime(cfg.paramBytes(dtype));
+    const Tick decode_compute =
+        fromSeconds(flops_per_token / (peak * 0.3));
+    out.decode_per_token = std::max(decode_weights, decode_compute);
+    return out;
+}
+
+} // namespace mtia

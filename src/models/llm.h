@@ -1,0 +1,69 @@
+#ifndef MTIA_MODELS_LLM_H_
+#define MTIA_MODELS_LLM_H_
+
+/**
+ * @file
+ * LLM serving cost on MTIA 2i (Sections 3.6 and 8): Llama-family
+ * transformer configurations and a prefill/decode latency model. The
+ * decode step must stream every weight from LPDDR once per token,
+ * which is why the chip meets the 600 ms time-to-first-token budget
+ * but misses the 60 ms/token decode budget.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "core/device.h"
+#include "sim/types.h"
+#include "tensor/dtype.h"
+
+namespace mtia {
+
+/** A decoder-only transformer configuration. */
+struct LlamaConfig
+{
+    std::string name;
+    int layers = 0;
+    std::int64_t dim = 0;
+    std::int64_t ffn = 0;
+    std::int64_t heads = 0;
+    std::int64_t kv_heads = 0;
+    std::int64_t vocab = 0;
+
+    /** Total parameter count. */
+    double params() const;
+
+    /** Parameter bytes at a given dtype. */
+    Bytes paramBytes(DType dt) const;
+
+    static LlamaConfig llama2_7b();
+    static LlamaConfig llama3_8b();
+    static LlamaConfig llama3_70b();
+};
+
+/** Latency verdict for serving one model on one device. */
+struct LlmLatency
+{
+    Tick prefill = 0;           ///< time to first token
+    Tick decode_per_token = 0;  ///< steady-state decode step
+    Tick ttft_budget = fromMillis(600.0);
+    Tick decode_budget = fromMillis(60.0);
+
+    bool meetsTtft() const { return prefill <= ttft_budget; }
+    bool meetsDecode() const
+    {
+        return decode_per_token <= decode_budget;
+    }
+};
+
+/**
+ * Evaluate prefill and decode latency of @p cfg on @p dev with a
+ * prompt of @p prompt_len tokens, weights in @p dtype.
+ */
+LlmLatency evaluateLlm(const Device &dev, const LlamaConfig &cfg,
+                       std::int64_t prompt_len,
+                       DType dtype = DType::FP16);
+
+} // namespace mtia
+
+#endif // MTIA_MODELS_LLM_H_

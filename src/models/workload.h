@@ -1,0 +1,51 @@
+#ifndef MTIA_MODELS_WORKLOAD_H_
+#define MTIA_MODELS_WORKLOAD_H_
+
+/**
+ * @file
+ * Synthetic serving traffic standing in for Meta's production traces:
+ * Poisson request arrivals with optional diurnal modulation and load
+ * spikes, and replayable traces for offline replayer tests (the
+ * paper's traffic-replay and autotuning workflows).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/types.h"
+
+namespace mtia {
+
+/** One inference request. */
+struct Request
+{
+    std::uint64_t id = 0;
+    Tick arrival = 0;
+    /** Candidate items to score (batch rows this request produces). */
+    std::int64_t candidates = 0;
+};
+
+/** Traffic-shape parameters. */
+struct TrafficParams
+{
+    double qps = 1000.0;
+    Tick duration = fromSeconds(10.0);
+    std::int64_t candidates_mean = 64;
+    /** Diurnal modulation depth in [0, 1): rate swings +-depth over
+     * a (scaled) day. */
+    double diurnal_depth = 0.0;
+    Tick diurnal_period = fromSeconds(10.0);
+    /** Probability that a request is part of a burst. */
+    double burst_fraction = 0.0;
+};
+
+/** Generate a replayable trace. */
+std::vector<Request> generateTrace(Rng &rng, const TrafficParams &p);
+
+/** Peak-to-average QPS ratio of a trace over fixed windows. */
+double peakToAverage(const std::vector<Request> &trace, Tick window);
+
+} // namespace mtia
+
+#endif // MTIA_MODELS_WORKLOAD_H_

@@ -1,0 +1,100 @@
+#include "noc/deadlock.h"
+
+#include <algorithm>
+
+namespace mtia {
+
+void
+WaitForGraph::addAgent(const std::string &name)
+{
+    adj_[name];
+}
+
+void
+WaitForGraph::addWait(const std::string &waiter, const std::string &holder)
+{
+    adj_[waiter].insert(holder);
+    adj_[holder]; // ensure the holder node exists
+}
+
+void
+WaitForGraph::removeWait(const std::string &waiter,
+                         const std::string &holder)
+{
+    auto it = adj_.find(waiter);
+    if (it != adj_.end())
+        it->second.erase(holder);
+}
+
+std::size_t
+WaitForGraph::edgeCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[node, outs] : adj_)
+        n += outs.size();
+    return n;
+}
+
+bool
+WaitForGraph::hasDeadlock() const
+{
+    return !findCycle().empty();
+}
+
+std::vector<std::string>
+WaitForGraph::findCycle() const
+{
+    // Iterative DFS with colors; returns the first cycle found when
+    // scanning roots in sorted order (std::map iteration order).
+    enum Color { White, Gray, Black };
+    std::map<std::string, Color> color;
+    std::map<std::string, std::string> parent;
+    for (const auto &[node, outs] : adj_)
+        color[node] = White;
+
+    for (const auto &[root, outs0] : adj_) {
+        if (color[root] != White)
+            continue;
+        std::vector<std::pair<std::string, bool>> stack;
+        stack.emplace_back(root, false);
+        while (!stack.empty()) {
+            auto [node, processed] = stack.back();
+            stack.pop_back();
+            if (processed) {
+                color[node] = Black;
+                continue;
+            }
+            if (color[node] == Black)
+                continue;
+            color[node] = Gray;
+            stack.emplace_back(node, true);
+            auto it = adj_.find(node);
+            if (it == adj_.end())
+                continue;
+            for (const auto &next : it->second) {
+                if (color[next] == Gray) {
+                    // Found a back edge: reconstruct the cycle.
+                    std::vector<std::string> cycle{next};
+                    std::string cur = node;
+                    while (cur != next) {
+                        cycle.push_back(cur);
+                        cur = parent[cur];
+                    }
+                    std::reverse(cycle.begin() + 1, cycle.end());
+                    // Rotate so the smallest name leads.
+                    auto smallest =
+                        std::min_element(cycle.begin(), cycle.end());
+                    std::rotate(cycle.begin(), smallest, cycle.end());
+                    return cycle;
+                }
+                if (color[next] == White) {
+                    parent[next] = node;
+                    stack.emplace_back(next, false);
+                }
+            }
+        }
+    }
+    return {};
+}
+
+} // namespace mtia

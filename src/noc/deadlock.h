@@ -1,0 +1,56 @@
+#ifndef MTIA_NOC_DEADLOCK_H_
+#define MTIA_NOC_DEADLOCK_H_
+
+/**
+ * @file
+ * Wait-for-graph deadlock detection. Section 5.5's production incident
+ * was a cyclic dependency spanning the Control Core, the NoC
+ * serialization point, and PCIe transaction ordering; this module
+ * provides the graph abstraction that both reproduces the incident
+ * and verifies its firmware mitigation.
+ */
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mtia {
+
+/**
+ * Directed wait-for graph between named agents; an edge a -> b means
+ * "a is blocked waiting for b to make progress".
+ */
+class WaitForGraph
+{
+  public:
+    /** Add a node (idempotent). */
+    void addAgent(const std::string &name);
+
+    /** Record that @p waiter is blocked on @p holder. */
+    void addWait(const std::string &waiter, const std::string &holder);
+
+    /** Remove a wait edge if present. */
+    void removeWait(const std::string &waiter, const std::string &holder);
+
+    /** True if any cycle (deadlock) exists. */
+    bool hasDeadlock() const;
+
+    /**
+     * One deadlock cycle as an ordered list of agent names (empty if
+     * none). The cycle starts at its lexicographically smallest node
+     * for deterministic reporting.
+     */
+    std::vector<std::string> findCycle() const;
+
+    std::size_t agentCount() const { return adj_.size(); }
+    std::size_t edgeCount() const;
+
+  private:
+    std::map<std::string, std::set<std::string>> adj_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_NOC_DEADLOCK_H_

@@ -1,0 +1,52 @@
+#include "noc/noc.h"
+
+namespace mtia {
+
+Tick
+NocModel::transferTime(Bytes bytes)
+{
+    const Bytes wire = cfg_.fragmenter.wireBytes(bytes);
+    ++stats_.transfers;
+    stats_.payload_bytes += bytes;
+    stats_.wire_bytes += wire;
+    return cfg_.start_latency +
+        transferTicks(wire, cfg_.bisection_bandwidth);
+}
+
+Tick
+NocModel::broadcastReadTime(Bytes bytes, unsigned readers)
+{
+    if (readers == 0)
+        return 0;
+    if (cfg_.broadcast_reads) {
+        // One fabric traversal serves every reader.
+        return transferTime(bytes);
+    }
+    // Each reader fetches its own copy; the copies serialize on the
+    // shared source port.
+    const Bytes wire = cfg_.fragmenter.wireBytes(bytes);
+    stats_.transfers += readers;
+    stats_.payload_bytes += bytes * readers;
+    stats_.wire_bytes += wire * readers;
+    stats_.redundant_bytes += wire * (readers - 1);
+    return cfg_.start_latency +
+        transferTicks(wire * readers, cfg_.bisection_bandwidth);
+}
+
+double
+NocModel::dramEdgeEfficiency(unsigned readers, bool coordinated) const
+{
+    if (coordinated && cfg_.broadcast_reads) {
+        // Decoupled activation/weight loading with broadcast reads
+        // presents one long sequential stream to the memory
+        // controller; only refresh and turnaround overheads remain.
+        return 0.97;
+    }
+    // Uncoordinated initiators interleave short reads at the memory
+    // controller; row-buffer and arbitration losses grow with the
+    // number of contending streams.
+    const double r = static_cast<double>(readers);
+    return 1.0 / (1.0 + 0.12 * r);
+}
+
+} // namespace mtia

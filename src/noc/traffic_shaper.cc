@@ -1,0 +1,72 @@
+#include "noc/traffic_shaper.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+TrafficShaper::TrafficShaper(BytesPerSec rate, Bytes burst)
+    : rate_(rate), burst_(burst), tokens_(static_cast<double>(burst))
+{
+    if (rate_ <= 0.0)
+        MTIA_FATAL("TrafficShaper: rate must be positive");
+    if (burst_ == 0)
+        MTIA_FATAL("TrafficShaper: burst must be positive");
+}
+
+double
+TrafficShaper::tokensAt(Tick now) const
+{
+    const double elapsed = toSeconds(now - std::min(now, last_));
+    return std::min(static_cast<double>(burst_),
+                    tokens_ + rate_ * elapsed);
+}
+
+Tick
+TrafficShaper::offer(Tick now, Bytes bytes)
+{
+    if (now < last_)
+        now = last_; // requests are processed in order
+    double avail = tokensAt(now);
+    Tick start = now;
+    const double need = static_cast<double>(bytes);
+    if (avail < need) {
+        const double deficit = need - avail;
+        start = now + fromSeconds(deficit / rate_);
+        avail = need;
+    }
+    last_ = start;
+    tokens_ = avail - need;
+    return start;
+}
+
+std::uint64_t
+PacketFragmenter::packetCount(Bytes bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    return (bytes + max_payload - 1) / max_payload;
+}
+
+Bytes
+PacketFragmenter::wireBytes(Bytes bytes) const
+{
+    return bytes + packetCount(bytes) * header_bytes;
+}
+
+std::vector<Bytes>
+PacketFragmenter::fragment(Bytes bytes) const
+{
+    std::vector<Bytes> out;
+    out.reserve(packetCount(bytes));
+    while (bytes > 0) {
+        const Bytes p = std::min(bytes, max_payload);
+        out.push_back(p);
+        bytes -= p;
+    }
+    return out;
+}
+
+} // namespace mtia

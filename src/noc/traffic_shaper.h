@@ -1,0 +1,73 @@
+#ifndef MTIA_NOC_TRAFFIC_SHAPER_H_
+#define MTIA_NOC_TRAFFIC_SHAPER_H_
+
+/**
+ * @file
+ * Source-side flow control for the NoC: leaky-bucket traffic shaping
+ * and packet fragmentation, which smooth bursts and prevent congestion
+ * (Section 3.1). Shapers are enforced at each initiator.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace mtia {
+
+/**
+ * Token-bucket (leaky-bucket) shaper: tokens accrue at @p rate bytes
+ * per second up to @p burst bytes; a transfer departs when enough
+ * tokens are available.
+ */
+class TrafficShaper
+{
+  public:
+    /**
+     * @param rate Sustained rate in bytes/sec.
+     * @param burst Bucket depth in bytes (max burst size).
+     */
+    TrafficShaper(BytesPerSec rate, Bytes burst);
+
+    /**
+     * Request to send @p bytes at time @p now.
+     * @return the earliest time the transfer may start; tokens are
+     * debited as of that time.
+     */
+    Tick offer(Tick now, Bytes bytes);
+
+    /** Tokens available at time @p now without sending. */
+    double tokensAt(Tick now) const;
+
+    BytesPerSec rate() const { return rate_; }
+    Bytes burst() const { return burst_; }
+
+  private:
+    BytesPerSec rate_;
+    Bytes burst_;
+    double tokens_;
+    Tick last_ = 0;
+};
+
+/**
+ * Fragment a message into NoC packets with a fixed maximum payload,
+ * as the hardware does to interleave initiators fairly.
+ */
+struct PacketFragmenter
+{
+    Bytes max_payload = 256;
+    Bytes header_bytes = 16;
+
+    /** Number of packets for a message of @p bytes. */
+    std::uint64_t packetCount(Bytes bytes) const;
+
+    /** Total wire bytes including per-packet headers. */
+    Bytes wireBytes(Bytes bytes) const;
+
+    /** Per-packet payload sizes for a message of @p bytes. */
+    std::vector<Bytes> fragment(Bytes bytes) const;
+};
+
+} // namespace mtia
+
+#endif // MTIA_NOC_TRAFFIC_SHAPER_H_

@@ -1,0 +1,322 @@
+#include "ops/attention_ops.h"
+
+#include <cmath>
+
+#include "pe/dpe.h"
+#include "pe/mlu.h"
+#include "pe/simd_engine.h"
+#include "sim/logging.h"
+
+namespace mtia {
+
+MhaOp::MhaOp(std::int64_t batch, std::int64_t seq, std::int64_t dim,
+             std::int64_t heads, DType dtype, std::uint64_t weight_seed)
+    : batch_(batch),
+      seq_(seq),
+      dim_(dim),
+      heads_(heads),
+      dtype_(dtype),
+      weight_seed_(weight_seed)
+{
+    if (dim_ % heads_ != 0)
+        MTIA_PANIC("MhaOp: dim must divide evenly into heads");
+}
+
+const std::vector<Tensor> &
+MhaOp::projections() const
+{
+    if (proj_.empty()) {
+        Rng rng(weight_seed_);
+        const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
+        for (int i = 0; i < 4; ++i) {
+            Tensor w(Shape{dim_, dim_}, dtype_);
+            w.fillGaussian(rng, 0.0f, scale);
+            proj_.push_back(std::move(w));
+        }
+    }
+    return proj_;
+}
+
+Tensor
+MhaOp::run(const std::vector<Tensor> &inputs, OpContext &ctx) const
+{
+    // [B, S*D] and [B*S, D] share a memory layout; normalize the view.
+    const Tensor x = MemoryLayoutUnit::reshape(
+        inputs[0], Shape{batch_ * seq_, dim_});
+    const auto &w = projections();
+    DotProductEngine dpe;
+    const Tensor q = dpe.gemm(x, w[0], dtype_);
+    const Tensor k = dpe.gemm(x, w[1], dtype_);
+    const Tensor v = dpe.gemm(x, w[2], dtype_);
+
+    const std::int64_t dh = dim_ / heads_;
+    const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+    Tensor attn_out(Shape{batch_ * seq_, dim_}, DType::FP32);
+
+    for (std::int64_t b = 0; b < batch_; ++b) {
+        for (std::int64_t h = 0; h < heads_; ++h) {
+            // Scores for this (batch, head): [S, S].
+            Tensor scores(Shape{seq_, seq_}, DType::FP32);
+            for (std::int64_t i = 0; i < seq_; ++i) {
+                for (std::int64_t j = 0; j < seq_; ++j) {
+                    double dot = 0.0;
+                    for (std::int64_t d = 0; d < dh; ++d) {
+                        dot += static_cast<double>(
+                                   q.at2(b * seq_ + i, h * dh + d)) *
+                            k.at2(b * seq_ + j, h * dh + d);
+                    }
+                    scores.set2(i, j,
+                                static_cast<float>(dot) * inv_sqrt);
+                }
+            }
+            // Row softmax through the (LUT) exp path.
+            for (std::int64_t i = 0; i < seq_; ++i) {
+                float mx = scores.at2(i, 0);
+                for (std::int64_t j = 1; j < seq_; ++j)
+                    mx = std::max(mx, scores.at2(i, j));
+                Tensor row(Shape{seq_}, DType::FP32);
+                for (std::int64_t j = 0; j < seq_; ++j)
+                    row.set(j, scores.at2(i, j) - mx);
+                const Tensor e = ctx.use_lut_simd
+                    ? SimdEngine().apply(Nonlinearity::Exp, row)
+                    : SimdEngine::applyExact(Nonlinearity::Exp, row);
+                double sum = 0.0;
+                for (std::int64_t j = 0; j < seq_; ++j)
+                    sum += e.at(j);
+                for (std::int64_t j = 0; j < seq_; ++j)
+                    scores.set2(i, j,
+                                static_cast<float>(e.at(j) / sum));
+            }
+            // Attention output A * V for this head.
+            for (std::int64_t i = 0; i < seq_; ++i) {
+                for (std::int64_t d = 0; d < dh; ++d) {
+                    double acc = 0.0;
+                    for (std::int64_t j = 0; j < seq_; ++j) {
+                        acc += static_cast<double>(scores.at2(i, j)) *
+                            v.at2(b * seq_ + j, h * dh + d);
+                    }
+                    attn_out.set2(b * seq_ + i, h * dh + d,
+                                  static_cast<float>(acc));
+                }
+            }
+        }
+    }
+    return MemoryLayoutUnit::reshape(dpe.gemm(attn_out, w[3], dtype_),
+                                     inputs[0].shape());
+}
+
+KernelTime
+MhaOp::cost(const KernelCostModel &km, const CostContext &ctx) const
+{
+    const std::int64_t rows = batch_ * seq_;
+    const std::int64_t dh = dim_ / heads_;
+    FcOptions fc_opt;
+    fc_opt.dtype = dtype_;
+    fc_opt.weights = ctx.weights;
+    fc_opt.activations = ctx.activations;
+    fc_opt.output = ctx.output;
+    fc_opt.include_launch = false; // composed below
+
+    KernelTime total;
+    total.launch = ctx.fused ? 0 : km.device().jobLaunchTime();
+    Tick sum = total.launch;
+
+    // QKV + output projections.
+    const KernelTime proj =
+        km.fc(FcShape{rows, dim_, dim_}, fc_opt);
+    sum += 4 * proj.total;
+
+    // Q*K^T and A*V, batched over (batch, head).
+    const KernelTime qk = km.fc(
+        FcShape{batch_ * heads_ * seq_, seq_, dh}, fc_opt);
+    sum += 2 * qk.total;
+
+    // Softmax over every score row.
+    const KernelTime sm =
+        km.softmax(batch_ * heads_ * seq_, seq_, false);
+    sum += sm.total;
+
+    // Head plumbing: Slice+Reshape+Concat chains for Q, K, V and the
+    // output, or a single custom transpose kernel.
+    const Bytes act_bytes = static_cast<Bytes>(rows) * dim_ * 2;
+    if (custom_transpose_) {
+        sum += km.simdOp(0, 0.0, act_bytes * 2, false).total;
+    } else {
+        for (int chain = 0; chain < 4; ++chain) {
+            // Three layout ops, each a separate (unfused) kernel.
+            for (int op = 0; op < 3; ++op)
+                sum += km.simdOp(0, 0.0, act_bytes * 2, true).total;
+        }
+    }
+
+    total.total = sum;
+    total.compute = sum - total.launch;
+    total.bottleneck = "composite";
+    return total;
+}
+
+Bytes
+MhaOp::weightBytes() const
+{
+    return static_cast<Bytes>(4) * dim_ * dim_ * dtypeSize(dtype_);
+}
+
+double
+MhaOp::flops() const
+{
+    const double rows = static_cast<double>(batch_) * seq_;
+    const double proj = 4.0 * 2.0 * rows * dim_ * dim_;
+    const double attn = 2.0 * 2.0 * batch_ * heads_ * seq_ * seq_ *
+        (dim_ / heads_);
+    return proj + attn;
+}
+
+RaggedAttentionOp::RaggedAttentionOp(std::int64_t batch,
+                                     double mean_history,
+                                     std::int64_t max_history,
+                                     std::int64_t dim,
+                                     std::int64_t heads,
+                                     std::int64_t bias_buckets,
+                                     std::uint64_t seed)
+    : batch_(batch),
+      mean_history_(mean_history),
+      max_history_(max_history),
+      dim_(dim),
+      heads_(heads),
+      bias_buckets_(bias_buckets),
+      seed_(seed)
+{
+    if (dim_ % heads_ != 0)
+        MTIA_PANIC("RaggedAttentionOp: dim must divide into heads");
+}
+
+float
+RaggedAttentionOp::biasFor(std::int64_t distance) const
+{
+    if (bias_table_.empty()) {
+        Rng rng(seed_);
+        bias_table_.resize(static_cast<std::size_t>(bias_buckets_));
+        for (auto &b : bias_table_)
+            b = static_cast<float>(rng.gaussian(0.0, 0.1));
+    }
+    // Logarithmic distance bucketing, as positional-bias tables use.
+    std::int64_t bucket = 0;
+    if (distance > 0) {
+        bucket = static_cast<std::int64_t>(
+            std::log2(static_cast<double>(distance)) * 8.0);
+    }
+    bucket = std::min(bucket, bias_buckets_ - 1);
+    return bias_table_[static_cast<std::size_t>(bucket)];
+}
+
+Tensor
+RaggedAttentionOp::run(const std::vector<Tensor> &inputs,
+                       OpContext &ctx) const
+{
+    // Input: [B, L, D] padded histories; causal ragged attention with
+    // a gathered relative-position bias, SiLU-gated as in HSTU.
+    const Tensor &x = inputs[0];
+    const std::int64_t l = x.shape().dim(1);
+    Tensor out(x.shape(), DType::FP32);
+    const std::int64_t dh = dim_ / heads_;
+    const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+    SimdEngine se;
+
+    for (std::int64_t b = 0; b < batch_; ++b) {
+        for (std::int64_t h = 0; h < heads_; ++h) {
+            for (std::int64_t i = 0; i < l; ++i) {
+                // Causal window: keys 0..i.
+                std::vector<float> score(
+                    static_cast<std::size_t>(i) + 1);
+                for (std::int64_t j = 0; j <= i; ++j) {
+                    double dot = 0.0;
+                    for (std::int64_t d = 0; d < dh; ++d) {
+                        dot += static_cast<double>(x.at(
+                                   (b * l + i) * dim_ + h * dh + d)) *
+                            x.at((b * l + j) * dim_ + h * dh + d);
+                    }
+                    score[static_cast<std::size_t>(j)] =
+                        static_cast<float>(dot) * inv_sqrt +
+                        biasFor(i - j);
+                }
+                // HSTU uses a pointwise SiLU gate rather than softmax.
+                for (auto &s : score) {
+                    s = ctx.use_lut_simd
+                        ? se.apply(Nonlinearity::Silu,
+                                   Tensor::fromFloats({s}, Shape{1}))
+                              .at(0)
+                        : nonlinearityExact(Nonlinearity::Silu, s);
+                }
+                for (std::int64_t d = 0; d < dh; ++d) {
+                    double acc = 0.0;
+                    for (std::int64_t j = 0; j <= i; ++j) {
+                        acc += static_cast<double>(
+                                   score[static_cast<std::size_t>(j)]) *
+                            x.at((b * l + j) * dim_ + h * dh + d);
+                    }
+                    out.set((b * l + i) * dim_ + h * dh + d,
+                            static_cast<float>(
+                                acc / static_cast<double>(i + 1)));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+KernelTime
+RaggedAttentionOp::cost(const KernelCostModel &km,
+                        const CostContext &ctx) const
+{
+    // Ragged execution works on true history lengths (expected value
+    // E), not the padded maximum: that is the point of jagged tensors.
+    const auto e = static_cast<std::int64_t>(mean_history_);
+    const std::int64_t dh = dim_ / heads_;
+    FcOptions fc_opt;
+    fc_opt.weights = Placement::Lls;
+    fc_opt.activations = ctx.activations;
+    fc_opt.output = ctx.output;
+    fc_opt.include_launch = false;
+
+    KernelTime total;
+    total.launch = ctx.fused ? 0 : km.device().jobLaunchTime();
+    Tick sum = total.launch;
+
+    // Q*K^T and (gated scores)*V over causal windows: ~E^2/2 each.
+    const KernelTime qk = km.fc(
+        FcShape{batch_ * heads_ * e, e / 2 + 1, dh}, fc_opt);
+    sum += 2 * qk.total;
+
+    // Bias: index computation on the RISC-V vector core plus the
+    // piecewise LUT gather. The limited LUT memory forces the bias
+    // table in segments: charge 3 SIMD ops per score plus a reload
+    // pass of traffic.
+    const std::int64_t scores = batch_ * heads_ * e * (e / 2 + 1);
+    sum += km.simdOp(scores, 3.0, static_cast<Bytes>(scores) * 2,
+                     false)
+               .total;
+
+    // SiLU gating of the scores.
+    sum += km.simdOp(scores, 1.0, 0, false).total;
+
+    total.total = sum;
+    total.compute = sum - total.launch;
+    total.bottleneck = "composite";
+    return total;
+}
+
+Bytes
+RaggedAttentionOp::weightBytes() const
+{
+    return static_cast<Bytes>(bias_buckets_) * 4;
+}
+
+double
+RaggedAttentionOp::flops() const
+{
+    const double e = mean_history_;
+    return 2.0 * 2.0 * batch_ * heads_ * e * (e / 2.0) *
+        (dim_ / heads_);
+}
+
+} // namespace mtia

@@ -1,0 +1,445 @@
+#include "ops/dense_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pe/dpe.h"
+#include "pe/mlu.h"
+#include "sim/logging.h"
+#include "tensor/quantize.h"
+
+namespace mtia {
+
+namespace {
+
+const SimdEngine &
+sharedSimd()
+{
+    static const SimdEngine engine;
+    return engine;
+}
+
+Tensor
+applyNonlinearity(Nonlinearity f, const Tensor &x, bool use_lut)
+{
+    return use_lut ? sharedSimd().apply(f, x)
+                   : SimdEngine::applyExact(f, x);
+}
+
+} // namespace
+
+Tensor
+InputOp::run(const std::vector<Tensor> &, OpContext &ctx) const
+{
+    Tensor t(shape_, DType::FP32);
+    if (ctx.rng != nullptr)
+        t.fillGaussian(*ctx.rng);
+    return t;
+}
+
+FullyConnectedOp::FullyConnectedOp(std::int64_t batch,
+                                   std::int64_t in_features,
+                                   std::int64_t out_features, DType dtype,
+                                   bool has_activation,
+                                   Nonlinearity activation,
+                                   std::uint64_t weight_seed)
+    : shape_{batch, out_features, in_features},
+      dtype_(dtype),
+      has_activation_(has_activation),
+      activation_(activation),
+      weight_seed_(weight_seed)
+{
+}
+
+const Tensor &
+FullyConnectedOp::weights() const
+{
+    if (weights_.raw().empty()) {
+        Rng rng(weight_seed_);
+        weights_ = Tensor(Shape{shape_.k, shape_.n}, dtype_);
+        // Xavier-ish init keeps activations in a sane range through
+        // deep stacks.
+        const float scale =
+            1.0f / std::sqrt(static_cast<float>(shape_.k));
+        weights_.fillGaussian(rng, 0.0f, scale);
+    }
+    return weights_;
+}
+
+Shape
+FullyConnectedOp::outputShape(const std::vector<Shape> &inputs) const
+{
+    if (inputs.size() != 1 || inputs[0].rank() != 2 ||
+        inputs[0].dim(1) != shape_.k) {
+        MTIA_PANIC("fc: bad input shape");
+    }
+    return Shape{inputs[0].dim(0), shape_.n};
+}
+
+Tensor
+FullyConnectedOp::run(const std::vector<Tensor> &inputs,
+                      OpContext &ctx) const
+{
+    DotProductEngine dpe;
+    Tensor out = dpe.gemm(inputs[0], weights(), dtype_);
+    if (has_activation_)
+        out = applyNonlinearity(activation_, out, ctx.use_lut_simd);
+    return out;
+}
+
+KernelTime
+FullyConnectedOp::cost(const KernelCostModel &km,
+                       const CostContext &ctx) const
+{
+    FcOptions opt;
+    opt.dtype = ctx.dynamic_int8 ? DType::INT8 : dtype_;
+    opt.dynamic_int8 = ctx.dynamic_int8;
+    opt.sparse_24 = ctx.sparse_24;
+    opt.weights = ctx.weights;
+    opt.activations = ctx.activations;
+    opt.output = ctx.output;
+    opt.coordinated_loading = ctx.coordinated_loading;
+    opt.include_launch = !ctx.fused;
+    KernelTime t = km.fc(shape_, opt);
+    if (has_activation_) {
+        // Fused activation rides the SIMD engine as results stream
+        // out of the reduction engine: it overlaps, costing only when
+        // it exceeds the residual SIMD capacity. Approximate as a
+        // small additive term.
+        const KernelTime act = km.simdOp(
+            shape_.m * shape_.n, 1.0, 0, /*include_launch=*/false);
+        t.total += act.total / 4;
+    }
+    return t;
+}
+
+Bytes
+FullyConnectedOp::weightBytes() const
+{
+    return shape_.weightBytes(dtype_);
+}
+
+double
+FullyConnectedOp::flops() const
+{
+    return shape_.flops();
+}
+
+std::string
+FullyConnectedOp::toString() const
+{
+    return "fc:" + shape_.toString();
+}
+
+Tensor
+ActivationOp::run(const std::vector<Tensor> &inputs, OpContext &ctx) const
+{
+    return applyNonlinearity(fn_, inputs[0], ctx.use_lut_simd);
+}
+
+KernelTime
+ActivationOp::cost(const KernelCostModel &km, const CostContext &ctx) const
+{
+    const std::int64_t n = shape_.numel();
+    return km.simdOp(n, 1.0, static_cast<Bytes>(n) * 4, !ctx.fused,
+                     ctx.activations);
+}
+
+Shape
+LayerNormOp::outputShape(const std::vector<Shape> &inputs) const
+{
+    if (instances_ == 1)
+        return inputs.at(0);
+    return Shape{rows_, cols_ * instances_};
+}
+
+Tensor
+LayerNormOp::run(const std::vector<Tensor> &inputs, OpContext &) const
+{
+    auto normalize = [&](const Tensor &x, Tensor &out,
+                         std::int64_t col_off) {
+        const std::int64_t rows = x.shape().dim(0);
+        const std::int64_t cols = x.shape().dim(1);
+        for (std::int64_t r = 0; r < rows; ++r) {
+            double mean = 0.0;
+            for (std::int64_t c = 0; c < cols; ++c)
+                mean += x.at2(r, c);
+            mean /= static_cast<double>(cols);
+            double var = 0.0;
+            for (std::int64_t c = 0; c < cols; ++c) {
+                const double d = x.at2(r, c) - mean;
+                var += d * d;
+            }
+            var /= static_cast<double>(cols);
+            const double inv = 1.0 / std::sqrt(var + 1e-5);
+            for (std::int64_t c = 0; c < cols; ++c) {
+                out.set2(r, col_off + c,
+                         static_cast<float>((x.at2(r, c) - mean) * inv));
+            }
+        }
+    };
+
+    if (instances_ == 1) {
+        Tensor out(inputs[0].shape(), DType::FP32);
+        normalize(inputs[0], out, 0);
+        return out;
+    }
+    Tensor out(Shape{rows_, cols_ * instances_}, DType::FP32);
+    for (std::int64_t i = 0; i < instances_; ++i)
+        normalize(inputs[static_cast<std::size_t>(i)], out, i * cols_);
+    return out;
+}
+
+KernelTime
+LayerNormOp::cost(const KernelCostModel &km, const CostContext &ctx) const
+{
+    // One launch regardless of how many instances are batched in:
+    // this is precisely the horizontal-batching win.
+    return km.layerNorm(rows_ * instances_, cols_, !ctx.fused,
+                        ctx.activations);
+}
+
+Tensor
+SoftmaxOp::run(const std::vector<Tensor> &inputs, OpContext &ctx) const
+{
+    const Tensor &x = inputs[0];
+    Tensor out(x.shape(), DType::FP32);
+    for (std::int64_t r = 0; r < rows_; ++r) {
+        float mx = x.at2(r, 0);
+        for (std::int64_t c = 1; c < cols_; ++c)
+            mx = std::max(mx, x.at2(r, c));
+        // exp through the (LUT) SIMD path on the shifted values.
+        Tensor shifted(Shape{cols_}, DType::FP32);
+        for (std::int64_t c = 0; c < cols_; ++c)
+            shifted.set(c, x.at2(r, c) - mx);
+        const Tensor e =
+            applyNonlinearity(Nonlinearity::Exp, shifted,
+                              ctx.use_lut_simd);
+        double sum = 0.0;
+        for (std::int64_t c = 0; c < cols_; ++c)
+            sum += e.at(c);
+        for (std::int64_t c = 0; c < cols_; ++c)
+            out.set2(r, c, static_cast<float>(e.at(c) / sum));
+    }
+    return out;
+}
+
+KernelTime
+SoftmaxOp::cost(const KernelCostModel &km, const CostContext &ctx) const
+{
+    return km.softmax(rows_, cols_, !ctx.fused, ctx.activations);
+}
+
+Tensor
+ElementwiseOp::run(const std::vector<Tensor> &inputs, OpContext &) const
+{
+    const Tensor &a = inputs[0];
+    const Tensor &b = inputs[1];
+    Tensor out(a.shape(), DType::FP32);
+    const std::int64_t n = a.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        out.set(i, op_ == Kind::Add ? a.at(i) + b.at(i)
+                                    : a.at(i) * b.at(i));
+    }
+    return out;
+}
+
+KernelTime
+ElementwiseOp::cost(const KernelCostModel &km, const CostContext &ctx) const
+{
+    const std::int64_t n = shape_.numel();
+    return km.simdOp(n, 1.0, static_cast<Bytes>(n) * 3 * 2, !ctx.fused,
+                     ctx.activations);
+}
+
+Tensor
+TransposeOp::run(const std::vector<Tensor> &inputs, OpContext &) const
+{
+    return MemoryLayoutUnit::transpose(inputs[0]);
+}
+
+KernelTime
+TransposeOp::cost(const KernelCostModel &km, const CostContext &ctx) const
+{
+    // Pure data movement: read + write every element.
+    const std::int64_t n = in_.numel();
+    return km.simdOp(0, 0.0, static_cast<Bytes>(n) * 2 * 2, !ctx.fused,
+                     ctx.activations);
+}
+
+ConcatOp::ConcatOp(std::vector<Shape> inputs, int axis)
+    : inputs_(std::move(inputs)), axis_(axis)
+{
+    if (inputs_.empty())
+        MTIA_PANIC("concat: no inputs");
+    std::int64_t rows = inputs_[0].dim(0);
+    std::int64_t cols = inputs_[0].dim(1);
+    for (std::size_t i = 1; i < inputs_.size(); ++i) {
+        if (axis_ == 0)
+            rows += inputs_[i].dim(0);
+        else
+            cols += inputs_[i].dim(1);
+    }
+    out_ = Shape{rows, cols};
+}
+
+Tensor
+ConcatOp::run(const std::vector<Tensor> &inputs, OpContext &) const
+{
+    return MemoryLayoutUnit::concat(inputs, axis_);
+}
+
+KernelTime
+ConcatOp::cost(const KernelCostModel &km, const CostContext &ctx) const
+{
+    const std::int64_t n = out_.numel();
+    return km.simdOp(0, 0.0, static_cast<Bytes>(n) * 2 * 2, !ctx.fused,
+                     ctx.activations);
+}
+
+Tensor
+BroadcastOp::run(const std::vector<Tensor> &inputs, OpContext &) const
+{
+    const Tensor &x = inputs[0];
+    const std::int64_t rows = x.shape().dim(0);
+    const std::int64_t cols = x.shape().dim(1);
+    Tensor out(Shape{rows * factor_, cols}, x.dtype());
+    for (std::int64_t f = 0; f < factor_; ++f)
+        for (std::int64_t r = 0; r < rows; ++r)
+            for (std::int64_t c = 0; c < cols; ++c)
+                out.set2(f * rows + r, c, x.at2(r, c));
+    return out;
+}
+
+KernelTime
+BroadcastOp::cost(const KernelCostModel &km, const CostContext &ctx) const
+{
+    // Writes factor copies of the input.
+    const std::int64_t n = in_.numel();
+    return km.simdOp(0, 0.0,
+                     static_cast<Bytes>(n) * (1 + factor_) * 2,
+                     !ctx.fused, ctx.activations);
+}
+
+Tensor
+InteractionOp::run(const std::vector<Tensor> &inputs, OpContext &) const
+{
+    const Tensor &x = inputs[0]; // [B, F, D]
+    Tensor out(Shape{batch_, features_ * (features_ - 1) / 2},
+               DType::FP32);
+    for (std::int64_t b = 0; b < batch_; ++b) {
+        std::int64_t slot = 0;
+        for (std::int64_t i = 0; i < features_; ++i) {
+            for (std::int64_t j = i + 1; j < features_; ++j) {
+                double dot = 0.0;
+                for (std::int64_t d = 0; d < dim_; ++d) {
+                    dot += static_cast<double>(
+                               x.at((b * features_ + i) * dim_ + d)) *
+                        x.at((b * features_ + j) * dim_ + d);
+                }
+                out.set2(b, slot++, static_cast<float>(dot));
+            }
+        }
+    }
+    return out;
+}
+
+KernelTime
+InteractionOp::cost(const KernelCostModel &km, const CostContext &ctx) const
+{
+    // Implemented as a batched X * X^T GEMM on the DPE.
+    FcOptions opt;
+    opt.weights = Placement::Lls; // the "weights" are activations here
+    opt.activations = ctx.activations;
+    opt.output = ctx.output;
+    opt.include_launch = !ctx.fused;
+    const FcShape shape{batch_ * features_, features_, dim_};
+    return km.fc(shape, opt);
+}
+
+FusedTransposeFcOp::FusedTransposeFcOp(Shape input,
+                                       std::vector<std::int64_t>
+                                           out_features,
+                                       DType dtype,
+                                       std::uint64_t weight_seed)
+    : input_(std::move(input)),
+      out_features_(std::move(out_features)),
+      dtype_(dtype),
+      weight_seed_(weight_seed)
+{
+    if (out_features_.empty())
+        MTIA_PANIC("fused-transpose-fc: no branches");
+}
+
+Shape
+FusedTransposeFcOp::outputShape(const std::vector<Shape> &) const
+{
+    std::int64_t total = 0;
+    for (std::int64_t n : out_features_)
+        total += n;
+    return Shape{input_.dim(1), total}; // transposed rows become batch
+}
+
+Tensor
+FusedTransposeFcOp::run(const std::vector<Tensor> &inputs,
+                        OpContext &) const
+{
+    const Tensor xt = MemoryLayoutUnit::transpose(inputs[0]);
+    if (weights_.empty()) {
+        Rng rng(weight_seed_);
+        for (std::int64_t n : out_features_) {
+            Tensor w(Shape{input_.dim(0), n}, dtype_);
+            const float scale =
+                1.0f / std::sqrt(static_cast<float>(input_.dim(0)));
+            w.fillGaussian(rng, 0.0f, scale);
+            weights_.push_back(std::move(w));
+        }
+    }
+    DotProductEngine dpe;
+    std::vector<Tensor> outs;
+    outs.reserve(weights_.size());
+    for (const Tensor &w : weights_)
+        outs.push_back(dpe.gemm(xt, w, dtype_));
+    return MemoryLayoutUnit::concat(outs, 1);
+}
+
+KernelTime
+FusedTransposeFcOp::cost(const KernelCostModel &km,
+                         const CostContext &ctx) const
+{
+    // One launch; the transpose is folded into the activation stream
+    // (read once instead of once per branch), and the branch GEMMs
+    // share the staged input.
+    std::int64_t total_n = 0;
+    for (std::int64_t n : out_features_)
+        total_n += n;
+    FcOptions opt;
+    opt.dtype = dtype_;
+    opt.weights = ctx.weights;
+    opt.activations = ctx.activations;
+    opt.output = ctx.output;
+    opt.include_launch = !ctx.fused;
+    const FcShape shape{input_.dim(1), total_n, input_.dim(0)};
+    return km.fc(shape, opt);
+}
+
+Bytes
+FusedTransposeFcOp::weightBytes() const
+{
+    Bytes total = 0;
+    for (std::int64_t n : out_features_)
+        total += static_cast<Bytes>(input_.dim(0)) * n *
+            dtypeSize(dtype_);
+    return total;
+}
+
+double
+FusedTransposeFcOp::flops() const
+{
+    double total = 0.0;
+    for (std::int64_t n : out_features_)
+        total += 2.0 * input_.dim(1) * n * input_.dim(0);
+    return total;
+}
+
+} // namespace mtia

@@ -1,0 +1,6 @@
+#include "ops/op.h"
+
+// Currently header-only; this translation unit anchors the vtable.
+
+namespace mtia {
+} // namespace mtia

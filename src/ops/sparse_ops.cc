@@ -1,0 +1,167 @@
+#include "ops/sparse_ops.h"
+
+#include <cmath>
+
+#include "mem/llc.h"
+#include "sim/logging.h"
+
+namespace mtia {
+
+namespace {
+
+/** splitmix-style hash for deterministic pseudo-weights. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+TbeOp::TbeOp(TbeTableSpec spec, std::int64_t batch, std::int64_t pooling,
+             bool weighted, std::uint64_t table_seed)
+    : spec_(spec),
+      batch_(batch),
+      pooling_(pooling),
+      weighted_(weighted),
+      table_seed_(table_seed)
+{
+    if (spec_.tables <= 0 || batch_ <= 0 || pooling_ <= 0)
+        MTIA_PANIC("TbeOp: non-positive dimensions");
+}
+
+float
+TbeOp::rowValue(std::int64_t table, std::int64_t row,
+                std::int64_t col) const
+{
+    const std::uint64_t h = mix(
+        table_seed_ ^ mix(static_cast<std::uint64_t>(table) << 40) ^
+        mix(static_cast<std::uint64_t>(row) << 8) ^
+        static_cast<std::uint64_t>(col));
+    // Map to roughly N(0, 0.1): embeddings are small-magnitude.
+    const double u =
+        static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+    return static_cast<float>(u * 0.17);
+}
+
+Tensor
+TbeOp::run(const std::vector<Tensor> &, OpContext &ctx) const
+{
+    if (ctx.rng == nullptr)
+        MTIA_PANIC("TbeOp::run: needs an rng for index sampling");
+    ZipfSampler zipf(static_cast<std::uint64_t>(spec_.rows_per_table),
+                     spec_.zipf_alpha);
+    Tensor out(Shape{batch_, spec_.tables * spec_.dim}, DType::FP32);
+    for (std::int64_t b = 0; b < batch_; ++b) {
+        for (std::int64_t t = 0; t < spec_.tables; ++t) {
+            for (std::int64_t p = 0; p < pooling_; ++p) {
+                const auto row = static_cast<std::int64_t>(
+                    zipf.sample(*ctx.rng));
+                const float w = weighted_
+                    ? static_cast<float>(ctx.rng->uniform(0.5, 1.5))
+                    : 1.0f;
+                for (std::int64_t d = 0; d < spec_.dim; ++d) {
+                    const std::int64_t idx =
+                        b * spec_.tables * spec_.dim + t * spec_.dim + d;
+                    out.set(idx, out.at(idx) +
+                                     w * rowValue(t, row, d));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+double
+TbeOp::expectedHitRate(Bytes llc_bytes) const
+{
+    const Bytes row_bytes =
+        static_cast<Bytes>(spec_.dim) * dtypeSize(spec_.dtype);
+    const std::uint64_t cache_rows = llc_bytes / row_bytes;
+    // Tables share the cache; model them as one popularity universe.
+    const std::uint64_t universe = static_cast<std::uint64_t>(
+        spec_.tables * spec_.rows_per_table);
+    const std::uint64_t per_table_cache =
+        std::min<std::uint64_t>(cache_rows, universe);
+    return zipfLruHitRate(per_table_cache, universe, spec_.zipf_alpha);
+}
+
+KernelTime
+TbeOp::cost(const KernelCostModel &km, const CostContext &ctx) const
+{
+    TbeShape shape;
+    shape.tables = spec_.tables;
+    shape.batch = batch_;
+    shape.pooling = pooling_;
+    shape.dim = spec_.dim;
+    shape.dtype = spec_.dtype;
+    TbeOptions opt;
+    opt.sram_hit_rate = ctx.tbe_hit_rate;
+    opt.weighted = weighted_;
+    opt.include_launch = !ctx.fused;
+    return km.tbe(shape, opt);
+}
+
+double
+TbeOp::flops() const
+{
+    return static_cast<double>(spec_.tables) * batch_ * pooling_ *
+        spec_.dim * (weighted_ ? 2.0 : 1.0);
+}
+
+std::string
+TbeOp::toString() const
+{
+    return std::string("tbe:") + (weighted_ ? "w" : "u") + ":" +
+        std::to_string(spec_.tables) + "x" + std::to_string(batch_) +
+        "x" + std::to_string(pooling_) + "x" +
+        std::to_string(spec_.dim);
+}
+
+SequenceTbeOp::SequenceTbeOp(TbeTableSpec spec, std::int64_t batch,
+                             double mean_history,
+                             std::int64_t max_history,
+                             std::uint64_t seed)
+    : spec_(spec),
+      batch_(batch),
+      mean_history_(mean_history),
+      max_history_(max_history),
+      seed_(seed)
+{
+}
+
+Tensor
+SequenceTbeOp::run(const std::vector<Tensor> &, OpContext &ctx) const
+{
+    if (ctx.rng == nullptr)
+        MTIA_PANIC("SequenceTbeOp::run: needs an rng");
+    const JaggedTensor hist = JaggedTensor::randomHistory(
+        *ctx.rng, batch_, spec_.dim, mean_history_, max_history_);
+    return hist.toDense(max_history_);
+}
+
+KernelTime
+SequenceTbeOp::cost(const KernelCostModel &km,
+                    const CostContext &ctx) const
+{
+    // Expected events: mean history per item, one row each, no pool.
+    TbeShape shape;
+    shape.tables = 1;
+    shape.batch = batch_;
+    shape.pooling =
+        std::max<std::int64_t>(1,
+                               static_cast<std::int64_t>(mean_history_));
+    shape.dim = spec_.dim;
+    shape.dtype = spec_.dtype;
+    TbeOptions opt;
+    opt.sram_hit_rate = ctx.tbe_hit_rate;
+    opt.include_launch = !ctx.fused;
+    return km.tbe(shape, opt);
+}
+
+} // namespace mtia

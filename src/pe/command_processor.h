@@ -1,0 +1,117 @@
+#ifndef MTIA_PE_COMMAND_PROCESSOR_H_
+#define MTIA_PE_COMMAND_PROCESSOR_H_
+
+/**
+ * @file
+ * Command Processor: orchestrates the fixed-function units. Exposes
+ * the hardware-managed Circular Buffer abstraction over Local Memory
+ * and models the custom-instruction issue path whose bottleneck
+ * motivated the Section 3.3 ISA additions (multi-context GEMM
+ * instructions, auto-increment offsets, indexed DMA_IN, and 128-row
+ * SIMD accumulation).
+ */
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace mtia {
+
+/**
+ * The hardware circular-buffer abstraction: a ring of fixed-size
+ * slots in Local Memory whose producer/consumer credits the CP tracks
+ * on behalf of the programmer.
+ */
+class CircularBuffer
+{
+  public:
+    CircularBuffer(unsigned slots, Bytes slot_bytes);
+
+    unsigned slots() const { return slots_; }
+    Bytes slotBytes() const { return slot_bytes_; }
+    Bytes footprint() const { return slots_ * slot_bytes_; }
+
+    unsigned occupied() const { return occupied_; }
+    bool full() const { return occupied_ == slots_; }
+    bool empty() const { return occupied_ == 0; }
+
+    /** Producer pushes one slot; returns false (stall) when full. */
+    bool push();
+
+    /** Consumer pops one slot; returns false (stall) when empty. */
+    bool pop();
+
+    std::uint64_t producerStalls() const { return producer_stalls_; }
+    std::uint64_t consumerStalls() const { return consumer_stalls_; }
+
+  private:
+    unsigned slots_;
+    Bytes slot_bytes_;
+    unsigned occupied_ = 0;
+    unsigned head_ = 0;
+    unsigned tail_ = 0;
+    std::uint64_t producer_stalls_ = 0;
+    std::uint64_t consumer_stalls_ = 0;
+};
+
+/** ISA feature set of the custom-instruction path. MTIA 1 lacks all
+ * of these; MTIA 2i adds them to unblock the issue bottleneck. */
+struct IsaFeatures
+{
+    bool multi_context = true;   ///< avoid re-writing custom registers
+    bool auto_increment = true;  ///< address bump folded into the issue
+    bool indexed_dma = true;     ///< DMA_IN computes address from index
+    bool unaligned_dma = true;   ///< no software alignment fix-up
+    unsigned accum_rows = 128;   ///< rows per SIMD accumulation instr
+
+    /** The MTIA 1-era baseline. */
+    static IsaFeatures
+    mtia1()
+    {
+        return {false, false, false, false, 32};
+    }
+};
+
+/**
+ * Issue-path model: counts the custom instructions (plus per-
+ * instruction scalar-core overhead cycles) a kernel needs, which
+ * bounds throughput for small shapes and sparse operators.
+ */
+class CommandProcessor
+{
+  public:
+    explicit CommandProcessor(IsaFeatures features = {})
+        : features_(features) {}
+
+    const IsaFeatures &features() const { return features_; }
+
+    /**
+     * Custom instructions to run an M x N x K GEMM on one PE given
+     * 32-wide tiling. Without multi-context every tile re-writes the
+     * context registers; without auto-increment every K-step issues
+     * an extra offset update.
+     */
+    std::uint64_t gemmInstructions(std::int64_t m, std::int64_t n,
+                                   std::int64_t k) const;
+
+    /**
+     * Custom instructions for a TBE kernel fetching @p rows embedding
+     * rows and pooling them: a DMA_IN per row (plus address-compute
+     * overhead without indexed DMA, plus fix-up without unaligned
+     * support) and one accumulation instruction per accum_rows rows.
+     */
+    std::uint64_t tbeInstructions(std::uint64_t rows) const;
+
+    /** Scalar-core cycles to issue one custom instruction. */
+    double cyclesPerIssue() const;
+
+    /** Time to issue @p instructions at clock @p ghz. */
+    Tick issueTime(std::uint64_t instructions, double ghz) const;
+
+  private:
+    IsaFeatures features_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_PE_COMMAND_PROCESSOR_H_

@@ -1,0 +1,97 @@
+#include "pe/dpe.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+Tensor
+DotProductEngine::gemm(const Tensor &a, const Tensor &b,
+                       DType compute_dtype) const
+{
+    if (a.shape().rank() != 2 || b.shape().rank() != 2)
+        MTIA_PANIC("DPE::gemm: expected rank-2 operands");
+    const std::int64_t m = a.shape().dim(0);
+    const std::int64_t k = a.shape().dim(1);
+    const std::int64_t k2 = b.shape().dim(0);
+    const std::int64_t n = b.shape().dim(1);
+    if (k != k2)
+        MTIA_PANIC("DPE::gemm: inner dims mismatch: ", k, " vs ", k2);
+
+    Tensor c(Shape{m, n}, DType::FP32);
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            float acc = 0.0f; // FP32 accumulator, as in the MAC array
+            for (std::int64_t x = 0; x < k; ++x) {
+                const float av = roundTrip(a.at2(i, x), compute_dtype);
+                const float bv = roundTrip(b.at2(x, j), compute_dtype);
+                acc += av * bv;
+            }
+            c.set2(i, j, acc);
+        }
+    }
+    return c;
+}
+
+Tensor
+DotProductEngine::gemmInt8(const QuantizedTensor &a,
+                           const QuantizedTensor &b) const
+{
+    const std::int64_t m = a.values.shape().dim(0);
+    const std::int64_t k = a.values.shape().dim(1);
+    if (b.values.shape().dim(0) != k)
+        MTIA_PANIC("DPE::gemmInt8: inner dims mismatch");
+    const std::int64_t n = b.values.shape().dim(1);
+
+    Tensor c(Shape{m, n}, DType::FP32);
+    for (std::int64_t i = 0; i < m; ++i) {
+        const float sa = a.scaleFor(i);
+        for (std::int64_t j = 0; j < n; ++j) {
+            std::int64_t acc = 0; // INT32 accumulation path
+            for (std::int64_t x = 0; x < k; ++x) {
+                const auto av =
+                    static_cast<std::int64_t>(a.values.at2(i, x));
+                const auto bv =
+                    static_cast<std::int64_t>(b.values.at2(x, j));
+                acc += av * bv;
+            }
+            // Weights are quantized per-tensor (group_rows == rows),
+            // so any row's scale is the tensor scale.
+            const float sb = b.scales[0];
+            c.set2(i, j, static_cast<float>(acc) * sa * sb);
+        }
+    }
+    return c;
+}
+
+double
+DotProductEngine::shapeUtilization(std::int64_t m, std::int64_t n,
+                                   std::int64_t k) const
+{
+    auto fill = [](std::int64_t d, std::int64_t tile) {
+        const std::int64_t padded = (d + tile - 1) / tile * tile;
+        return static_cast<double>(d) / static_cast<double>(padded);
+    };
+    const auto rows = static_cast<std::int64_t>(cfg_.tile_rows);
+    const auto depth = static_cast<std::int64_t>(cfg_.tile_depth);
+    // M streams through the array (no tile quantization), N and K pad
+    // to tile boundaries. Very small M still wastes pipeline ramp.
+    const double m_fill =
+        m >= rows ? 1.0 : static_cast<double>(m) / static_cast<double>(rows);
+    return m_fill * fill(n, rows) * fill(k, depth);
+}
+
+double
+DotProductEngine::peakFlops(double ghz, DType dtype, bool sparse_24) const
+{
+    double flops = 2.0 * static_cast<double>(cfg_.macsPerCycle()) *
+        ghz * 1e9;
+    if (dtype == DType::INT8)
+        flops *= 2.0;
+    if (sparse_24)
+        flops *= 2.0;
+    return flops;
+}
+
+} // namespace mtia

@@ -1,0 +1,84 @@
+#ifndef MTIA_PE_DPE_H_
+#define MTIA_PE_DPE_H_
+
+/**
+ * @file
+ * Dot Product Engine: the per-PE GEMM unit. Two 32 x 32B x 32
+ * multiply-accumulate tiles deliver 2.76 TFLOPS/s per PE for FP16/BF16
+ * inputs with FP32 accumulation, plus 2x throughput for INT8 and for
+ * 2:4-sparse weights. The first operand is cached inside the engine
+ * while the second streams from Local Memory.
+ *
+ * This class provides both the functional GEMM (real arithmetic with
+ * dtype rounding, used by the operator executor and the numerics
+ * experiments) and the shape-utilization model used for timing.
+ */
+
+#include <cstdint>
+
+#include "tensor/quantize.h"
+#include "tensor/tensor.h"
+
+namespace mtia {
+
+/** Static DPE parameters (per PE). */
+struct DpeConfig
+{
+    unsigned mac_tiles = 2;        ///< number of 32x32B x 32 MAC tiles
+    unsigned tile_rows = 32;       ///< tile M/N extent
+    unsigned tile_depth = 32;      ///< tile K extent
+    /** MACs each tile retires per cycle; 512 calibrates the per-PE
+     * peak to Table 2's 2.76 TFLOPS/s FP16 at 1.35 GHz. */
+    unsigned tile_macs_per_cycle = 512;
+
+    /** MACs retired per cycle across all tiles. */
+    std::uint64_t
+    macsPerCycle() const
+    {
+        return static_cast<std::uint64_t>(mac_tiles) *
+            tile_macs_per_cycle;
+    }
+};
+
+/** The per-PE GEMM engine. */
+class DotProductEngine
+{
+  public:
+    explicit DotProductEngine(DpeConfig cfg = {}) : cfg_(cfg) {}
+
+    const DpeConfig &config() const { return cfg_; }
+
+    /**
+     * Functional GEMM: C[M,N] = A[M,K] * B[K,N] with both inputs
+     * rounded through @p compute_dtype and FP32 accumulation, exactly
+     * as the MAC array computes.
+     */
+    Tensor gemm(const Tensor &a, const Tensor &b,
+                DType compute_dtype = DType::FP16) const;
+
+    /**
+     * INT8 GEMM with row-wise dynamically quantized activations and
+     * statically quantized weights; INT32 accumulation, FP32
+     * dequantized output (the Section 4.4 datapath).
+     */
+    Tensor gemmInt8(const QuantizedTensor &a,
+                    const QuantizedTensor &b) const;
+
+    /**
+     * MAC-array utilization for an M x N x K GEMM: dimensions that do
+     * not fill whole 32-wide tiles waste lanes.
+     */
+    double shapeUtilization(std::int64_t m, std::int64_t n,
+                            std::int64_t k) const;
+
+    /** FLOPS (2 * MACs/cycle) per second at clock @p ghz, with the
+     * INT8 and 2:4-sparsity multipliers applied. */
+    double peakFlops(double ghz, DType dtype, bool sparse_24) const;
+
+  private:
+    DpeConfig cfg_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_PE_DPE_H_

@@ -1,0 +1,29 @@
+#include "pe/fabric_interface.h"
+
+#include <algorithm>
+
+namespace mtia {
+
+Tick
+FabricInterface::transferTime(Bytes bytes,
+                              BytesPerSec space_bandwidth) const
+{
+    const BytesPerSec bw =
+        std::min(cfg_.noc_bandwidth, space_bandwidth);
+    return cfg_.descriptor_latency + transferTicks(bytes, bw);
+}
+
+Tick
+FabricInterface::dramReadTime(Bytes bytes, BytesPerSec dram_bw,
+                              BytesPerSec sram_bw) const
+{
+    const Tick dram_leg = transferTicks(bytes, dram_bw);
+    const Tick sram_leg = transferTime(bytes, sram_bw);
+    if (cfg_.prefetch) {
+        // Staged pipeline: the slower leg dominates.
+        return std::max(dram_leg, sram_leg);
+    }
+    return dram_leg + sram_leg;
+}
+
+} // namespace mtia

@@ -1,0 +1,67 @@
+#ifndef MTIA_PE_FABRIC_INTERFACE_H_
+#define MTIA_PE_FABRIC_INTERFACE_H_
+
+/**
+ * @file
+ * Fabric Interface: the PE's DMA engine into the NoC. Models DMA_IN /
+ * DMA_OUT transfer timing between Local Memory and on-chip SRAM or
+ * off-chip DRAM, including the prefetch path added in MTIA 2i that
+ * stages DRAM data into SRAM ahead of Local Memory loads.
+ */
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace mtia {
+
+/** Where a DMA source/destination lives. */
+enum class MemSpace : std::uint8_t {
+    LocalMemory,
+    Sram,   ///< shared on-chip SRAM (LLC or LLS)
+    Dram,   ///< off-chip LPDDR
+    Host,   ///< host memory over PCIe
+};
+
+/** Static FI parameters (per PE). */
+struct FabricInterfaceConfig
+{
+    /** FI-to-NoC bandwidth (doubled vs MTIA 1). */
+    BytesPerSec noc_bandwidth = gbPerSec(42.0);
+    /** Per-descriptor setup latency. */
+    Tick descriptor_latency = fromNanos(40.0);
+    /** DMA_IN prefetch support (DRAM -> SRAM staging). */
+    bool prefetch = true;
+};
+
+/** The per-PE DMA engine. */
+class FabricInterface
+{
+  public:
+    explicit FabricInterface(FabricInterfaceConfig cfg = {}) : cfg_(cfg) {}
+
+    const FabricInterfaceConfig &config() const { return cfg_; }
+
+    /**
+     * Time for one DMA of @p bytes between Local Memory and @p space,
+     * where @p space_bandwidth is the bandwidth the far side grants
+     * this PE (the caller derives it from NoC/DRAM sharing).
+     */
+    Tick transferTime(Bytes bytes, BytesPerSec space_bandwidth) const;
+
+    /**
+     * Effective time of a DRAM read with prefetch: when supported,
+     * the DRAM->SRAM staging overlaps compute, leaving only the
+     * SRAM->LM hop on the critical path. Without it the full DRAM
+     * latency serializes.
+     */
+    Tick dramReadTime(Bytes bytes, BytesPerSec dram_bw,
+                      BytesPerSec sram_bw) const;
+
+  private:
+    FabricInterfaceConfig cfg_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_PE_FABRIC_INTERFACE_H_

@@ -1,0 +1,116 @@
+#include "pe/mlu.h"
+
+#include <cstring>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+Tensor
+MemoryLayoutUnit::transpose(const Tensor &t)
+{
+    if (t.shape().rank() != 2)
+        MTIA_PANIC("MLU::transpose: expected rank-2");
+    const std::int64_t m = t.shape().dim(0);
+    const std::int64_t n = t.shape().dim(1);
+    Tensor out(Shape{n, m}, t.dtype());
+    for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = 0; j < n; ++j)
+            out.set2(j, i, t.at2(i, j));
+    return out;
+}
+
+Tensor
+MemoryLayoutUnit::permute3(const Tensor &t, const std::array<int, 3> &perm)
+{
+    if (t.shape().rank() != 3)
+        MTIA_PANIC("MLU::permute3: expected rank-3");
+    const std::int64_t d0 = t.shape().dim(0);
+    const std::int64_t d1 = t.shape().dim(1);
+    const std::int64_t d2 = t.shape().dim(2);
+    const std::int64_t in_dims[3] = {d0, d1, d2};
+    Shape out_shape{in_dims[perm[0]], in_dims[perm[1]], in_dims[perm[2]]};
+    Tensor out(out_shape, t.dtype());
+    for (std::int64_t i = 0; i < d0; ++i) {
+        for (std::int64_t j = 0; j < d1; ++j) {
+            for (std::int64_t k = 0; k < d2; ++k) {
+                const std::int64_t idx[3] = {i, j, k};
+                const std::int64_t oi = idx[perm[0]];
+                const std::int64_t oj = idx[perm[1]];
+                const std::int64_t ok = idx[perm[2]];
+                out.set((oi * out_shape.dim(1) + oj) * out_shape.dim(2) +
+                            ok,
+                        t.at((i * d1 + j) * d2 + k));
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+MemoryLayoutUnit::concat(const std::vector<Tensor> &parts, int axis)
+{
+    if (parts.empty())
+        MTIA_PANIC("MLU::concat: no parts");
+    if (axis != 0 && axis != 1)
+        MTIA_PANIC("MLU::concat: axis must be 0 or 1");
+    const DType dt = parts[0].dtype();
+    std::int64_t rows = parts[0].shape().dim(0);
+    std::int64_t cols = parts[0].shape().dim(1);
+    for (std::size_t p = 1; p < parts.size(); ++p) {
+        if (axis == 0) {
+            if (parts[p].shape().dim(1) != cols)
+                MTIA_PANIC("MLU::concat: column mismatch");
+            rows += parts[p].shape().dim(0);
+        } else {
+            if (parts[p].shape().dim(0) != rows)
+                MTIA_PANIC("MLU::concat: row mismatch");
+            cols += parts[p].shape().dim(1);
+        }
+    }
+    Tensor out(Shape{rows, cols}, dt);
+    std::int64_t off = 0;
+    for (const Tensor &p : parts) {
+        const std::int64_t pr = p.shape().dim(0);
+        const std::int64_t pc = p.shape().dim(1);
+        for (std::int64_t i = 0; i < pr; ++i) {
+            for (std::int64_t j = 0; j < pc; ++j) {
+                if (axis == 0) {
+                    out.set2(off + i, j, p.at2(i, j));
+                } else {
+                    out.set2(i, off + j, p.at2(i, j));
+                }
+            }
+        }
+        off += axis == 0 ? pr : pc;
+    }
+    return out;
+}
+
+Tensor
+MemoryLayoutUnit::sliceRows(const Tensor &t, std::int64_t begin,
+                            std::int64_t end)
+{
+    if (t.shape().rank() != 2)
+        MTIA_PANIC("MLU::sliceRows: expected rank-2");
+    if (begin < 0 || end > t.shape().dim(0) || begin > end)
+        MTIA_PANIC("MLU::sliceRows: bad range [", begin, ", ", end, ")");
+    const std::int64_t cols = t.shape().dim(1);
+    Tensor out(Shape{end - begin, cols}, t.dtype());
+    for (std::int64_t i = begin; i < end; ++i)
+        for (std::int64_t j = 0; j < cols; ++j)
+            out.set2(i - begin, j, t.at2(i, j));
+    return out;
+}
+
+Tensor
+MemoryLayoutUnit::reshape(const Tensor &t, Shape new_shape)
+{
+    if (new_shape.numel() != t.numel())
+        MTIA_PANIC("MLU::reshape: element count mismatch");
+    Tensor out(new_shape, t.dtype());
+    out.raw() = t.raw();
+    return out;
+}
+
+} // namespace mtia

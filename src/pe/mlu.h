@@ -1,0 +1,44 @@
+#ifndef MTIA_PE_MLU_H_
+#define MTIA_PE_MLU_H_
+
+/**
+ * @file
+ * Memory Layout Unit: fixed-function transpose / concatenate /
+ * reshape. The Section 6 case study replaces a Slice-Reshape-Concat
+ * operator chain in the MHA blocks with one custom transpose through
+ * this unit.
+ */
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mtia {
+
+/** Fixed-function layout transformations. */
+class MemoryLayoutUnit
+{
+  public:
+    /** Transpose a rank-2 tensor. */
+    static Tensor transpose(const Tensor &t);
+
+    /** Permute a rank-3 tensor's dimensions by @p perm. */
+    static Tensor permute3(const Tensor &t,
+                           const std::array<int, 3> &perm);
+
+    /** Concatenate rank-2 tensors along @p axis (0 or 1). */
+    static Tensor concat(const std::vector<Tensor> &parts, int axis);
+
+    /** Slice rows [begin, end) of a rank-2 tensor. */
+    static Tensor sliceRows(const Tensor &t, std::int64_t begin,
+                            std::int64_t end);
+
+    /** Reshape without moving data. */
+    static Tensor reshape(const Tensor &t, Shape new_shape);
+};
+
+} // namespace mtia
+
+#endif // MTIA_PE_MLU_H_

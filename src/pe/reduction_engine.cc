@@ -1,0 +1,50 @@
+#include "pe/reduction_engine.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+void
+ReductionEngine::accumulate(Tensor &acc, const Tensor &partial)
+{
+    if (!(acc.shape() == partial.shape()))
+        MTIA_PANIC("ReductionEngine::accumulate: shape mismatch");
+    const std::int64_t n = acc.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        acc.set(i, acc.at(i) + partial.at(i));
+}
+
+Tensor
+ReductionEngine::reduceAll(const std::vector<Tensor> &partials)
+{
+    if (partials.empty())
+        MTIA_PANIC("ReductionEngine::reduceAll: no partials");
+    Tensor acc = partials.front();
+    for (std::size_t i = 1; i < partials.size(); ++i)
+        accumulate(acc, partials[i]);
+    return acc;
+}
+
+std::vector<RowMinMax>
+ReductionEngine::rowMinMax(const Tensor &t)
+{
+    if (t.shape().rank() != 2)
+        MTIA_PANIC("ReductionEngine::rowMinMax: expected rank-2");
+    const std::int64_t m = t.shape().dim(0);
+    const std::int64_t n = t.shape().dim(1);
+    std::vector<RowMinMax> out(static_cast<std::size_t>(m));
+    for (std::int64_t r = 0; r < m; ++r) {
+        RowMinMax mm{t.at2(r, 0), t.at2(r, 0)};
+        for (std::int64_t c = 1; c < n; ++c) {
+            const float v = t.at2(r, c);
+            mm.min = std::min(mm.min, v);
+            mm.max = std::max(mm.max, v);
+        }
+        out[static_cast<std::size_t>(r)] = mm;
+    }
+    return out;
+}
+
+} // namespace mtia

@@ -1,0 +1,56 @@
+#ifndef MTIA_PE_REDUCTION_ENGINE_H_
+#define MTIA_PE_REDUCTION_ENGINE_H_
+
+/**
+ * @file
+ * Reduction Engine: accumulates matmul partial results arriving over
+ * the dedicated reduction network, forwards them to the neighbouring
+ * PE or hands them to the SIMD engine. Also produces the per-row
+ * min/max needed for dynamic INT8 quantization (Section 3.3).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mtia {
+
+/** Per-row min/max pair emitted after accumulation. */
+struct RowMinMax
+{
+    float min = 0.0f;
+    float max = 0.0f;
+
+    /** Symmetric quantization scale derived from the extrema. */
+    float
+    symmetricScale() const
+    {
+        const float amax = std::max(std::abs(min), std::abs(max));
+        return amax / 127.0f;
+    }
+};
+
+/** The per-PE accumulation unit. */
+class ReductionEngine
+{
+  public:
+    /**
+     * Accumulate @p partial into @p acc elementwise (both rank-2,
+     * FP32), modeling the reduce step between neighbouring PEs.
+     */
+    static void accumulate(Tensor &acc, const Tensor &partial);
+
+    /**
+     * Tree-reduce partials from a column of PEs, as the reduction
+     * network chains them.
+     */
+    static Tensor reduceAll(const std::vector<Tensor> &partials);
+
+    /** Per-row extrema of a rank-2 tensor (for dynamic quant). */
+    static std::vector<RowMinMax> rowMinMax(const Tensor &t);
+};
+
+} // namespace mtia
+
+#endif // MTIA_PE_REDUCTION_ENGINE_H_

@@ -1,0 +1,63 @@
+#ifndef MTIA_SERVING_AB_TESTING_H_
+#define MTIA_SERVING_AB_TESTING_H_
+
+/**
+ * @file
+ * Live A/B testing harness (Section 5.6): serve the same model on two
+ * backends — the MTIA numerics path (LUT-approximated nonlinearities)
+ * and a GPU-reference path (exact libm math) — on identical traffic,
+ * and compare normalized entropy, prediction-value distributions, and
+ * raw numeric divergence.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mtia {
+
+/**
+ * Normalized entropy (He et al. 2014): average log loss divided by
+ * the entropy of the background CTR. Lower is better; 1.0 means the
+ * model is no better than always predicting the average.
+ */
+double normalizedEntropy(const std::vector<double> &predictions,
+                         const std::vector<int> &labels);
+
+/** Outcome of one A/B comparison. */
+struct AbResult
+{
+    double ne_reference = 0;  ///< GPU-arm normalized entropy
+    double ne_candidate = 0;  ///< MTIA-arm normalized entropy
+    double mean_pred_reference = 0;
+    double mean_pred_candidate = 0;
+    double max_pred_diff = 0; ///< max |p_mtia - p_gpu| per sample
+    std::size_t samples = 0;
+
+    /** Relative NE regression of the candidate (positive = worse). */
+    double
+    neDeltaPercent() const
+    {
+        return ne_reference == 0.0
+            ? 0.0
+            : (ne_candidate - ne_reference) / ne_reference * 100.0;
+    }
+};
+
+/** The A/B harness. */
+class AbTestHarness
+{
+  public:
+    /**
+     * Run @p g on both arms over @p runs independent traffic draws
+     * (identical per-arm inputs) and score against synthetic labels
+     * drawn from the reference arm's predictions.
+     */
+    AbResult compare(const Graph &g, int runs,
+                     std::uint64_t seed = 2024) const;
+};
+
+} // namespace mtia
+
+#endif // MTIA_SERVING_AB_TESTING_H_

@@ -1,0 +1,107 @@
+#include "serving/coalescer.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+std::vector<CoalescedBatch>
+Coalescer::coalesce(const std::vector<Request> &trace) const
+{
+    std::vector<CoalescedBatch> done;
+    struct Open
+    {
+        Tick opened = 0;
+        CoalescedBatch batch;
+    };
+    std::deque<Open> open;
+
+    auto flush_expired = [&](Tick now) {
+        while (!open.empty() &&
+               open.front().opened + cfg_.window <= now) {
+            Open &o = open.front();
+            o.batch.dispatch_time = o.opened + cfg_.window;
+            done.push_back(std::move(o.batch));
+            open.pop_front();
+        }
+    };
+
+    for (const Request &r : trace) {
+        flush_expired(r.arrival);
+        // Place into the oldest open batch with room.
+        bool placed = false;
+        for (std::size_t i = 0; i < open.size(); ++i) {
+            Open &o = open[i];
+            if (o.batch.rows + r.candidates <= cfg_.batch_capacity) {
+                o.batch.requests.push_back(r);
+                o.batch.rows += r.candidates;
+                placed = true;
+                // A full batch dispatches immediately.
+                if (o.batch.rows >= cfg_.batch_capacity) {
+                    o.batch.dispatch_time = r.arrival;
+                    done.push_back(std::move(o.batch));
+                    open.erase(open.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                }
+                break;
+            }
+        }
+        if (!placed) {
+            if (open.size() >= cfg_.parallel_windows) {
+                // All windows busy: dispatch the oldest early.
+                Open &o = open.front();
+                o.batch.dispatch_time = r.arrival;
+                done.push_back(std::move(o.batch));
+                open.pop_front();
+            }
+            Open o;
+            o.opened = r.arrival;
+            o.batch.requests.push_back(r);
+            o.batch.rows = r.candidates;
+            open.push_back(std::move(o));
+        }
+    }
+    for (Open &o : open) {
+        o.batch.dispatch_time = o.opened + cfg_.window;
+        done.push_back(std::move(o.batch));
+    }
+    std::sort(done.begin(), done.end(),
+              [](const CoalescedBatch &a, const CoalescedBatch &b) {
+                  return a.dispatch_time < b.dispatch_time;
+              });
+    return done;
+}
+
+CoalescerStats
+Coalescer::stats(const std::vector<CoalescedBatch> &bs,
+                 const CoalescerConfig &cfg)
+{
+    CoalescerStats s;
+    s.batches = bs.size();
+    if (bs.empty())
+        return s;
+    double fill = 0.0;
+    double reqs = 0.0;
+    double wait = 0.0;
+    std::uint64_t wait_n = 0;
+    for (const auto &b : bs) {
+        fill += b.fill(cfg.batch_capacity);
+        reqs += static_cast<double>(b.requests.size());
+        s.requests += b.requests.size();
+        for (const Request &r : b.requests) {
+            wait += static_cast<double>(b.dispatch_time - r.arrival);
+            ++wait_n;
+        }
+    }
+    s.mean_fill = fill / static_cast<double>(bs.size());
+    s.mean_requests_per_batch =
+        reqs / static_cast<double>(bs.size());
+    s.mean_wait = wait_n == 0
+        ? 0
+        : static_cast<Tick>(wait / static_cast<double>(wait_n));
+    return s;
+}
+
+} // namespace mtia

@@ -1,0 +1,78 @@
+#ifndef MTIA_SERVING_COALESCER_H_
+#define MTIA_SERVING_COALESCER_H_
+
+/**
+ * @file
+ * Request coalescing (Section 4.1): requests arriving within a time
+ * window are batched together, with several windows open in parallel.
+ * Throughput at the P99 SLO is highly sensitive to the window length
+ * and window count; with good tuning >95% of batch slots are filled.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "models/workload.h"
+#include "sim/types.h"
+
+namespace mtia {
+
+/** Coalescing policy. */
+struct CoalescerConfig
+{
+    Tick window = fromMillis(2.0);   ///< max wait before dispatch
+    unsigned parallel_windows = 2;   ///< concurrently filling batches
+    std::int64_t batch_capacity = 512; ///< candidate rows per batch
+};
+
+/** One dispatched batch. */
+struct CoalescedBatch
+{
+    Tick dispatch_time = 0;
+    std::vector<Request> requests;
+    std::int64_t rows = 0;
+
+    double
+    fill(std::int64_t capacity) const
+    {
+        return static_cast<double>(rows) /
+            static_cast<double>(capacity);
+    }
+};
+
+/** Aggregate coalescing statistics. */
+struct CoalescerStats
+{
+    std::uint64_t batches = 0;
+    std::uint64_t requests = 0;
+    double mean_fill = 0.0;
+    double mean_requests_per_batch = 0.0;
+    Tick mean_wait = 0;
+};
+
+/**
+ * Offline coalescer: turn an arrival trace into dispatched batches.
+ * A batch dispatches when full or when its window expires; up to
+ * parallel_windows batches fill simultaneously (arrivals go to the
+ * oldest open batch with room).
+ */
+class Coalescer
+{
+  public:
+    explicit Coalescer(CoalescerConfig cfg) : cfg_(cfg) {}
+
+    std::vector<CoalescedBatch>
+    coalesce(const std::vector<Request> &trace) const;
+
+    static CoalescerStats stats(const std::vector<CoalescedBatch> &bs,
+                                const CoalescerConfig &cfg);
+
+    const CoalescerConfig &config() const { return cfg_; }
+
+  private:
+    CoalescerConfig cfg_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_SERVING_COALESCER_H_

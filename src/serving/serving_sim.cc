@@ -1,0 +1,163 @@
+#include "serving/serving_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+namespace {
+
+/** One FIFO device executing jobs. */
+struct SimDevice
+{
+    std::deque<std::function<void(Tick)>> queue; // completion callbacks
+    std::deque<Tick> durations;
+    bool busy = false;
+    Tick busy_until = 0;
+    Tick busy_accum = 0;
+};
+
+struct SimRequest
+{
+    Tick arrival = 0;
+    unsigned remotes_pending = 0;
+    Tick remote_done = 0;
+    Tick merge_enqueued = 0;
+};
+
+} // namespace
+
+ServingResult
+ServingSimulator::simulate(double qps, Tick duration,
+                           std::uint64_t seed) const
+{
+    EventQueue eq;
+    Rng rng(seed);
+
+    std::vector<SimDevice> devices(params_.shards);
+    std::vector<std::unique_ptr<SimRequest>> requests;
+    Histogram latency;
+    Histogram merge_latency;
+    Histogram remote_latency;
+    std::uint64_t completed = 0;
+
+    // Device job execution: start the next queued job when idle.
+    std::function<void(unsigned)> pump = [&](unsigned dev_idx) {
+        SimDevice &dev = devices[dev_idx];
+        if (dev.busy || dev.queue.empty())
+            return;
+        dev.busy = true;
+        const Tick dur = dev.durations.front();
+        auto done = std::move(dev.queue.front());
+        dev.queue.pop_front();
+        dev.durations.pop_front();
+        dev.busy_accum += dur;
+        // The job's result is ready after dur; the device only picks
+        // up its next job after the host-side dispatch gap.
+        eq.scheduleAfter(dur, [&, done = std::move(done)]() {
+            done(eq.now());
+        });
+        eq.scheduleAfter(dur + params_.job_dispatch_gap,
+                         [&, dev_idx]() {
+                             devices[dev_idx].busy = false;
+                             pump(dev_idx);
+                         });
+    };
+
+    auto enqueue = [&](unsigned dev_idx, Tick dur,
+                       std::function<void(Tick)> done) {
+        devices[dev_idx].queue.push_back(std::move(done));
+        devices[dev_idx].durations.push_back(dur);
+        pump(dev_idx);
+    };
+
+    // Arrival process.
+    Tick t = 0;
+    std::uint64_t arrivals = 0;
+    while (true) {
+        t += fromSeconds(rng.exponential(qps));
+        if (t >= duration)
+            break;
+        ++arrivals;
+        eq.schedule(t, [&, t]() {
+            auto req = std::make_unique<SimRequest>();
+            SimRequest *r = req.get();
+            r->arrival = t;
+            r->remotes_pending =
+                params_.shards * params_.remote_jobs_per_shard;
+            requests.push_back(std::move(req));
+
+            const Tick per_job =
+                params_.remote_total / params_.remote_jobs_per_shard;
+            for (unsigned shard = 0; shard < params_.shards; ++shard) {
+                for (unsigned j = 0;
+                     j < params_.remote_jobs_per_shard; ++j) {
+                    enqueue(shard, per_job, [&, r](Tick now) {
+                        if (--r->remotes_pending != 0)
+                            return;
+                        r->remote_done = now;
+                        remote_latency.add(
+                            toMillis(now - r->arrival));
+                        // Merge runs on the request's home shard 0.
+                        r->merge_enqueued = now;
+                        enqueue(0, params_.merge_time,
+                                [&, r, duration](Tick end) {
+                                    latency.add(toMillis(
+                                        end - r->arrival));
+                                    merge_latency.add(toMillis(
+                                        end - r->remote_done));
+                                    // Sustainable throughput counts
+                                    // only in-window completions.
+                                    if (end <= duration)
+                                        ++completed;
+                                });
+                    });
+                }
+            }
+        });
+    }
+
+    eq.run();
+
+    ServingResult out;
+    out.offered_qps = qps;
+    const double secs = toSeconds(duration);
+    out.completed_qps = static_cast<double>(completed) / secs;
+    if (!latency.empty()) {
+        out.p50_ms = latency.percentile(50);
+        out.p99_ms = latency.percentile(99);
+        out.merge_p99_ms = merge_latency.percentile(99);
+        out.remote_p99_ms = remote_latency.percentile(99);
+    }
+    Tick busy_total = 0;
+    for (const auto &dev : devices)
+        busy_total += dev.busy_accum;
+    out.device_utilization = static_cast<double>(busy_total) /
+        (static_cast<double>(duration) * params_.shards);
+    out.meets_slo =
+        !latency.empty() && out.p99_ms <= toMillis(params_.latency_slo);
+    return out;
+}
+
+double
+ServingSimulator::maxQpsAtSlo(double lo, double hi, Tick duration,
+                              std::uint64_t seed) const
+{
+    if (!simulate(lo, duration, seed).meets_slo)
+        return 0.0;
+    for (int iter = 0; iter < 18; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (simulate(mid, duration, seed).meets_slo) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+} // namespace mtia

@@ -1,0 +1,85 @@
+#ifndef MTIA_SERVING_SERVING_SIM_H_
+#define MTIA_SERVING_SERVING_SIM_H_
+
+/**
+ * @file
+ * Discrete-event serving simulator for sharded remote+merge models
+ * (Sections 3.4 and 6). Each batched request spawns remote (sparse)
+ * jobs on its shard devices followed by one merge (dense) job; jobs
+ * execute FIFO per device. Splitting weighted and unweighted TBE
+ * instances doubles the remote job count and lets a later request's
+ * remote jobs queue ahead of an earlier request's merge — the
+ * inefficient remote-remote-merge-merge ordering of Figure 5 that TBE
+ * consolidation removes.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace mtia {
+
+/** Serving-model parameters for the simulator. */
+struct ServingModelParams
+{
+    /** Devices the model is sharded across. */
+    unsigned shards = 2;
+    /** Remote (TBE) jobs per request per shard when weighted and
+     * unweighted tables are split; 1 when consolidated. */
+    unsigned remote_jobs_per_shard = 2;
+    /** Total remote execution time per request per shard (unchanged
+     * by consolidation — the Figure 5 invariant). */
+    Tick remote_total = fromMillis(6.0);
+    /** Merge execution time per request. */
+    Tick merge_time = fromMillis(12.0);
+    /** Host-side scheduling gap between jobs on one device: the
+     * serving-stack overhead that makes the job COUNT matter even
+     * when total PE-grid execution time is unchanged (Figure 5). */
+    Tick job_dispatch_gap = fromMillis(2.0);
+    Tick latency_slo = fromMillis(100.0);
+};
+
+/** Result of simulating one offered load. */
+struct ServingResult
+{
+    double offered_qps = 0;
+    double completed_qps = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    double merge_p99_ms = 0;
+    double remote_p99_ms = 0;
+    double device_utilization = 0;
+    bool meets_slo = false;
+};
+
+/** The remote/merge serving simulator. */
+class ServingSimulator
+{
+  public:
+    explicit ServingSimulator(ServingModelParams params)
+        : params_(params) {}
+
+    /** Simulate Poisson arrivals at @p qps for @p duration. */
+    ServingResult simulate(double qps, Tick duration,
+                           std::uint64_t seed = 99) const;
+
+    /**
+     * Largest load whose P99 stays within the SLO (bisection over
+     * offered QPS).
+     */
+    double maxQpsAtSlo(double lo, double hi, Tick duration,
+                       std::uint64_t seed = 99) const;
+
+    const ServingModelParams &params() const { return params_; }
+
+  private:
+    ServingModelParams params_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_SERVING_SERVING_SIM_H_

@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        MTIA_PANIC("EventQueue::schedule in the past: ", when, " < ", now_);
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+Tick
+EventQueue::run()
+{
+    while (!heap_.empty()) {
+        // Copy out before pop: the callback may schedule more events.
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.cb();
+    }
+    return now_;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.cb();
+    }
+    // No events remain at or before the limit: time advances to it.
+    if (now_ < limit)
+        now_ = limit;
+    return now_;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+}
+
+} // namespace mtia

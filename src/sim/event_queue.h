@@ -1,0 +1,81 @@
+#ifndef MTIA_SIM_EVENT_QUEUE_H_
+#define MTIA_SIM_EVENT_QUEUE_H_
+
+/**
+ * @file
+ * Discrete-event simulation core. Serving simulators, fleet rollout
+ * simulators, and the job scheduler are all built on this queue.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace mtia {
+
+/**
+ * A time-ordered queue of callbacks. Events scheduled for the same tick
+ * fire in FIFO order of scheduling, which keeps simulations
+ * deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb at absolute time @p when (>= now). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delay ticks from now. */
+    void scheduleAfter(Tick delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Run events until the queue drains. Returns final time. */
+    Tick run();
+
+    /**
+     * Run events with timestamp <= @p limit; afterwards now() == limit
+     * if the queue drained early, else the time of the last event run.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Drop all pending events (simulation teardown). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_SIM_EVENT_QUEUE_H_

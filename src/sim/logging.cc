@@ -1,0 +1,64 @@
+#include "sim/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mtia {
+
+namespace {
+
+LogLevel g_threshold = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+logImpl(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_threshold))
+        return;
+    std::fprintf(stderr, "%s: %s\n", levelName(level), msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace mtia

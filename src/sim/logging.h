@@ -1,0 +1,77 @@
+#ifndef MTIA_SIM_LOGGING_H_
+#define MTIA_SIM_LOGGING_H_
+
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts; fatal() is for user errors (bad configuration) and exits with
+ * an error code; warn()/inform() report conditions without stopping.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace mtia {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/** Global log threshold; messages below it are suppressed. */
+LogLevel logThreshold();
+
+/** Set the global log threshold. */
+void setLogThreshold(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void logImpl(LogLevel level, const std::string &msg);
+
+/** Fold a list of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal invariant violation and abort. */
+#define MTIA_PANIC(...) \
+    ::mtia::detail::panicImpl(__FILE__, __LINE__, \
+                              ::mtia::detail::concat(__VA_ARGS__))
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define MTIA_FATAL(...) \
+    ::mtia::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::mtia::detail::concat(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::logImpl(LogLevel::Warn,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::logImpl(LogLevel::Info,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace mtia
+
+#endif // MTIA_SIM_LOGGING_H_

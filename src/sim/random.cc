@@ -1,0 +1,242 @@
+#include "sim/random.h"
+
+#include <cmath>
+#include <deque>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    if (n == 0)
+        MTIA_PANIC("Rng::below(0)");
+    // Modulo bias is negligible for the n used here (<< 2^64).
+    return next() % n;
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    if (hi < lo)
+        MTIA_PANIC("Rng::range: hi < lo");
+    return lo + static_cast<std::int64_t>(
+        below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::gaussian()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    hasSpare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+double
+Rng::exponential(double rate)
+{
+    if (rate <= 0.0)
+        MTIA_PANIC("Rng::exponential: rate must be positive");
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+}
+
+std::uint64_t
+Rng::poisson(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth's method for small means.
+        const double limit = std::exp(-mean);
+        double p = 1.0;
+        std::uint64_t k = 0;
+        do {
+            ++k;
+            p *= uniform();
+        } while (p > limit);
+        return k - 1;
+    }
+    // Normal approximation for large means.
+    const double v = gaussian(mean, std::sqrt(mean));
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(gaussian(mu, sigma));
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha)
+{
+    if (n == 0)
+        MTIA_PANIC("ZipfSampler: n must be positive");
+    if (std::abs(alpha - 1.0) < 1e-9)
+        alpha_ = 1.0 + 1e-6; // avoid the alpha == 1 singularity
+    hx0_ = h(0.5);
+    hxm_ = h(static_cast<double>(n_) + 0.5);
+    hx1_ = hx0_ - 1.0;
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    // Integral of x^-alpha (alpha != 1): x^(1-alpha) / (1-alpha).
+    return std::pow(x, 1.0 - alpha_) / (1.0 - alpha_);
+}
+
+double
+ZipfSampler::hInv(double x) const
+{
+    return std::pow((1.0 - alpha_) * x, 1.0 / (1.0 - alpha_));
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    // Rejection-inversion (Hormann & Derflinger 1996), simplified.
+    while (true) {
+        const double u = hxm_ + rng.uniform() * (hx0_ - hxm_);
+        const double x = hInv(u);
+        std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > n_)
+            k = n_;
+        const double kd = static_cast<double>(k);
+        if (kd - x <= 1.0 ||
+            u >= h(kd + 0.5) - std::pow(kd, -alpha_)) {
+            return k - 1;
+        }
+    }
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double> &weights)
+{
+    const std::size_t n = weights.size();
+    if (n == 0)
+        MTIA_PANIC("DiscreteSampler: empty weight vector");
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            MTIA_PANIC("DiscreteSampler: negative weight");
+        total += w;
+    }
+    if (total <= 0.0)
+        MTIA_PANIC("DiscreteSampler: zero total weight");
+
+    prob_.assign(n, 0.0);
+    alias_.assign(n, 0);
+    std::vector<double> scaled(n);
+    std::deque<std::size_t> small;
+    std::deque<std::size_t> large;
+    for (std::size_t i = 0; i < n; ++i) {
+        scaled[i] = weights[i] * static_cast<double>(n) / total;
+        (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+        const std::size_t s = small.front();
+        small.pop_front();
+        const std::size_t l = large.front();
+        large.pop_front();
+        prob_[s] = scaled[s];
+        alias_[s] = l;
+        scaled[l] = scaled[l] + scaled[s] - 1.0;
+        (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (std::size_t i : large)
+        prob_[i] = 1.0;
+    for (std::size_t i : small)
+        prob_[i] = 1.0;
+}
+
+std::size_t
+DiscreteSampler::sample(Rng &rng) const
+{
+    const std::size_t i = static_cast<std::size_t>(rng.below(prob_.size()));
+    return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+} // namespace mtia

@@ -1,0 +1,120 @@
+#ifndef MTIA_SIM_RANDOM_H_
+#define MTIA_SIM_RANDOM_H_
+
+/**
+ * @file
+ * Deterministic random-number generation for reproducible simulations.
+ *
+ * All stochastic components (traffic generators, fleet Monte-Carlo
+ * studies, error injectors) draw from an explicitly seeded Rng so that
+ * every experiment is replayable bit-for-bit.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace mtia {
+
+/**
+ * A small, fast, deterministic generator (xoshiro256**) with the
+ * distribution helpers the simulator needs. Not cryptographic.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw with probability p. */
+    bool chance(double p);
+
+    /** Standard normal via Box-Muller. */
+    double gaussian();
+
+    /** Normal with given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Exponential with given rate (events per unit time). */
+    double exponential(double rate);
+
+    /** Poisson-distributed count with given mean. */
+    std::uint64_t poisson(double mean);
+
+    /** Log-normal with given underlying mu/sigma. */
+    double lognormal(double mu, double sigma);
+
+  private:
+    std::uint64_t s_[4];
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+/**
+ * Zipf-distributed integer sampler over [0, n) with exponent alpha,
+ * using the rejection-inversion method of Hormann and Derflinger so
+ * that sampling is O(1) even for table sizes in the hundreds of
+ * millions (embedding-table index streams).
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of items (ranks 1..n internally).
+     * @param alpha Skew exponent; larger means more skewed. alpha != 1.
+     */
+    ZipfSampler(std::uint64_t n, double alpha);
+
+    /** Draw one index in [0, n). */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t n() const { return n_; }
+    double alpha() const { return alpha_; }
+
+  private:
+    double h(double x) const;
+    double hInv(double x) const;
+
+    std::uint64_t n_;
+    double alpha_;
+    double hx0_;
+    double hxm_;
+    double hx1_;
+};
+
+/**
+ * Sampler over an arbitrary discrete distribution, built once from
+ * weights (alias method, O(1) per draw).
+ */
+class DiscreteSampler
+{
+  public:
+    explicit DiscreteSampler(const std::vector<double> &weights);
+
+    /** Draw one index in [0, weights.size()). */
+    std::size_t sample(Rng &rng) const;
+
+    std::size_t size() const { return prob_.size(); }
+
+  private:
+    std::vector<double> prob_;
+    std::vector<std::size_t> alias_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_SIM_RANDOM_H_

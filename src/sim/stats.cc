@@ -1,0 +1,134 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+void
+Histogram::add(double sample)
+{
+    samples_.push_back(sample);
+    sum_ += sample;
+    sorted_ = false;
+}
+
+void
+Histogram::reset()
+{
+    samples_.clear();
+    sum_ = 0.0;
+    sorted_ = true;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_.empty() ? 0.0
+                            : sum_ / static_cast<double>(samples_.size());
+}
+
+double
+Histogram::min() const
+{
+    if (samples_.empty())
+        MTIA_PANIC("Histogram::min on empty histogram");
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+Histogram::max() const
+{
+    if (samples_.empty())
+        MTIA_PANIC("Histogram::max on empty histogram");
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+Histogram::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double s : samples_)
+        acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (samples_.empty())
+        MTIA_PANIC("Histogram::percentile on empty histogram");
+    if (p < 0.0 || p > 100.0)
+        MTIA_PANIC("Histogram::percentile: p out of range: ", p);
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    if (p <= 0.0)
+        return samples_.front();
+    const auto n = samples_.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return samples_[rank - 1];
+}
+
+Counter &
+StatsRegistry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &name)
+{
+    return histograms_[name];
+}
+
+double &
+StatsRegistry::scalar(const std::string &name)
+{
+    return scalars_[name];
+}
+
+void
+StatsRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name << " = " << c.value() << "\n";
+    for (const auto &[name, v] : scalars_)
+        os << name << " = " << v << "\n";
+    for (const auto &[name, h] : histograms_) {
+        os << name << ": n=" << h.count();
+        if (!h.empty()) {
+            os << std::setprecision(6)
+               << " mean=" << h.mean()
+               << " p50=" << h.percentile(50)
+               << " p99=" << h.percentile(99)
+               << " max=" << h.max();
+        }
+        os << "\n";
+    }
+}
+
+void
+StatsRegistry::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, h] : histograms_)
+        h.reset();
+    for (auto &[name, v] : scalars_)
+        v = 0.0;
+}
+
+} // namespace mtia

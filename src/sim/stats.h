@@ -1,0 +1,91 @@
+#ifndef MTIA_SIM_STATS_H_
+#define MTIA_SIM_STATS_H_
+
+/**
+ * @file
+ * Lightweight statistics package: counters, scalar gauges, and sample
+ * histograms with percentile queries. Components register their stats
+ * with a StatsRegistry so experiments can dump a uniform report.
+ */
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mtia {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Collection of scalar samples supporting mean/min/max and exact
+ * percentile queries (sorts lazily; fine for the sample counts used in
+ * serving and fleet experiments).
+ */
+class Histogram
+{
+  public:
+    void add(double sample);
+    void reset();
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    double sum() const { return sum_; }
+    double mean() const;
+    double min() const;
+    double max() const;
+    double stddev() const;
+
+    /** Exact percentile via nearest-rank; @p p in [0, 100]. */
+    double percentile(double p) const;
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+    double sum_ = 0.0;
+};
+
+/**
+ * Named stats owned by a component tree. Names are dotted paths, e.g.
+ * "device0.dram.bytesRead".
+ */
+class StatsRegistry
+{
+  public:
+    /** Find-or-create a counter with the given dotted name. */
+    Counter &counter(const std::string &name);
+
+    /** Find-or-create a histogram with the given dotted name. */
+    Histogram &histogram(const std::string &name);
+
+    /** Find-or-create a scalar gauge. */
+    double &scalar(const std::string &name);
+
+    /** Dump all stats, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered stat. */
+    void resetAll();
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+    std::map<std::string, double> scalars_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_SIM_STATS_H_

@@ -1,0 +1,118 @@
+#ifndef MTIA_SIM_TYPES_H_
+#define MTIA_SIM_TYPES_H_
+
+/**
+ * @file
+ * Fundamental simulation types: ticks (picoseconds), byte quantities,
+ * and conversion helpers shared by every module.
+ */
+
+#include <cstdint>
+
+namespace mtia {
+
+/** Simulated time in picoseconds (gem5-style integral tick). */
+using Tick = std::uint64_t;
+
+/** A quantity of bytes. */
+using Bytes = std::uint64_t;
+
+/** Ticks per common time units. */
+inline constexpr Tick kTicksPerNs = 1000;
+inline constexpr Tick kTicksPerUs = 1000 * kTicksPerNs;
+inline constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;
+inline constexpr Tick kTicksPerSec = 1000 * kTicksPerMs;
+
+/** Convert seconds (double) to ticks. */
+constexpr Tick
+fromSeconds(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kTicksPerSec));
+}
+
+/** Convert milliseconds to ticks. */
+constexpr Tick
+fromMillis(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(kTicksPerMs));
+}
+
+/** Convert microseconds to ticks. */
+constexpr Tick
+fromMicros(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kTicksPerUs));
+}
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+fromNanos(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kTicksPerNs));
+}
+
+/** Convert ticks to seconds (double). */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+
+/** Convert ticks to milliseconds (double). */
+constexpr double
+toMillis(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerMs);
+}
+
+/** Convert ticks to microseconds (double). */
+constexpr double
+toMicros(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerUs);
+}
+
+/** Convert ticks to nanoseconds (double). */
+constexpr double
+toNanos(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+/** Byte-size helpers. */
+inline constexpr Bytes operator""_KiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) << 10;
+}
+inline constexpr Bytes operator""_MiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) << 20;
+}
+inline constexpr Bytes operator""_GiB(unsigned long long v)
+{
+    return static_cast<Bytes>(v) << 30;
+}
+
+/** Bandwidth expressed in bytes per second. */
+using BytesPerSec = double;
+
+/** GB/s (decimal, as vendors quote) to bytes/sec. */
+constexpr BytesPerSec
+gbPerSec(double gb)
+{
+    return gb * 1e9;
+}
+
+/** Time in ticks to move @p bytes at @p bw bytes/sec. */
+constexpr Tick
+transferTicks(Bytes bytes, BytesPerSec bw)
+{
+    return bw <= 0.0
+        ? 0
+        : static_cast<Tick>(static_cast<double>(bytes) / bw *
+                            static_cast<double>(kTicksPerSec));
+}
+
+} // namespace mtia
+
+#endif // MTIA_SIM_TYPES_H_

@@ -1,0 +1,158 @@
+#include "tensor/dtype.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+std::size_t
+dtypeSize(DType t)
+{
+    switch (t) {
+      case DType::FP32: return 4;
+      case DType::FP16: return 2;
+      case DType::BF16: return 2;
+      case DType::INT8: return 1;
+      case DType::INT32: return 4;
+    }
+    MTIA_PANIC("dtypeSize: unknown dtype");
+}
+
+std::string
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::FP32: return "fp32";
+      case DType::FP16: return "fp16";
+      case DType::BF16: return "bf16";
+      case DType::INT8: return "int8";
+      case DType::INT32: return "int32";
+    }
+    return "?";
+}
+
+std::uint16_t
+fp32ToFp16Bits(float f)
+{
+    const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+    const std::uint32_t sign = (x >> 16) & 0x8000u;
+    const std::uint32_t exp32 = (x >> 23) & 0xffu;
+    std::uint32_t mant = x & 0x7fffffu;
+
+    if (exp32 == 0xffu) {
+        // Inf / NaN: preserve NaN-ness with a quiet payload bit.
+        const std::uint32_t nan = mant != 0 ? 0x0200u | (mant >> 13) : 0;
+        return static_cast<std::uint16_t>(sign | 0x7c00u | nan);
+    }
+
+    const int unbiased = static_cast<int>(exp32) - 127;
+    int exp16 = unbiased + 15;
+
+    if (exp16 >= 0x1f) {
+        // Overflow -> infinity.
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+
+    if (exp16 <= 0) {
+        // Denormal (or zero) in fp16.
+        if (exp16 < -10)
+            return static_cast<std::uint16_t>(sign); // rounds to zero
+        mant |= 0x800000u; // restore implicit leading 1
+        const int shift = 14 - exp16; // 14..24
+        std::uint32_t half = mant >> shift;
+        const std::uint32_t rem = mant & ((1u << shift) - 1);
+        const std::uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half & 1)))
+            ++half; // may carry into the exponent field; that is correct
+        return static_cast<std::uint16_t>(sign | half);
+    }
+
+    // Normal number: round 23-bit mantissa to 10 bits, nearest-even.
+    std::uint32_t half = mant >> 13;
+    const std::uint32_t rem = mant & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half & 1)))
+        ++half;
+    std::uint32_t result = sign |
+        (static_cast<std::uint32_t>(exp16) << 10) | (half & 0x3ffu);
+    if (half == 0x400u)
+        result = sign | (static_cast<std::uint32_t>(exp16 + 1) << 10);
+    return static_cast<std::uint16_t>(result);
+}
+
+float
+fp16BitsToFp32(std::uint16_t h)
+{
+    const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u)
+        << 16;
+    const std::uint32_t exp16 = (h >> 10) & 0x1fu;
+    const std::uint32_t mant = h & 0x3ffu;
+
+    if (exp16 == 0x1fu) {
+        // Inf / NaN.
+        const std::uint32_t bits = sign | 0x7f800000u | (mant << 13);
+        return std::bit_cast<float>(bits);
+    }
+    if (exp16 == 0) {
+        if (mant == 0)
+            return std::bit_cast<float>(sign); // +-0
+        // Denormal: normalize.
+        int e = -1;
+        std::uint32_t m = mant;
+        do {
+            ++e;
+            m <<= 1;
+        } while ((m & 0x400u) == 0);
+        const std::uint32_t exp32 =
+            static_cast<std::uint32_t>(127 - 15 - e);
+        const std::uint32_t bits =
+            sign | (exp32 << 23) | ((m & 0x3ffu) << 13);
+        return std::bit_cast<float>(bits);
+    }
+    const std::uint32_t exp32 = exp16 + 127 - 15;
+    const std::uint32_t bits = sign | (exp32 << 23) | (mant << 13);
+    return std::bit_cast<float>(bits);
+}
+
+std::uint16_t
+fp32ToBf16Bits(float f)
+{
+    std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+    if (std::isnan(f)) {
+        // Quiet NaN, preserve sign.
+        return static_cast<std::uint16_t>((x >> 16) | 0x0040u);
+    }
+    // Round to nearest even on the truncated 16 bits.
+    const std::uint32_t rounding = 0x7fffu + ((x >> 16) & 1u);
+    x += rounding;
+    return static_cast<std::uint16_t>(x >> 16);
+}
+
+float
+bf16BitsToFp32(std::uint16_t b)
+{
+    const std::uint32_t bits = static_cast<std::uint32_t>(b) << 16;
+    return std::bit_cast<float>(bits);
+}
+
+float
+roundTrip(float f, DType t)
+{
+    switch (t) {
+      case DType::FP32:
+        return f;
+      case DType::FP16:
+        return fp16BitsToFp32(fp32ToFp16Bits(f));
+      case DType::BF16:
+        return bf16BitsToFp32(fp32ToBf16Bits(f));
+      case DType::INT8:
+        return std::clamp(std::nearbyint(f), -128.0f, 127.0f);
+      case DType::INT32:
+        return std::nearbyint(f);
+    }
+    MTIA_PANIC("roundTrip: unknown dtype");
+}
+
+} // namespace mtia

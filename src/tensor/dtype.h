@@ -1,0 +1,46 @@
+#ifndef MTIA_TENSOR_DTYPE_H_
+#define MTIA_TENSOR_DTYPE_H_
+
+/**
+ * @file
+ * Element data types supported by the MTIA 2i datapath, with bit-exact
+ * software conversion for FP16 and BF16. The conversions are real
+ * (round-to-nearest-even, denormal and NaN handling) so that numerics
+ * experiments — quantization quality, bit-flip injection, A/B parity —
+ * measure genuine arithmetic effects.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace mtia {
+
+/** Element types understood by the DPE / SIMD engine. */
+enum class DType : std::uint8_t {
+    FP32,
+    FP16,
+    BF16,
+    INT8,
+    INT32,
+};
+
+/** Bytes per element. */
+std::size_t dtypeSize(DType t);
+
+/** Human-readable name ("fp16", ...). */
+std::string dtypeName(DType t);
+
+/** IEEE binary16 conversion with round-to-nearest-even. */
+std::uint16_t fp32ToFp16Bits(float f);
+float fp16BitsToFp32(std::uint16_t h);
+
+/** bfloat16 conversion with round-to-nearest-even. */
+std::uint16_t fp32ToBf16Bits(float f);
+float bf16BitsToFp32(std::uint16_t b);
+
+/** Round-trip a float through the given dtype's representation. */
+float roundTrip(float f, DType t);
+
+} // namespace mtia
+
+#endif // MTIA_TENSOR_DTYPE_H_

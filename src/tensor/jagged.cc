@@ -1,0 +1,91 @@
+#include "tensor/jagged.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+JaggedTensor::JaggedTensor(const std::vector<std::int64_t> &lengths,
+                           std::int64_t dim, DType dtype)
+    : dim_(dim)
+{
+    offsets_.assign(1, 0);
+    offsets_.reserve(lengths.size() + 1);
+    for (std::int64_t len : lengths) {
+        if (len < 0)
+            MTIA_PANIC("JaggedTensor: negative length");
+        offsets_.push_back(offsets_.back() + len);
+    }
+    values_ = Tensor(Shape{offsets_.back(), dim_}, dtype);
+}
+
+Tensor
+JaggedTensor::toDense(std::int64_t max_len) const
+{
+    const std::int64_t b = batchSize();
+    if (max_len < 0) {
+        for (std::int64_t i = 0; i < b; ++i)
+            max_len = std::max(max_len, lengthOf(i));
+        max_len = std::max<std::int64_t>(max_len, 0);
+    }
+    Tensor dense(Shape{b, max_len, dim_}, values_.dtype());
+    for (std::int64_t i = 0; i < b; ++i) {
+        const std::int64_t len = std::min(lengthOf(i), max_len);
+        for (std::int64_t r = 0; r < len; ++r) {
+            for (std::int64_t c = 0; c < dim_; ++c) {
+                dense.set((i * max_len + r) * dim_ + c,
+                          at(offsets_[i] + r, c));
+            }
+        }
+    }
+    return dense;
+}
+
+JaggedTensor
+JaggedTensor::fromDense(const Tensor &dense,
+                        const std::vector<std::int64_t> &lengths)
+{
+    if (dense.shape().rank() != 3)
+        MTIA_PANIC("JaggedTensor::fromDense: expected rank-3 tensor");
+    const std::int64_t b = dense.shape().dim(0);
+    const std::int64_t l = dense.shape().dim(1);
+    const std::int64_t d = dense.shape().dim(2);
+    if (static_cast<std::int64_t>(lengths.size()) != b)
+        MTIA_PANIC("JaggedTensor::fromDense: lengths size mismatch");
+
+    JaggedTensor out(lengths, d, dense.dtype());
+    for (std::int64_t i = 0; i < b; ++i) {
+        const std::int64_t len = std::min(lengths[i], l);
+        for (std::int64_t r = 0; r < len; ++r) {
+            for (std::int64_t c = 0; c < d; ++c) {
+                out.set(out.offsets_[i] + r, c,
+                        dense.at((i * l + r) * d + c));
+            }
+        }
+    }
+    return out;
+}
+
+JaggedTensor
+JaggedTensor::randomHistory(Rng &rng, std::int64_t batch, std::int64_t dim,
+                            double mean_len, std::int64_t max_len,
+                            DType dtype)
+{
+    // Lognormal lengths reproduce the heavy right tail of user-history
+    // sequence lengths that motivates ragged attention.
+    const double sigma = 1.0;
+    const double mu = std::log(mean_len) - sigma * sigma / 2.0;
+    std::vector<std::int64_t> lengths(static_cast<std::size_t>(batch));
+    for (auto &len : lengths) {
+        const double v = rng.lognormal(mu, sigma);
+        len = std::clamp<std::int64_t>(
+            static_cast<std::int64_t>(v) + 1, 1, max_len);
+    }
+    JaggedTensor out(lengths, dim, dtype);
+    out.values_.fillGaussian(rng);
+    return out;
+}
+
+} // namespace mtia

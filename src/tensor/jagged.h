@@ -1,0 +1,89 @@
+#ifndef MTIA_TENSOR_JAGGED_H_
+#define MTIA_TENSOR_JAGGED_H_
+
+/**
+ * @file
+ * Jagged tensors: batches of variable-length rows sharing one dense
+ * value buffer, as used by sequence embeddings and HSTU's ragged
+ * attention. Mirrors the FBGEMM jagged-tensor layout: values [total, D]
+ * plus offsets [B + 1].
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+#include "tensor/tensor.h"
+
+namespace mtia {
+
+/** Variable-row-length 2-D tensor (rows x embedding dim D). */
+class JaggedTensor
+{
+  public:
+    JaggedTensor() = default;
+
+    /**
+     * @param lengths Per-batch-item row counts.
+     * @param dim Inner (embedding) dimension D.
+     * @param dtype Element type of the value buffer.
+     */
+    JaggedTensor(const std::vector<std::int64_t> &lengths, std::int64_t dim,
+                 DType dtype = DType::FP32);
+
+    std::int64_t batchSize() const
+    {
+        return static_cast<std::int64_t>(offsets_.size()) - 1;
+    }
+    std::int64_t dim() const { return dim_; }
+    std::int64_t totalRows() const { return offsets_.back(); }
+    std::int64_t lengthOf(std::int64_t b) const
+    {
+        return offsets_[b + 1] - offsets_[b];
+    }
+    const std::vector<std::int64_t> &offsets() const { return offsets_; }
+
+    Tensor &values() { return values_; }
+    const Tensor &values() const { return values_; }
+
+    /** Element (global row r, column c) of the value buffer. */
+    float at(std::int64_t r, std::int64_t c) const
+    {
+        return values_.at2(r, c);
+    }
+    void set(std::int64_t r, std::int64_t c, float v)
+    {
+        values_.set2(r, c, v);
+    }
+
+    /**
+     * Convert to a dense [B, max_len, D] tensor, zero-padding short
+     * rows (the jagged->dense operator).
+     */
+    Tensor toDense(std::int64_t max_len = -1) const;
+
+    /**
+     * Build from a dense [B, L, D] tensor keeping @p lengths rows per
+     * item (the dense->jagged operator).
+     */
+    static JaggedTensor fromDense(const Tensor &dense,
+                                  const std::vector<std::int64_t> &lengths);
+
+    /**
+     * Generate a jagged batch whose lengths follow the skewed
+     * (lognormal, clamped) user-history distribution HSTU targets.
+     */
+    static JaggedTensor randomHistory(Rng &rng, std::int64_t batch,
+                                      std::int64_t dim, double mean_len,
+                                      std::int64_t max_len,
+                                      DType dtype = DType::FP32);
+
+  private:
+    std::vector<std::int64_t> offsets_{0};
+    std::int64_t dim_ = 0;
+    Tensor values_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_TENSOR_JAGGED_H_

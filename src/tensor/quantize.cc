@@ -1,0 +1,178 @@
+#include "tensor/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+namespace {
+
+/** Max |x| over rows [r0, r1) of a rank-2 tensor. */
+float
+absMaxOverRows(const Tensor &t, std::int64_t r0, std::int64_t r1)
+{
+    const std::int64_t k = t.shape().dim(1);
+    float m = 0.0f;
+    for (std::int64_t r = r0; r < r1; ++r) {
+        for (std::int64_t c = 0; c < k; ++c)
+            m = std::max(m, std::abs(t.at2(r, c)));
+    }
+    return m;
+}
+
+void
+quantizeGroup(const Tensor &src, Tensor &dst, std::int64_t r0,
+              std::int64_t r1, float scale)
+{
+    const std::int64_t k = src.shape().dim(1);
+    const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+    for (std::int64_t r = r0; r < r1; ++r) {
+        for (std::int64_t c = 0; c < k; ++c)
+            dst.set2(r, c, src.at2(r, c) * inv);
+    }
+}
+
+} // namespace
+
+QuantizedTensor
+quantizeDynamic(const Tensor &src, QuantGranularity granularity,
+                std::int64_t group_rows)
+{
+    if (src.shape().rank() != 2)
+        MTIA_PANIC("quantizeDynamic: expected rank-2 tensor");
+    const std::int64_t m = src.shape().dim(0);
+
+    std::int64_t group = 1;
+    switch (granularity) {
+      case QuantGranularity::PerTensor:
+        group = m;
+        break;
+      case QuantGranularity::PerRow:
+        group = 1;
+        break;
+      case QuantGranularity::PerRowGroup:
+        if (group_rows < 1)
+            MTIA_PANIC("quantizeDynamic: group_rows must be >= 1");
+        group = group_rows;
+        break;
+    }
+
+    QuantizedTensor out;
+    out.values = Tensor(src.shape(), DType::INT8);
+    out.group_rows = group;
+    for (std::int64_t r0 = 0; r0 < m; r0 += group) {
+        const std::int64_t r1 = std::min(m, r0 + group);
+        const float amax = absMaxOverRows(src, r0, r1);
+        const float scale = amax / 127.0f;
+        out.scales.push_back(scale);
+        quantizeGroup(src, out.values, r0, r1, scale);
+    }
+    return out;
+}
+
+QuantizedTensor
+quantizeStatic(const Tensor &weights, double saturate_percentile)
+{
+    if (weights.shape().rank() != 2)
+        MTIA_PANIC("quantizeStatic: expected rank-2 tensor");
+    const std::int64_t m = weights.shape().dim(0);
+
+    float amax = 0.0f;
+    if (saturate_percentile >= 100.0) {
+        amax = absMaxOverRows(weights, 0, m);
+    } else {
+        std::vector<float> mags;
+        mags.reserve(static_cast<std::size_t>(weights.numel()));
+        for (std::int64_t i = 0; i < weights.numel(); ++i)
+            mags.push_back(std::abs(weights.at(i)));
+        std::sort(mags.begin(), mags.end());
+        const auto rank = static_cast<std::size_t>(
+            saturate_percentile / 100.0 *
+            static_cast<double>(mags.size() - 1));
+        amax = mags[rank];
+    }
+
+    QuantizedTensor out;
+    out.values = Tensor(weights.shape(), DType::INT8);
+    out.group_rows = m;
+    out.scales.push_back(amax / 127.0f);
+    quantizeGroup(weights, out.values, 0, m, out.scales[0]);
+    return out;
+}
+
+Tensor
+dequantize(const QuantizedTensor &q)
+{
+    Tensor out(q.values.shape(), DType::FP32);
+    const std::int64_t m = q.values.shape().dim(0);
+    const std::int64_t k = q.values.shape().dim(1);
+    for (std::int64_t r = 0; r < m; ++r) {
+        const float s = q.scaleFor(r);
+        for (std::int64_t c = 0; c < k; ++c)
+            out.set2(r, c, q.values.at2(r, c) * s);
+    }
+    return out;
+}
+
+double
+sqnrDb(const Tensor &src, const Tensor &deq)
+{
+    if (!(src.shape() == deq.shape()))
+        MTIA_PANIC("sqnrDb: shape mismatch");
+    double signal = 0.0;
+    double noise = 0.0;
+    for (std::int64_t i = 0; i < src.numel(); ++i) {
+        const double s = src.at(i);
+        const double d = s - static_cast<double>(deq.at(i));
+        signal += s * s;
+        noise += d * d;
+    }
+    if (noise <= 0.0)
+        return 140.0; // effectively lossless
+    return 10.0 * std::log10(signal / noise);
+}
+
+double
+applyTwoFourSparsity(Tensor &weights)
+{
+    if (weights.shape().rank() != 2)
+        MTIA_PANIC("applyTwoFourSparsity: expected rank-2 tensor");
+    const std::int64_t m = weights.shape().dim(0);
+    const std::int64_t k = weights.shape().dim(1);
+
+    double total = 0.0;
+    double kept = 0.0;
+    for (std::int64_t r = 0; r < m; ++r) {
+        for (std::int64_t c0 = 0; c0 < k; c0 += 4) {
+            const std::int64_t width = std::min<std::int64_t>(4, k - c0);
+            // Find the two largest magnitudes in the group.
+            std::int64_t best1 = -1;
+            std::int64_t best2 = -1;
+            for (std::int64_t j = 0; j < width; ++j) {
+                const float mag = std::abs(weights.at2(r, c0 + j));
+                if (best1 < 0 ||
+                    mag > std::abs(weights.at2(r, c0 + best1))) {
+                    best2 = best1;
+                    best1 = j;
+                } else if (best2 < 0 ||
+                           mag > std::abs(weights.at2(r, c0 + best2))) {
+                    best2 = j;
+                }
+            }
+            for (std::int64_t j = 0; j < width; ++j) {
+                const double v = weights.at2(r, c0 + j);
+                total += v * v;
+                if (j == best1 || j == best2) {
+                    kept += v * v;
+                } else {
+                    weights.set2(r, c0 + j, 0.0f);
+                }
+            }
+        }
+    }
+    return total > 0.0 ? kept / total : 1.0;
+}
+
+} // namespace mtia

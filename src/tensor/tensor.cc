@@ -1,0 +1,231 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace mtia {
+
+std::int64_t
+Shape::dim(std::size_t i) const
+{
+    if (i >= dims_.size())
+        MTIA_PANIC("Shape::dim: index ", i, " out of rank ", dims_.size());
+    return dims_[i];
+}
+
+std::int64_t
+Shape::numel() const
+{
+    std::int64_t n = 1;
+    for (std::int64_t d : dims_)
+        n *= d;
+    return n;
+}
+
+std::string
+Shape::toString() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i)
+        os << (i ? "x" : "") << dims_[i];
+    os << "]";
+    return os.str();
+}
+
+Tensor::Tensor(Shape shape, DType dtype)
+    : shape_(std::move(shape)), dtype_(dtype)
+{
+    const std::int64_t n = shape_.numel();
+    if (n < 0)
+        MTIA_PANIC("Tensor: negative element count");
+    data_.assign(static_cast<std::size_t>(n) * dtypeSize(dtype_), 0);
+}
+
+float
+Tensor::at(std::int64_t i) const
+{
+    const std::size_t off = static_cast<std::size_t>(i) * dtypeSize(dtype_);
+    switch (dtype_) {
+      case DType::FP32: {
+        float v;
+        std::memcpy(&v, data_.data() + off, 4);
+        return v;
+      }
+      case DType::FP16: {
+        std::uint16_t b;
+        std::memcpy(&b, data_.data() + off, 2);
+        return fp16BitsToFp32(b);
+      }
+      case DType::BF16: {
+        std::uint16_t b;
+        std::memcpy(&b, data_.data() + off, 2);
+        return bf16BitsToFp32(b);
+      }
+      case DType::INT8:
+        return static_cast<float>(
+            static_cast<std::int8_t>(data_[off]));
+      case DType::INT32: {
+        std::int32_t v;
+        std::memcpy(&v, data_.data() + off, 4);
+        return static_cast<float>(v);
+      }
+    }
+    MTIA_PANIC("Tensor::at: unknown dtype");
+}
+
+void
+Tensor::set(std::int64_t i, float v)
+{
+    const std::size_t off = static_cast<std::size_t>(i) * dtypeSize(dtype_);
+    switch (dtype_) {
+      case DType::FP32:
+        std::memcpy(data_.data() + off, &v, 4);
+        return;
+      case DType::FP16: {
+        const std::uint16_t b = fp32ToFp16Bits(v);
+        std::memcpy(data_.data() + off, &b, 2);
+        return;
+      }
+      case DType::BF16: {
+        const std::uint16_t b = fp32ToBf16Bits(v);
+        std::memcpy(data_.data() + off, &b, 2);
+        return;
+      }
+      case DType::INT8: {
+        const float c = std::clamp(std::nearbyint(v), -128.0f, 127.0f);
+        data_[off] = static_cast<std::uint8_t>(
+            static_cast<std::int8_t>(c));
+        return;
+      }
+      case DType::INT32: {
+        const auto iv = static_cast<std::int32_t>(std::nearbyint(v));
+        std::memcpy(data_.data() + off, &iv, 4);
+        return;
+      }
+    }
+    MTIA_PANIC("Tensor::set: unknown dtype");
+}
+
+float
+Tensor::at2(std::int64_t row, std::int64_t col) const
+{
+    return at(row * shape_.dim(1) + col);
+}
+
+void
+Tensor::set2(std::int64_t row, std::int64_t col, float v)
+{
+    set(row * shape_.dim(1) + col, v);
+}
+
+void
+Tensor::flipBit(std::uint64_t bit_index)
+{
+    const std::uint64_t byte = bit_index / 8;
+    if (byte >= data_.size())
+        MTIA_PANIC("Tensor::flipBit: bit ", bit_index, " out of range");
+    data_[byte] ^= static_cast<std::uint8_t>(1u << (bit_index % 8));
+}
+
+void
+Tensor::fillGaussian(Rng &rng, float mean, float stddev)
+{
+    const std::int64_t n = numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        set(i, static_cast<float>(rng.gaussian(mean, stddev)));
+}
+
+void
+Tensor::fillUniform(Rng &rng, float lo, float hi)
+{
+    const std::int64_t n = numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        set(i, static_cast<float>(rng.uniform(lo, hi)));
+}
+
+void
+Tensor::fill(float v)
+{
+    const std::int64_t n = numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        set(i, v);
+}
+
+Tensor
+Tensor::cast(DType to) const
+{
+    Tensor out(shape_, to);
+    const std::int64_t n = numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        out.set(i, at(i));
+    return out;
+}
+
+std::vector<float>
+Tensor::toFloats() const
+{
+    const std::int64_t n = numel();
+    std::vector<float> out(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+        out[static_cast<std::size_t>(i)] = at(i);
+    return out;
+}
+
+Tensor
+Tensor::fromFloats(const std::vector<float> &vals, Shape shape, DType dtype)
+{
+    if (static_cast<std::int64_t>(vals.size()) != shape.numel())
+        MTIA_PANIC("Tensor::fromFloats: size mismatch");
+    Tensor t(std::move(shape), dtype);
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        t.set(static_cast<std::int64_t>(i), vals[i]);
+    return t;
+}
+
+bool
+Tensor::hasNonFinite() const
+{
+    const std::int64_t n = numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        if (!std::isfinite(at(i)))
+            return true;
+    }
+    return false;
+}
+
+double
+Tensor::maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    if (!(a.shape() == b.shape()))
+        MTIA_PANIC("maxAbsDiff: shape mismatch");
+    double m = 0.0;
+    const std::int64_t n = a.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        m = std::max(m, std::abs(static_cast<double>(a.at(i)) -
+                                 static_cast<double>(b.at(i))));
+    return m;
+}
+
+double
+Tensor::rmse(const Tensor &a, const Tensor &b)
+{
+    if (!(a.shape() == b.shape()))
+        MTIA_PANIC("rmse: shape mismatch");
+    const std::int64_t n = a.numel();
+    if (n == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double d = static_cast<double>(a.at(i)) -
+            static_cast<double>(b.at(i));
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(n));
+}
+
+} // namespace mtia

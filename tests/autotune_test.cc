@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the autotuning framework: KD-tree ANN vs brute force
+ * (property sweep), kernel tuning (1000x cheaper within 5%), batch
+ * tuning with the placement fallback, coalescing tuning (>95% fill),
+ * and NUMA-aware sharding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "autotune/batch_tuner.h"
+#include "autotune/coalescing_tuner.h"
+#include "autotune/kernel_tuner.h"
+#include "autotune/perf_database.h"
+#include "autotune/sharding.h"
+#include "models/model_zoo.h"
+#include "sim/random.h"
+
+namespace mtia {
+namespace {
+
+TEST(KdTreeTest, NearestMatchesBruteForceOnRandomSets)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 1 + rng.below(200);
+        std::vector<ShapeKey> pts(n);
+        for (auto &p : pts)
+            for (auto &x : p)
+                x = rng.uniform(0.0, 16.0);
+        KdTree tree(pts);
+        for (int q = 0; q < 20; ++q) {
+            ShapeKey query;
+            for (auto &x : query)
+                x = rng.uniform(-1.0, 17.0);
+            const std::size_t got = tree.nearest(query);
+            double best = KdTree::dist2(pts[got], query);
+            for (const auto &p : pts)
+                EXPECT_GE(KdTree::dist2(p, query) + 1e-12, best);
+        }
+    }
+}
+
+TEST(PerfDatabaseTest, LookupReturnsNearestShape)
+{
+    PerfDatabase db;
+    db.insert({FcShape{128, 256, 256}, FcOptions{}, 100});
+    db.insert({FcShape{2048, 2048, 2048}, FcOptions{}, 200});
+    const auto hit = db.lookup(FcShape{1900, 2100, 2000});
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->shape.m, 2048);
+    const auto hit2 = db.lookup(FcShape{100, 300, 200});
+    ASSERT_TRUE(hit2.has_value());
+    EXPECT_EQ(hit2->shape.m, 128);
+}
+
+class KernelTunerTest : public ::testing::Test
+{
+  protected:
+    KernelTunerTest()
+        : dev_(ChipConfig::mtia2i()), km_(dev_), tuner_(km_) {}
+
+    std::vector<FcShape>
+    corpus() const
+    {
+        std::vector<FcShape> shapes;
+        Rng rng(37);
+        for (int i = 0; i < 60; ++i) {
+            shapes.push_back(FcShape{
+                static_cast<std::int64_t>(32u << rng.below(6)),
+                static_cast<std::int64_t>(128u << rng.below(6)),
+                static_cast<std::int64_t>(128u << rng.below(5))});
+        }
+        return shapes;
+    }
+
+    Device dev_;
+    KernelCostModel km_;
+    KernelTuner tuner_;
+};
+
+TEST_F(KernelTunerTest, ExhaustivePicksFeasibleBest)
+{
+    const TuneResult r = tuner_.tuneExhaustive(FcShape{512, 512, 512});
+    EXPECT_GT(r.kernel_time, 0u);
+    // Small weights: the cached (LLC) variant must win over DRAM.
+    EXPECT_EQ(r.variant.weights, Placement::Llc);
+}
+
+TEST_F(KernelTunerTest, HugeWeightsForceStreamingVariant)
+{
+    // 26592 x 20480 fp16 ~ 1 GB: cannot be LLC-resident.
+    const TuneResult r =
+        tuner_.tuneExhaustive(FcShape{512, 26592, 20480});
+    EXPECT_EQ(r.variant.weights, Placement::Dram);
+    EXPECT_TRUE(r.variant.coordinated_loading);
+}
+
+TEST_F(KernelTunerTest, AnnWithinFivePercentAndOrdersOfMagnitudeCheaper)
+{
+    // Section 4.1: ANN tuning cut FC tuning time by up to 1000x while
+    // staying within 5% of exhaustive kernel performance.
+    PerfDatabase db = tuner_.buildDatabase(corpus());
+    Rng rng(41);
+    double worst_ratio = 1.0;
+    double total_exhaustive_cost = 0.0;
+    double total_ann_cost = 0.0;
+    for (int i = 0; i < 40; ++i) {
+        // Query shapes near (but not equal to) the corpus.
+        const FcShape q{
+            static_cast<std::int64_t>(24u << rng.below(6)),
+            static_cast<std::int64_t>(96u << rng.below(6)),
+            static_cast<std::int64_t>(160u << rng.below(5))};
+        const TuneResult ex = tuner_.tuneExhaustive(q);
+        const TuneResult ann = tuner_.tuneApproximate(q, db);
+        worst_ratio = std::max(
+            worst_ratio, static_cast<double>(ann.kernel_time) /
+                static_cast<double>(ex.kernel_time));
+        total_exhaustive_cost += static_cast<double>(ex.tuning_cost);
+        total_ann_cost += static_cast<double>(ann.tuning_cost);
+    }
+    EXPECT_LT(worst_ratio, 1.05);
+    EXPECT_GT(total_exhaustive_cost / total_ann_cost, 1000.0);
+}
+
+TEST(BatchTunerTest, PrefersLargerBatchUnderSlo)
+{
+    Device dev(ChipConfig::mtia2i());
+    BatchSizeTuner tuner(dev);
+    auto builder = [](std::int64_t batch) {
+        RankingModelParams p;
+        p.batch = batch;
+        p.tbe = TbeTableSpec{.tables = 16,
+                             .rows_per_table = 1 << 20,
+                             .dim = 64,
+                             .dtype = DType::FP16,
+                             .zipf_alpha = 0.9};
+        p.dhen_layers = 1;
+        p.dhen_width = 256;
+        return buildRankingModel(p);
+    };
+    std::size_t winner = 0;
+    const auto snaps = tuner.evaluate(builder, {128, 512, 2048},
+                                      fromMillis(100.0), winner);
+    ASSERT_EQ(snaps.size(), 3u);
+    // Bigger batches amortize launches: throughput grows.
+    EXPECT_GT(snaps[2].cost.qps, snaps[0].cost.qps);
+    EXPECT_EQ(snaps[winner].batch, 2048);
+}
+
+TEST(CoalescingTunerTest, TunedConfigFillsBatches)
+{
+    Rng rng(43);
+    TrafficParams t;
+    t.qps = 4000.0;
+    t.duration = fromSeconds(5.0);
+    t.candidates_mean = 64;
+    const auto trace = generateTrace(rng, t);
+
+    CoalescingTuner tuner(fromMillis(10.0));
+    const auto candidates = tuner.sweep(
+        trace, /*batch_capacity=*/512,
+        {fromMillis(0.5), fromMillis(2.0), fromMillis(8.0),
+         fromMillis(32.0)},
+        {1, 2, 4});
+    ASSERT_FALSE(candidates.empty());
+    // Section 4.1: with effective autotuning, >95% fill is typical.
+    EXPECT_GT(candidates.front().stats.mean_fill, 0.95);
+    EXPECT_LE(candidates.front().stats.mean_wait, fromMillis(40.0));
+    // The sweep must actually discriminate configurations.
+    EXPECT_GT(candidates.front().score, candidates.back().score);
+}
+
+TEST(ShardingTest, ShardCountFromMemoryFootprint)
+{
+    ShardingPlanner planner(ChipConfig::mtia2i()); // 128 GB LPDDR
+    EXPECT_EQ(planner.shardsNeeded(40_GiB, 8_GiB), 1u);
+    EXPECT_EQ(planner.shardsNeeded(200_GiB, 8_GiB), 2u);
+    EXPECT_EQ(planner.shardsNeeded(1024_GiB, 8_GiB), 9u);
+}
+
+TEST(ShardingTest, NumaAwarePlacementStaysOnOneSocket)
+{
+    ShardingPlanner planner(ChipConfig::mtia2i());
+    std::vector<bool> occupied(24, false);
+    // Occupy most of socket 0 (chips 0..11): only 2 free there.
+    for (unsigned c = 0; c < 10; ++c)
+        occupied[c] = true;
+    const ShardingPlan plan =
+        planner.plan(300_GiB, 8_GiB, occupied); // needs 3 shards
+    ASSERT_EQ(plan.shards, 3u);
+    ASSERT_EQ(plan.chips.size(), 3u);
+    ServerTopology topo;
+    // Socket 0 has only 2 free chips: the plan must use socket 1.
+    for (unsigned chip : plan.chips)
+        EXPECT_EQ(topo.socketOf(chip), 1u);
+}
+
+TEST(ShardingTest, FailsCleanlyWhenNoSocketFits)
+{
+    ShardingPlanner planner(ChipConfig::mtia2i());
+    std::vector<bool> occupied(24, true);
+    occupied[0] = occupied[12] = false; // one free chip per socket
+    const ShardingPlan plan = planner.plan(300_GiB, 8_GiB, occupied);
+    EXPECT_TRUE(plan.chips.empty());
+}
+
+} // namespace
+} // namespace mtia

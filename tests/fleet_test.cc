@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the productionization substrates: fleet memory-error
+ * telemetry (24%-of-servers regime), injection campaigns by region,
+ * the overclocking study, power provisioning (~40% reduction), and
+ * the firmware lifecycle with deadlock detection and mitigation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/device.h"
+#include "fleet/firmware.h"
+#include "fleet/memory_error_study.h"
+#include "fleet/overclocking.h"
+#include "fleet/power_provisioning.h"
+
+namespace mtia {
+namespace {
+
+TEST(FleetErrors, AboutAQuarterOfServersShowErrors)
+{
+    // Section 5.1: from 1,700 servers, 24% exhibited ECC errors,
+    // typically on a single card per server. The channel BER is
+    // calibrated to that observation window.
+    LpddrConfig cfg;
+    cfg.peak_bandwidth = gbPerSec(204.8);
+    cfg.bit_error_rate = 1.9e-20;
+    LpddrChannel channel(cfg);
+    MemoryErrorStudy study(61);
+    const FleetErrorReport rep =
+        study.sampleFleet(channel, 1700, /*days=*/90.0, 64_GiB);
+    EXPECT_NEAR(rep.serverErrorFraction(), 0.24, 0.07);
+    // Typically a single bad card on affected servers.
+    EXPECT_GT(static_cast<double>(rep.single_card_servers),
+              0.6 * rep.servers_with_errors);
+}
+
+TEST(FleetErrors, RegionSensitivityOrdering)
+{
+    MemoryErrorStudy study(67);
+    const auto reports = study.injectAllRegions(3000);
+    ASSERT_EQ(reports.size(), 6u);
+    double weights_nan = 0.0;
+    double index_oob = 0.0;
+    for (const auto &r : reports) {
+        if (r.region == MemRegion::DenseWeights) {
+            // FP bit flips produce NaNs directly (exponent field)
+            // and corruptions that cascade to NaN downstream.
+            weights_nan = static_cast<double>(r.nan) / r.trials;
+            EXPECT_GT(static_cast<double>(r.corrupted) / r.trials,
+                      0.2);
+        }
+        if (r.region == MemRegion::TbeIndices) {
+            index_oob =
+                static_cast<double>(r.out_of_bounds) / r.trials;
+            EXPECT_EQ(r.benign, 0u); // index flips are never benign
+        }
+    }
+    EXPECT_GT(weights_nan, 0.001);
+    EXPECT_GT(index_oob, 0.5); // most index flips are crash-equivalent
+}
+
+TEST(Overclocking, PassRatesBarelyMoveFrom1p1To1p35)
+{
+    // Section 5.2: ~3,000 chips x 10 tests x {1.1, 1.25, 1.35} GHz
+    // with negligible pass-rate decrease.
+    OverclockingStudy study(71);
+    const OverclockReport rep = study.run(3000, {1.1, 1.25, 1.35});
+    ASSERT_EQ(rep.cells.size(), 30u);
+    const double p110 = rep.passRateAt(1.1);
+    const double p135 = rep.passRateAt(1.35);
+    EXPECT_GT(p110, 0.9999);
+    EXPECT_GT(p135, 0.995);
+    EXPECT_LT(p110 - p135, 0.005);
+}
+
+TEST(Overclocking, FrequencyUpliftSpeedsCompute)
+{
+    Device dev(ChipConfig::mtia2i());
+    dev.setFrequencyGhz(1.1);
+    const double flops_low = dev.peakGemmFlops(DType::FP16);
+    dev.setFrequencyGhz(1.35);
+    EXPECT_NEAR(dev.peakGemmFlops(DType::FP16) / flops_low, 1.227,
+                0.01);
+}
+
+TEST(PowerProvisioning, ReductionNearFortyPercent)
+{
+    Device dev(ChipConfig::mtia2i());
+    PowerProvisioningStudy study(73, dev);
+    const PowerBudgetReport rep = study.run(/*servers=*/200,
+                                            /*days=*/14);
+    EXPECT_GT(rep.reduction(), 0.30);
+    EXPECT_LT(rep.reduction(), 0.50);
+    // The final budget is the max of the two methods and both must
+    // be meaningfully below the stress-test number.
+    EXPECT_DOUBLE_EQ(rep.final_budget_w,
+                     std::max(rep.experiment_budget_w,
+                              rep.analysis_budget_w));
+    EXPECT_LT(rep.experiment_budget_w, rep.initial_budget_w);
+    EXPECT_LT(rep.analysis_budget_w, rep.initial_budget_w);
+}
+
+TEST(Firmware, SignAndVerify)
+{
+    FirmwareManager mgr(79, 1000);
+    FirmwareBundle bundle =
+        mgr.build("fw-2024.10.1", ControlMemLocation::HostMemory);
+    EXPECT_TRUE(bundle.verify());
+    bundle.image[100] ^= 0x01; // corrupt one bit
+    EXPECT_FALSE(bundle.verify());
+}
+
+TEST(Firmware, StressTestCatchesDeadlockAndMitigationClearsIt)
+{
+    // Section 5.5: the enhanced stress suite found ~1% of servers
+    // losing PCIe connectivity; the firmware fix relocated the
+    // Control Core's memory to device SRAM.
+    FirmwareManager mgr(83, 10000);
+    const FirmwareBundle buggy =
+        mgr.build("fw-buggy", ControlMemLocation::HostMemory);
+    const StressTestResult bad = mgr.stressTest(buggy, 2000);
+    EXPECT_FALSE(bad.passed);
+    EXPECT_NEAR(bad.pcie_loss_fraction, 0.01, 0.007);
+
+    const FirmwareBundle fixed =
+        mgr.build("fw-fixed", ControlMemLocation::DeviceSram);
+    const StressTestResult good = mgr.stressTest(fixed, 2000);
+    EXPECT_TRUE(good.passed);
+    EXPECT_DOUBLE_EQ(good.pcie_loss_fraction, 0.0);
+}
+
+TEST(Firmware, RolloutTimelines)
+{
+    FirmwareManager mgr(89, 10000);
+    const FirmwareBundle bundle =
+        mgr.build("fw-ok", ControlMemLocation::DeviceSram);
+
+    // Standard rollout: ~18 days.
+    const RolloutResult standard = mgr.rollout(
+        bundle, FirmwareManager::standardPlan(), 400);
+    EXPECT_TRUE(standard.completed);
+    EXPECT_NEAR(toSeconds(standard.duration) / 86400.0, 18.0, 1.5);
+
+    // Emergency with safety policies: within ~3 hours.
+    const RolloutResult emergency = mgr.rollout(
+        bundle, FirmwareManager::emergencyPlan(false), 400);
+    EXPECT_TRUE(emergency.completed);
+    EXPECT_LT(toSeconds(emergency.duration), 3.0 * 3600.0);
+
+    // Overridden policies: within ~1 hour, at the cost of much
+    // larger restart waves.
+    const RolloutResult urgent = mgr.rollout(
+        bundle, FirmwareManager::emergencyPlan(true), 1200);
+    EXPECT_TRUE(urgent.completed);
+    EXPECT_LT(toSeconds(urgent.duration), 3600.0);
+    EXPECT_GT(urgent.concurrent_restart_peak,
+              emergency.concurrent_restart_peak);
+}
+
+TEST(Firmware, RefusesCorruptImage)
+{
+    FirmwareManager mgr(97, 100);
+    FirmwareBundle bundle =
+        mgr.build("fw-corrupt", ControlMemLocation::DeviceSram);
+    bundle.image[0] ^= 0xff;
+    const RolloutResult r = mgr.rollout(
+        bundle, FirmwareManager::emergencyPlan(true), 100);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.servers_updated, 0u);
+}
+
+} // namespace
+} // namespace mtia

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit and property tests for the simulation foundation: tick math,
+ * RNG distributions, Zipf sampling, stats, and the event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace mtia {
+namespace {
+
+TEST(Types, TickConversionsRoundTrip)
+{
+    EXPECT_EQ(fromSeconds(1.0), kTicksPerSec);
+    EXPECT_EQ(fromMillis(1.0), kTicksPerMs);
+    EXPECT_EQ(fromMicros(1.0), kTicksPerUs);
+    EXPECT_EQ(fromNanos(1.0), kTicksPerNs);
+    EXPECT_DOUBLE_EQ(toSeconds(fromSeconds(2.5)), 2.5);
+    EXPECT_DOUBLE_EQ(toMillis(fromMillis(99.0)), 99.0);
+}
+
+TEST(Types, ByteLiteralsAndTransfer)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(256_MiB, 256ull << 20);
+    EXPECT_EQ(64_GiB, 64ull << 30);
+    // 1 GB at 1 GB/s takes one second.
+    EXPECT_EQ(transferTicks(1000000000ull, gbPerSec(1.0)), kTicksPerSec);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, PoissonMean)
+{
+    Rng rng(13);
+    for (double mean : {0.5, 5.0, 50.0}) {
+        double sum = 0.0;
+        const int n = 50000;
+        for (int i = 0; i < n; ++i)
+            sum += static_cast<double>(rng.poisson(mean));
+        EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << mean;
+    }
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+class ZipfAlpha : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfAlpha, RankFrequenciesFollowPowerLaw)
+{
+    const double alpha = GetParam();
+    Rng rng(23);
+    const std::uint64_t n = 1000;
+    ZipfSampler zipf(n, alpha);
+    std::vector<std::uint64_t> counts(n, 0);
+    const int draws = 400000;
+    for (int i = 0; i < draws; ++i) {
+        const std::uint64_t k = zipf.sample(rng);
+        ASSERT_LT(k, n);
+        ++counts[k];
+    }
+    // Frequency ratio between rank 1 and rank 10 should be ~10^alpha.
+    const double expected = std::pow(10.0, alpha);
+    const double observed =
+        static_cast<double>(counts[0]) / static_cast<double>(counts[9]);
+    EXPECT_NEAR(observed / expected, 1.0, 0.25) << "alpha=" << alpha;
+    // Monotone-decreasing on average: head rank dominates the tail.
+    EXPECT_GT(counts[0], counts[n - 1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfAlpha,
+                         ::testing::Values(0.6, 0.8, 1.05, 1.2));
+
+TEST(DiscreteSampler, MatchesWeights)
+{
+    Rng rng(29);
+    DiscreteSampler s({1.0, 2.0, 7.0});
+    std::vector<int> counts(3, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[s.sample(rng)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(Histogram, PercentilesExact)
+{
+    Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Histogram, InterleavedAddAndQuery)
+{
+    Histogram h;
+    h.add(5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+    h.add(1.0);
+    h.add(9.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 9.0);
+}
+
+TEST(StatsRegistry, FindOrCreateAndDump)
+{
+    StatsRegistry reg;
+    reg.counter("a.b").inc(3);
+    reg.counter("a.b").inc();
+    EXPECT_EQ(reg.counter("a.b").value(), 4u);
+    reg.histogram("lat").add(1.0);
+    reg.scalar("util") = 0.5;
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("a.b = 4"), std::string::npos);
+    reg.resetAll();
+    EXPECT_EQ(reg.counter("a.b").value(), 0u);
+    EXPECT_TRUE(reg.histogram("lat").empty());
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(100, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksCanScheduleMore)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        if (++fired < 10)
+            q.scheduleAfter(5, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(q.now(), 45u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(100, [&] { ++fired; });
+    q.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 50u);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ClearDropsPending)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.clear();
+    q.run();
+    EXPECT_EQ(fired, 0);
+}
+
+} // namespace
+} // namespace mtia
