@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ab_testing"
+  "../bench/ab_testing.pdb"
+  "CMakeFiles/ab_testing.dir/ab_testing.cc.o"
+  "CMakeFiles/ab_testing.dir/ab_testing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

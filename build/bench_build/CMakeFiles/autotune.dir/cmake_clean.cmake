@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/autotune"
+  "../bench/autotune.pdb"
+  "CMakeFiles/autotune.dir/autotune.cc.o"
+  "CMakeFiles/autotune.dir/autotune.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/compression"
+  "../bench/compression.pdb"
+  "CMakeFiles/compression.dir/compression.cc.o"
+  "CMakeFiles/compression.dir/compression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

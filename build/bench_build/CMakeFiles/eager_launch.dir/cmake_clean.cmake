@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/eager_launch"
+  "../bench/eager_launch.pdb"
+  "CMakeFiles/eager_launch.dir/eager_launch.cc.o"
+  "CMakeFiles/eager_launch.dir/eager_launch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eager_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_tbe_consolidation"
+  "../bench/fig5_tbe_consolidation.pdb"
+  "CMakeFiles/fig5_tbe_consolidation.dir/fig5_tbe_consolidation.cc.o"
+  "CMakeFiles/fig5_tbe_consolidation.dir/fig5_tbe_consolidation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tbe_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_model_sweep"
+  "../bench/fig6_model_sweep.pdb"
+  "CMakeFiles/fig6_model_sweep.dir/fig6_model_sweep.cc.o"
+  "CMakeFiles/fig6_model_sweep.dir/fig6_model_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_model_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

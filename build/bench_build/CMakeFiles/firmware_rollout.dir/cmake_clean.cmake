@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/firmware_rollout"
+  "../bench/firmware_rollout.pdb"
+  "CMakeFiles/firmware_rollout.dir/firmware_rollout.cc.o"
+  "CMakeFiles/firmware_rollout.dir/firmware_rollout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gemm_efficiency"
+  "../bench/gemm_efficiency.pdb"
+  "CMakeFiles/gemm_efficiency.dir/gemm_efficiency.cc.o"
+  "CMakeFiles/gemm_efficiency.dir/gemm_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

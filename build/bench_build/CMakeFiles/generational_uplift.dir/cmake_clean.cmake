@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/generational_uplift"
+  "../bench/generational_uplift.pdb"
+  "CMakeFiles/generational_uplift.dir/generational_uplift.cc.o"
+  "CMakeFiles/generational_uplift.dir/generational_uplift.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generational_uplift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/llm_latency"
+  "../bench/llm_latency.pdb"
+  "CMakeFiles/llm_latency.dir/llm_latency.cc.o"
+  "CMakeFiles/llm_latency.dir/llm_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/locality"
+  "../bench/locality.pdb"
+  "CMakeFiles/locality.dir/locality.cc.o"
+  "CMakeFiles/locality.dir/locality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

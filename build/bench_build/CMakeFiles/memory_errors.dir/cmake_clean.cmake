@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/memory_errors"
+  "../bench/memory_errors.pdb"
+  "CMakeFiles/memory_errors.dir/memory_errors.cc.o"
+  "CMakeFiles/memory_errors.dir/memory_errors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/memory_hierarchy"
+  "../bench/memory_hierarchy.pdb"
+  "CMakeFiles/memory_hierarchy.dir/memory_hierarchy.cc.o"
+  "CMakeFiles/memory_hierarchy.dir/memory_hierarchy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/overclocking.cc" "bench_build/CMakeFiles/overclocking.dir/overclocking.cc.o" "gcc" "bench_build/CMakeFiles/overclocking.dir/overclocking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fleet/CMakeFiles/mtia_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mtia_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mtia_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/autotune/CMakeFiles/mtia_autotune.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/mtia_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mtia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/mtia_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/mtia_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/mtia_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtia_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mtia_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mtia_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mtia_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/overclocking"
+  "../bench/overclocking.pdb"
+  "CMakeFiles/overclocking.dir/overclocking.cc.o"
+  "CMakeFiles/overclocking.dir/overclocking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overclocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

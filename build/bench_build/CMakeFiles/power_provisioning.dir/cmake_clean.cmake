@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/power_provisioning"
+  "../bench/power_provisioning.pdb"
+  "CMakeFiles/power_provisioning.dir/power_provisioning.cc.o"
+  "CMakeFiles/power_provisioning.dir/power_provisioning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

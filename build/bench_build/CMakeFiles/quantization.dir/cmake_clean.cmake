@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/quantization"
+  "../bench/quantization.pdb"
+  "CMakeFiles/quantization.dir/quantization.cc.o"
+  "CMakeFiles/quantization.dir/quantization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

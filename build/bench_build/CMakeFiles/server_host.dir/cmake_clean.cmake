@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/server_host"
+  "../bench/server_host.pdb"
+  "CMakeFiles/server_host.dir/server_host.cc.o"
+  "CMakeFiles/server_host.dir/server_host.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

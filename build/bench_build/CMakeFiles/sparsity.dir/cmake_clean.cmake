@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sparsity"
+  "../bench/sparsity.pdb"
+  "CMakeFiles/sparsity.dir/sparsity.cc.o"
+  "CMakeFiles/sparsity.dir/sparsity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

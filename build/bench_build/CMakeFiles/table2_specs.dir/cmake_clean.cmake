@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_specs"
+  "../bench/table2_specs.pdb"
+  "CMakeFiles/table2_specs.dir/table2_specs.cc.o"
+  "CMakeFiles/table2_specs.dir/table2_specs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tbe_instruction_rate"
+  "../bench/tbe_instruction_rate.pdb"
+  "CMakeFiles/tbe_instruction_rate.dir/tbe_instruction_rate.cc.o"
+  "CMakeFiles/tbe_instruction_rate.dir/tbe_instruction_rate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbe_instruction_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

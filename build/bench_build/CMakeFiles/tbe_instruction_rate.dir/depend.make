@@ -1,0 +1,2 @@
+# Empty dependencies file for tbe_instruction_rate.
+# This may be replaced when dependencies are built.

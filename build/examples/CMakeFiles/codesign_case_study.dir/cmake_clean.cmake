@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_case_study.dir/codesign_case_study.cpp.o"
+  "CMakeFiles/codesign_case_study.dir/codesign_case_study.cpp.o.d"
+  "codesign_case_study"
+  "codesign_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

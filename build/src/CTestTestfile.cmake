@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("tensor")
+subdirs("mem")
+subdirs("noc")
+subdirs("pe")
+subdirs("host")
+subdirs("core")
+subdirs("ops")
+subdirs("graph")
+subdirs("models")
+subdirs("autotune")
+subdirs("serving")
+subdirs("fleet")
+subdirs("baselines")

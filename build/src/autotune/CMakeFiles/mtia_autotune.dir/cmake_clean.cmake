@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtia_autotune.dir/batch_tuner.cc.o"
+  "CMakeFiles/mtia_autotune.dir/batch_tuner.cc.o.d"
+  "CMakeFiles/mtia_autotune.dir/coalescing_tuner.cc.o"
+  "CMakeFiles/mtia_autotune.dir/coalescing_tuner.cc.o.d"
+  "CMakeFiles/mtia_autotune.dir/kernel_tuner.cc.o"
+  "CMakeFiles/mtia_autotune.dir/kernel_tuner.cc.o.d"
+  "CMakeFiles/mtia_autotune.dir/perf_database.cc.o"
+  "CMakeFiles/mtia_autotune.dir/perf_database.cc.o.d"
+  "CMakeFiles/mtia_autotune.dir/sharding.cc.o"
+  "CMakeFiles/mtia_autotune.dir/sharding.cc.o.d"
+  "libmtia_autotune.a"
+  "libmtia_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtia_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

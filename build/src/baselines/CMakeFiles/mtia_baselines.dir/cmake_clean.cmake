@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtia_baselines.dir/comparison.cc.o"
+  "CMakeFiles/mtia_baselines.dir/comparison.cc.o.d"
+  "CMakeFiles/mtia_baselines.dir/gpu_model.cc.o"
+  "CMakeFiles/mtia_baselines.dir/gpu_model.cc.o.d"
+  "libmtia_baselines.a"
+  "libmtia_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtia_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

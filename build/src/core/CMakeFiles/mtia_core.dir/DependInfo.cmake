@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chip_config.cc" "src/core/CMakeFiles/mtia_core.dir/chip_config.cc.o" "gcc" "src/core/CMakeFiles/mtia_core.dir/chip_config.cc.o.d"
+  "/root/repo/src/core/device.cc" "src/core/CMakeFiles/mtia_core.dir/device.cc.o" "gcc" "src/core/CMakeFiles/mtia_core.dir/device.cc.o.d"
+  "/root/repo/src/core/kernel_cost_model.cc" "src/core/CMakeFiles/mtia_core.dir/kernel_cost_model.cc.o" "gcc" "src/core/CMakeFiles/mtia_core.dir/kernel_cost_model.cc.o.d"
+  "/root/repo/src/core/tco_model.cc" "src/core/CMakeFiles/mtia_core.dir/tco_model.cc.o" "gcc" "src/core/CMakeFiles/mtia_core.dir/tco_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mtia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mtia_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtia_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mtia_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/mtia_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/mtia_host.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtia_core.dir/chip_config.cc.o"
+  "CMakeFiles/mtia_core.dir/chip_config.cc.o.d"
+  "CMakeFiles/mtia_core.dir/device.cc.o"
+  "CMakeFiles/mtia_core.dir/device.cc.o.d"
+  "CMakeFiles/mtia_core.dir/kernel_cost_model.cc.o"
+  "CMakeFiles/mtia_core.dir/kernel_cost_model.cc.o.d"
+  "CMakeFiles/mtia_core.dir/tco_model.cc.o"
+  "CMakeFiles/mtia_core.dir/tco_model.cc.o.d"
+  "libmtia_core.a"
+  "libmtia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtia_fleet.dir/firmware.cc.o"
+  "CMakeFiles/mtia_fleet.dir/firmware.cc.o.d"
+  "CMakeFiles/mtia_fleet.dir/memory_error_study.cc.o"
+  "CMakeFiles/mtia_fleet.dir/memory_error_study.cc.o.d"
+  "CMakeFiles/mtia_fleet.dir/overclocking.cc.o"
+  "CMakeFiles/mtia_fleet.dir/overclocking.cc.o.d"
+  "CMakeFiles/mtia_fleet.dir/power_provisioning.cc.o"
+  "CMakeFiles/mtia_fleet.dir/power_provisioning.cc.o.d"
+  "libmtia_fleet.a"
+  "libmtia_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtia_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/executor.cc" "src/graph/CMakeFiles/mtia_graph.dir/executor.cc.o" "gcc" "src/graph/CMakeFiles/mtia_graph.dir/executor.cc.o.d"
+  "/root/repo/src/graph/fusion.cc" "src/graph/CMakeFiles/mtia_graph.dir/fusion.cc.o" "gcc" "src/graph/CMakeFiles/mtia_graph.dir/fusion.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/mtia_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/mtia_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/graph_cost.cc" "src/graph/CMakeFiles/mtia_graph.dir/graph_cost.cc.o" "gcc" "src/graph/CMakeFiles/mtia_graph.dir/graph_cost.cc.o.d"
+  "/root/repo/src/graph/liveness.cc" "src/graph/CMakeFiles/mtia_graph.dir/liveness.cc.o" "gcc" "src/graph/CMakeFiles/mtia_graph.dir/liveness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/mtia_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/mtia_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/mtia_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtia_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mtia_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mtia_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mtia_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtia_graph.dir/executor.cc.o"
+  "CMakeFiles/mtia_graph.dir/executor.cc.o.d"
+  "CMakeFiles/mtia_graph.dir/fusion.cc.o"
+  "CMakeFiles/mtia_graph.dir/fusion.cc.o.d"
+  "CMakeFiles/mtia_graph.dir/graph.cc.o"
+  "CMakeFiles/mtia_graph.dir/graph.cc.o.d"
+  "CMakeFiles/mtia_graph.dir/graph_cost.cc.o"
+  "CMakeFiles/mtia_graph.dir/graph_cost.cc.o.d"
+  "CMakeFiles/mtia_graph.dir/liveness.cc.o"
+  "CMakeFiles/mtia_graph.dir/liveness.cc.o.d"
+  "libmtia_graph.a"
+  "libmtia_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtia_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

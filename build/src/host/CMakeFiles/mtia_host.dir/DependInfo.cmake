@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/compression.cc" "src/host/CMakeFiles/mtia_host.dir/compression.cc.o" "gcc" "src/host/CMakeFiles/mtia_host.dir/compression.cc.o.d"
+  "/root/repo/src/host/control_core.cc" "src/host/CMakeFiles/mtia_host.dir/control_core.cc.o" "gcc" "src/host/CMakeFiles/mtia_host.dir/control_core.cc.o.d"
+  "/root/repo/src/host/pcie.cc" "src/host/CMakeFiles/mtia_host.dir/pcie.cc.o" "gcc" "src/host/CMakeFiles/mtia_host.dir/pcie.cc.o.d"
+  "/root/repo/src/host/sha256.cc" "src/host/CMakeFiles/mtia_host.dir/sha256.cc.o" "gcc" "src/host/CMakeFiles/mtia_host.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mtia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mtia_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtia_host.dir/compression.cc.o"
+  "CMakeFiles/mtia_host.dir/compression.cc.o.d"
+  "CMakeFiles/mtia_host.dir/control_core.cc.o"
+  "CMakeFiles/mtia_host.dir/control_core.cc.o.d"
+  "CMakeFiles/mtia_host.dir/pcie.cc.o"
+  "CMakeFiles/mtia_host.dir/pcie.cc.o.d"
+  "CMakeFiles/mtia_host.dir/sha256.cc.o"
+  "CMakeFiles/mtia_host.dir/sha256.cc.o.d"
+  "libmtia_host.a"
+  "libmtia_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtia_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/ecc.cc" "src/mem/CMakeFiles/mtia_mem.dir/ecc.cc.o" "gcc" "src/mem/CMakeFiles/mtia_mem.dir/ecc.cc.o.d"
+  "/root/repo/src/mem/error_injector.cc" "src/mem/CMakeFiles/mtia_mem.dir/error_injector.cc.o" "gcc" "src/mem/CMakeFiles/mtia_mem.dir/error_injector.cc.o.d"
+  "/root/repo/src/mem/llc.cc" "src/mem/CMakeFiles/mtia_mem.dir/llc.cc.o" "gcc" "src/mem/CMakeFiles/mtia_mem.dir/llc.cc.o.d"
+  "/root/repo/src/mem/lpddr.cc" "src/mem/CMakeFiles/mtia_mem.dir/lpddr.cc.o" "gcc" "src/mem/CMakeFiles/mtia_mem.dir/lpddr.cc.o.d"
+  "/root/repo/src/mem/sram.cc" "src/mem/CMakeFiles/mtia_mem.dir/sram.cc.o" "gcc" "src/mem/CMakeFiles/mtia_mem.dir/sram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mtia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mtia_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtia_mem.dir/ecc.cc.o"
+  "CMakeFiles/mtia_mem.dir/ecc.cc.o.d"
+  "CMakeFiles/mtia_mem.dir/error_injector.cc.o"
+  "CMakeFiles/mtia_mem.dir/error_injector.cc.o.d"
+  "CMakeFiles/mtia_mem.dir/llc.cc.o"
+  "CMakeFiles/mtia_mem.dir/llc.cc.o.d"
+  "CMakeFiles/mtia_mem.dir/lpddr.cc.o"
+  "CMakeFiles/mtia_mem.dir/lpddr.cc.o.d"
+  "CMakeFiles/mtia_mem.dir/sram.cc.o"
+  "CMakeFiles/mtia_mem.dir/sram.cc.o.d"
+  "libmtia_mem.a"
+  "libmtia_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtia_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

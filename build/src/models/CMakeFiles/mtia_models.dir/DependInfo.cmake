@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/case_study.cc" "src/models/CMakeFiles/mtia_models.dir/case_study.cc.o" "gcc" "src/models/CMakeFiles/mtia_models.dir/case_study.cc.o.d"
+  "/root/repo/src/models/llm.cc" "src/models/CMakeFiles/mtia_models.dir/llm.cc.o" "gcc" "src/models/CMakeFiles/mtia_models.dir/llm.cc.o.d"
+  "/root/repo/src/models/model_zoo.cc" "src/models/CMakeFiles/mtia_models.dir/model_zoo.cc.o" "gcc" "src/models/CMakeFiles/mtia_models.dir/model_zoo.cc.o.d"
+  "/root/repo/src/models/workload.cc" "src/models/CMakeFiles/mtia_models.dir/workload.cc.o" "gcc" "src/models/CMakeFiles/mtia_models.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mtia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/mtia_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/mtia_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtia_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mtia_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/mtia_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mtia_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mtia_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

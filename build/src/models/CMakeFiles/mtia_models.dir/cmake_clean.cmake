@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtia_models.dir/case_study.cc.o"
+  "CMakeFiles/mtia_models.dir/case_study.cc.o.d"
+  "CMakeFiles/mtia_models.dir/llm.cc.o"
+  "CMakeFiles/mtia_models.dir/llm.cc.o.d"
+  "CMakeFiles/mtia_models.dir/model_zoo.cc.o"
+  "CMakeFiles/mtia_models.dir/model_zoo.cc.o.d"
+  "CMakeFiles/mtia_models.dir/workload.cc.o"
+  "CMakeFiles/mtia_models.dir/workload.cc.o.d"
+  "libmtia_models.a"
+  "libmtia_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtia_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtia_models.a"
+)

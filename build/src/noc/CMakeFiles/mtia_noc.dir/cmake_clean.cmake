@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtia_noc.dir/deadlock.cc.o"
+  "CMakeFiles/mtia_noc.dir/deadlock.cc.o.d"
+  "CMakeFiles/mtia_noc.dir/noc.cc.o"
+  "CMakeFiles/mtia_noc.dir/noc.cc.o.d"
+  "CMakeFiles/mtia_noc.dir/traffic_shaper.cc.o"
+  "CMakeFiles/mtia_noc.dir/traffic_shaper.cc.o.d"
+  "libmtia_noc.a"
+  "libmtia_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtia_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtia_ops.dir/attention_ops.cc.o"
+  "CMakeFiles/mtia_ops.dir/attention_ops.cc.o.d"
+  "CMakeFiles/mtia_ops.dir/dense_ops.cc.o"
+  "CMakeFiles/mtia_ops.dir/dense_ops.cc.o.d"
+  "CMakeFiles/mtia_ops.dir/op.cc.o"
+  "CMakeFiles/mtia_ops.dir/op.cc.o.d"
+  "CMakeFiles/mtia_ops.dir/sparse_ops.cc.o"
+  "CMakeFiles/mtia_ops.dir/sparse_ops.cc.o.d"
+  "libmtia_ops.a"
+  "libmtia_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtia_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mtia_ops.
+# This may be replaced when dependencies are built.

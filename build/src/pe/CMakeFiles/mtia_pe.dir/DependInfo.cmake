@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pe/command_processor.cc" "src/pe/CMakeFiles/mtia_pe.dir/command_processor.cc.o" "gcc" "src/pe/CMakeFiles/mtia_pe.dir/command_processor.cc.o.d"
+  "/root/repo/src/pe/dpe.cc" "src/pe/CMakeFiles/mtia_pe.dir/dpe.cc.o" "gcc" "src/pe/CMakeFiles/mtia_pe.dir/dpe.cc.o.d"
+  "/root/repo/src/pe/fabric_interface.cc" "src/pe/CMakeFiles/mtia_pe.dir/fabric_interface.cc.o" "gcc" "src/pe/CMakeFiles/mtia_pe.dir/fabric_interface.cc.o.d"
+  "/root/repo/src/pe/mlu.cc" "src/pe/CMakeFiles/mtia_pe.dir/mlu.cc.o" "gcc" "src/pe/CMakeFiles/mtia_pe.dir/mlu.cc.o.d"
+  "/root/repo/src/pe/reduction_engine.cc" "src/pe/CMakeFiles/mtia_pe.dir/reduction_engine.cc.o" "gcc" "src/pe/CMakeFiles/mtia_pe.dir/reduction_engine.cc.o.d"
+  "/root/repo/src/pe/simd_engine.cc" "src/pe/CMakeFiles/mtia_pe.dir/simd_engine.cc.o" "gcc" "src/pe/CMakeFiles/mtia_pe.dir/simd_engine.cc.o.d"
+  "/root/repo/src/pe/work_queue_engine.cc" "src/pe/CMakeFiles/mtia_pe.dir/work_queue_engine.cc.o" "gcc" "src/pe/CMakeFiles/mtia_pe.dir/work_queue_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mtia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mtia_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtia_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mtia_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

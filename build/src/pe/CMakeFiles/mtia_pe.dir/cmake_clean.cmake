@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtia_pe.dir/command_processor.cc.o"
+  "CMakeFiles/mtia_pe.dir/command_processor.cc.o.d"
+  "CMakeFiles/mtia_pe.dir/dpe.cc.o"
+  "CMakeFiles/mtia_pe.dir/dpe.cc.o.d"
+  "CMakeFiles/mtia_pe.dir/fabric_interface.cc.o"
+  "CMakeFiles/mtia_pe.dir/fabric_interface.cc.o.d"
+  "CMakeFiles/mtia_pe.dir/mlu.cc.o"
+  "CMakeFiles/mtia_pe.dir/mlu.cc.o.d"
+  "CMakeFiles/mtia_pe.dir/reduction_engine.cc.o"
+  "CMakeFiles/mtia_pe.dir/reduction_engine.cc.o.d"
+  "CMakeFiles/mtia_pe.dir/simd_engine.cc.o"
+  "CMakeFiles/mtia_pe.dir/simd_engine.cc.o.d"
+  "CMakeFiles/mtia_pe.dir/work_queue_engine.cc.o"
+  "CMakeFiles/mtia_pe.dir/work_queue_engine.cc.o.d"
+  "libmtia_pe.a"
+  "libmtia_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtia_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtia_serving.dir/ab_testing.cc.o"
+  "CMakeFiles/mtia_serving.dir/ab_testing.cc.o.d"
+  "CMakeFiles/mtia_serving.dir/coalescer.cc.o"
+  "CMakeFiles/mtia_serving.dir/coalescer.cc.o.d"
+  "CMakeFiles/mtia_serving.dir/serving_sim.cc.o"
+  "CMakeFiles/mtia_serving.dir/serving_sim.cc.o.d"
+  "libmtia_serving.a"
+  "libmtia_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtia_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtia_sim.dir/event_queue.cc.o"
+  "CMakeFiles/mtia_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/mtia_sim.dir/logging.cc.o"
+  "CMakeFiles/mtia_sim.dir/logging.cc.o.d"
+  "CMakeFiles/mtia_sim.dir/random.cc.o"
+  "CMakeFiles/mtia_sim.dir/random.cc.o.d"
+  "CMakeFiles/mtia_sim.dir/stats.cc.o"
+  "CMakeFiles/mtia_sim.dir/stats.cc.o.d"
+  "libmtia_sim.a"
+  "libmtia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtia_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

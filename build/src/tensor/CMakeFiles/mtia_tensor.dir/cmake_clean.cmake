@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtia_tensor.dir/dtype.cc.o"
+  "CMakeFiles/mtia_tensor.dir/dtype.cc.o.d"
+  "CMakeFiles/mtia_tensor.dir/jagged.cc.o"
+  "CMakeFiles/mtia_tensor.dir/jagged.cc.o.d"
+  "CMakeFiles/mtia_tensor.dir/quantize.cc.o"
+  "CMakeFiles/mtia_tensor.dir/quantize.cc.o.d"
+  "CMakeFiles/mtia_tensor.dir/tensor.cc.o"
+  "CMakeFiles/mtia_tensor.dir/tensor.cc.o.d"
+  "libmtia_tensor.a"
+  "libmtia_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtia_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
