@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Static linter for simulator-specific invariants.
+
+The simulator's value rests on bit-for-bit reproducibility and on
+contracts that fail loudly. This linter rejects the patterns that
+silently break those properties:
+
+  wall-clock      std::chrono::system_clock / steady_clock, time(),
+                  clock(), gettimeofday() — simulated time must come
+                  from the EventQueue, never the host clock.
+  unseeded-rng    rand(), srand(), std::random_device, or a
+                  default-constructed std::mt19937 — all randomness
+                  must flow through an explicitly seeded mtia::Rng.
+  raw-output      printf/fprintf(stdout)/std::cout/std::cerr/puts in
+                  src/ outside sim/logging — diagnostics must use the
+                  logging layer so verbosity is controllable.
+  include-guard   headers must carry a classic #ifndef/#define guard
+                  (the repo convention; #pragma once is rejected for
+                  consistency).
+  check-side-effect
+                  MTIA_CHECK/MTIA_DCHECK conditions containing ++/--
+                  or a bare assignment — MTIA_DCHECK compiles out in
+                  release builds, so a mutating condition changes
+                  behavior between build types.
+
+Suppress a false positive by appending  // sim-lint: allow(<rule>)
+to the offending line.
+
+Usage:
+  scripts/check_sim_invariants.py [--root DIR] [PATH ...]
+
+With no PATH arguments, lints src/ and bench/ under --root (default:
+the repository root containing this script). Exits non-zero if any
+violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+HEADER_SUFFIXES = {".h", ".hpp"}
+
+ALLOW_RE = re.compile(r"//\s*sim-lint:\s*allow\(([a-z-]+)\)")
+
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
+    r"|\bgettimeofday\s*\("
+    r"|(?<![\w:.])(?:std::)?time\s*\(\s*(?:NULL|nullptr|0|&)"
+    r"|(?<![\w:.])(?:std::)?clock\s*\(\s*\)"
+)
+
+UNSEEDED_RNG_RE = re.compile(
+    r"(?<![\w:.])(?:std::)?s?rand\s*\("
+    r"|std::random_device"
+    r"|std::mt19937(?:_64)?\s+\w+\s*(?:;|\{\s*\}|\(\s*\))"
+)
+
+RAW_OUTPUT_RE = re.compile(
+    r"(?<![\w:.])printf\s*\("
+    r"|(?<![\w:.])fprintf\s*\(\s*stdout"
+    r"|std::cout\b|std::cerr\b"
+    r"|(?<![\w:.])puts\s*\("
+)
+
+CHECK_OPEN_RE = re.compile(r"\bMTIA_D?CHECK(?:_(?:EQ|NE|LT|LE|GT|GE))?\s*\(")
+# ++/-- anywhere, or an assignment operator that is not a comparison.
+SIDE_EFFECT_RE = re.compile(
+    r"\+\+|--|(?<![=!<>+\-*/%&|^])=(?![=])"
+)
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Blank out string/char literals and // comments (keeps length)."""
+    out = []
+    i = 0
+    n = len(line)
+    quote = None
+    while i < n:
+        c = line[i]
+        if quote:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" " if c != quote else c)
+            if c == quote:
+                quote = None
+            i += 1
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(c)
+        elif c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        else:
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.violations: list[tuple[pathlib.Path, int, str, str]] = []
+
+    def report(self, path: pathlib.Path, lineno: int, rule: str,
+               detail: str, raw_line: str) -> None:
+        allow = ALLOW_RE.search(raw_line)
+        if allow and allow.group(1) == rule:
+            return
+        self.violations.append((path, lineno, rule, detail))
+
+    def lint_file(self, path: pathlib.Path, in_src: bool,
+                  logging_exempt: bool) -> None:
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as err:
+            self.violations.append((path, 0, "io-error", str(err)))
+            return
+        lines = text.splitlines()
+
+        in_block_comment = False
+        for lineno, raw in enumerate(lines, start=1):
+            line = strip_comments_and_strings(raw)
+            # Crude block-comment tracking; enough for this codebase's
+            # /** ... */ doc style.
+            if in_block_comment:
+                if "*/" in line:
+                    line = line.split("*/", 1)[1]
+                    in_block_comment = False
+                else:
+                    continue
+            if "/*" in line:
+                head, _, tail = line.partition("/*")
+                if "*/" in tail:
+                    line = head + tail.split("*/", 1)[1]
+                else:
+                    line = head
+                    in_block_comment = True
+
+            if WALL_CLOCK_RE.search(line):
+                self.report(path, lineno, "wall-clock",
+                            "host wall-clock time in simulator code; "
+                            "use EventQueue ticks", raw)
+            if UNSEEDED_RNG_RE.search(line):
+                self.report(path, lineno, "unseeded-rng",
+                            "unseeded/global randomness; use an "
+                            "explicitly seeded mtia::Rng", raw)
+            if in_src and not logging_exempt and RAW_OUTPUT_RE.search(line):
+                self.report(path, lineno, "raw-output",
+                            "direct console output in src/; use "
+                            "sim/logging (warn/inform)", raw)
+
+        if path.suffix in HEADER_SUFFIXES:
+            self.lint_include_guard(path, lines)
+        self.lint_check_side_effects(path, lines)
+
+    def lint_include_guard(self, path: pathlib.Path,
+                           lines: list[str]) -> None:
+        ifndef = None
+        define = None
+        for lineno, raw in enumerate(lines, start=1):
+            stripped = raw.strip()
+            if stripped.startswith("#pragma once"):
+                self.report(path, lineno, "include-guard",
+                            "#pragma once; use an #ifndef guard "
+                            "(repo convention)", raw)
+                return
+            if ifndef is None:
+                m = re.match(r"#ifndef\s+(\w+)", stripped)
+                if m:
+                    ifndef = (lineno, m.group(1))
+                continue
+            m = re.match(r"#define\s+(\w+)", stripped)
+            if m:
+                define = (lineno, m.group(1))
+            break
+        if ifndef is None or define is None:
+            self.report(path, 1, "include-guard",
+                        "missing #ifndef/#define include guard", "")
+            return
+        if ifndef[1] != define[1]:
+            self.report(path, define[0], "include-guard",
+                        f"guard mismatch: #ifndef {ifndef[1]} vs "
+                        f"#define {define[1]}", "")
+
+    def lint_check_side_effects(self, path: pathlib.Path,
+                                lines: list[str]) -> None:
+        """Flag ++/--/assignment inside a MTIA_CHECK condition.
+
+        Only the argument list of the macro is scanned (not the
+        streamed message after the closing parenthesis).
+        """
+        text = "\n".join(strip_comments_and_strings(l) for l in lines)
+        for m in CHECK_OPEN_RE.finditer(text):
+            depth = 1
+            i = m.end()
+            while i < len(text) and depth > 0:
+                if text[i] == "(":
+                    depth += 1
+                elif text[i] == ")":
+                    depth -= 1
+                i += 1
+            args = text[m.end():i - 1]
+            if SIDE_EFFECT_RE.search(args):
+                lineno = text.count("\n", 0, m.start()) + 1
+                raw = lines[lineno - 1] if lineno <= len(lines) else ""
+                self.report(path, lineno, "check-side-effect",
+                            "side effect inside a check condition; "
+                            "MTIA_DCHECK conditions vanish in release "
+                            "builds", raw)
+
+
+def collect_files(paths: list[pathlib.Path]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for p in paths:
+        if p.is_file():
+            if p.suffix in SOURCE_SUFFIXES:
+                files.append(p)
+        elif p.is_dir():
+            files.extend(sorted(
+                f for f in p.rglob("*") if f.suffix in SOURCE_SUFFIXES))
+    return files
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent
+                        .parent,
+                        help="repository root (default: script's repo)")
+    parser.add_argument("--treat-as-src", action="store_true",
+                        help="apply src/-only rules (raw-output) to "
+                             "every linted file; used by the fixture "
+                             "self-test")
+    parser.add_argument("paths", nargs="*", type=pathlib.Path,
+                        help="files or directories to lint "
+                             "(default: src/ and bench/ under --root)")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    targets = ([p.resolve() for p in args.paths] if args.paths
+               else [root / "src", root / "bench"])
+
+    linter = Linter()
+    nfiles = 0
+    for f in collect_files(targets):
+        nfiles += 1
+        try:
+            rel = f.relative_to(root)
+        except ValueError:
+            rel = f
+        rel_posix = rel.as_posix()
+        in_src = rel_posix.startswith("src/") or args.treat_as_src
+        logging_exempt = rel_posix.startswith("src/sim/logging")
+        linter.lint_file(f, in_src, logging_exempt)
+
+    for path, lineno, rule, detail in linter.violations:
+        try:
+            shown = path.relative_to(root)
+        except ValueError:
+            shown = path
+        print(f"{shown}:{lineno}: [{rule}] {detail}")
+    n = len(linter.violations)
+    if n:
+        print(f"\n{n} violation(s) in {nfiles} file(s)")
+        return 1
+    print(f"ok: {nfiles} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,7 +1,7 @@
 #include "autotune/batch_tuner.h"
 
 #include "graph/fusion.h"
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -24,8 +24,8 @@ BatchSizeTuner::evaluate(const ModelBuilder &builder,
                          const std::vector<std::int64_t> &candidates,
                          Tick slo, std::size_t &winner) const
 {
-    if (candidates.empty())
-        MTIA_PANIC("BatchSizeTuner: no candidates");
+    MTIA_CHECK(!candidates.empty())
+        << ": BatchSizeTuner needs candidate batch sizes";
     std::vector<BatchCandidate> out;
     out.reserve(candidates.size());
     for (std::int64_t b : candidates)

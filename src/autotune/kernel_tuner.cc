@@ -1,6 +1,6 @@
 #include "autotune/kernel_tuner.h"
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -45,8 +45,7 @@ KernelTuner::tuneExhaustive(const FcShape &shape) const
             first = false;
         }
     }
-    if (first)
-        MTIA_PANIC("tuneExhaustive: no feasible variant");
+    MTIA_CHECK(!first) << ": tuneExhaustive found no feasible variant";
     best.tuning_cost =
         replay_cost_ * static_cast<Tick>(variantSpace().size());
     return best;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -31,8 +31,7 @@ KdTree::dist2(const ShapeKey &a, const ShapeKey &b)
 
 KdTree::KdTree(std::vector<ShapeKey> points) : points_(std::move(points))
 {
-    if (points_.empty())
-        MTIA_PANIC("KdTree: empty point set");
+    MTIA_CHECK(!points_.empty()) << ": KdTree over an empty point set";
     std::vector<std::size_t> idx(points_.size());
     for (std::size_t i = 0; i < idx.size(); ++i)
         idx[i] = i;

@@ -1,5 +1,6 @@
 #include "autotune/sharding.h"
 
+#include "core/check.h"
 #include "sim/logging.h"
 
 namespace mtia {
@@ -26,8 +27,8 @@ ShardingPlanner::plan(Bytes embedding_bytes, Bytes runtime_bytes,
         std::max(1u, shardsNeeded(embedding_bytes, runtime_bytes));
     out.bytes_per_shard = embedding_bytes / out.shards + runtime_bytes;
 
-    if (occupied.size() < topo_.totalChips())
-        MTIA_PANIC("ShardingPlanner::plan: occupancy bitmap too small");
+    MTIA_CHECK_GE(occupied.size(), topo_.totalChips())
+        << ": ShardingPlanner occupancy bitmap too small";
 
     // NUMA-aware: find a socket with enough free chips, preferring
     // chips that share modules (minimizes PCIe-switch hops for P2P).

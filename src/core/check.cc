@@ -1,0 +1,67 @@
+#include "core/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mtia {
+
+namespace {
+
+[[noreturn]] void
+abortingCheckHandler(const CheckContext &ctx)
+{
+    std::fprintf(stderr, "check failed: %s (%s:%d)\n",
+                 ctx.message.c_str(), ctx.file, ctx.line);
+    std::abort();
+}
+
+std::atomic<CheckFailureHandler> g_handler{&abortingCheckHandler};
+
+} // namespace
+
+CheckFailureHandler
+setCheckFailureHandler(CheckFailureHandler handler)
+{
+    if (handler == nullptr)
+        handler = &abortingCheckHandler;
+    return g_handler.exchange(handler);
+}
+
+CheckFailureHandler
+getCheckFailureHandler()
+{
+    return g_handler.load();
+}
+
+namespace detail {
+
+void
+throwingCheckHandler(const CheckContext &ctx)
+{
+    throw CheckFailedError(std::string(ctx.file) + ":" +
+                           std::to_string(ctx.line) + ": " + ctx.message);
+}
+
+void
+checkFailed(const CheckContext &ctx)
+{
+    g_handler.load()(ctx);
+    // A conforming handler throws or terminates; refuse to continue
+    // past a violated contract regardless.
+    std::fprintf(stderr,
+                 "check failure handler returned; aborting (%s:%d)\n",
+                 ctx.file, ctx.line);
+    std::abort();
+}
+
+void
+unreachableImpl(const char *file, int line, const char *what)
+{
+    checkFailed(CheckContext{
+        file, line, std::string("MTIA_UNREACHABLE: ") + what});
+}
+
+} // namespace detail
+
+} // namespace mtia

@@ -17,8 +17,10 @@ Device::Device(ChipConfig cfg)
       wqe_(cfg_.work_queue),
       fi_(cfg_.fabric),
       control_(cfg_.control),
-      partition_(cfg_.sram, /*lls_regions=*/cfg_.sram.capacity /
-                     cfg_.sram.region_granularity / 2)
+      partition_(cfg_.sram,
+                 /*lls_regions=*/static_cast<unsigned>(
+                     cfg_.sram.capacity /
+                     cfg_.sram.region_granularity / 2))
 {
 }
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -69,7 +69,7 @@ KernelCostModel::placementBandwidth(Placement p, bool coordinated) const
         return dev_.dram().effectiveReadBandwidth() * edge;
       }
     }
-    MTIA_PANIC("placementBandwidth: unknown placement");
+    MTIA_UNREACHABLE("placementBandwidth: unknown placement");
 }
 
 KernelTime
@@ -99,7 +99,8 @@ KernelCostModel::fc(const FcShape &shape, const FcOptions &opt) const
             ? dev_.dram().effectiveReadBandwidth() /
                 dev_.dram().effectiveWriteBandwidth()
             : 1.0;
-        dram_bytes += static_cast<Bytes>(bytes * write_amp);
+        dram_bytes +=
+            static_cast<Bytes>(static_cast<double>(bytes) * write_amp);
         if (!is_weights)
             dram_scattered = true;
         return 0; // accounted in the combined DRAM term below
@@ -141,14 +142,16 @@ KernelCostModel::fc(const FcShape &shape, const FcOptions &opt) const
         const Bytes act_traffic =
             static_cast<Bytes>(act_elems) * (2 + 1); // read fp16, write i8
         const Tick quant = std::max(
-            fromSeconds(2.0 * act_elems / dev_.peakSimdOps()),
+            fromSeconds(2.0 * static_cast<double>(act_elems) /
+                        dev_.peakSimdOps()),
             transferTicks(act_traffic, dev_.sramBandwidth()));
         // Dequantize output: INT32 accum in, FP16 out, 2 ops/elem.
         const std::int64_t out_elems = shape.m * shape.n;
         const Bytes out_traffic =
             static_cast<Bytes>(out_elems) * (4 + 2);
         const Tick dequant = std::max(
-            fromSeconds(2.0 * out_elems / dev_.peakSimdOps()),
+            fromSeconds(2.0 * static_cast<double>(out_elems) /
+                        dev_.peakSimdOps()),
             transferTicks(out_traffic, dev_.sramBandwidth()));
         t.quant_overhead = quant + dequant;
     }
@@ -164,8 +167,8 @@ KernelCostModel::fc(const FcShape &shape, const FcOptions &opt) const
 KernelTime
 KernelCostModel::tbe(const TbeShape &shape, const TbeOptions &opt) const
 {
-    if (opt.sram_hit_rate < 0.0 || opt.sram_hit_rate > 1.0)
-        MTIA_PANIC("tbe: hit rate out of range");
+    MTIA_CHECK_GE(opt.sram_hit_rate, 0.0) << ": tbe SRAM hit rate";
+    MTIA_CHECK_LE(opt.sram_hit_rate, 1.0) << ": tbe SRAM hit rate";
     KernelTime t;
 
     const Bytes total = shape.bytesFetched();

@@ -46,7 +46,11 @@ struct FcShape
     std::int64_t n = 0; ///< output features
     std::int64_t k = 0; ///< input features
 
-    double flops() const { return 2.0 * m * n * k; }
+    double flops() const
+    {
+        return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+               static_cast<double>(k);
+    }
     Bytes weightBytes(DType dt) const
     {
         return static_cast<Bytes>(n) * k * dtypeSize(dt);

@@ -1,6 +1,6 @@
 #include "core/tco_model.h"
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -44,8 +44,8 @@ PlatformCost::gpuServer()
 double
 TcoModel::tcoPerDevice(const PlatformCost &p, double avg_watts) const
 {
-    if (p.devices_per_server == 0)
-        MTIA_PANIC("TcoModel: devices_per_server is zero");
+    MTIA_CHECK_GT(p.devices_per_server, 0u)
+        << ": TcoModel devices per server";
     return p.device_capex_units +
         p.host_capex_units / p.devices_per_server +
         avg_watts * energy_units_per_watt_;
@@ -64,8 +64,8 @@ TcoModel::tcoReduction(double qps_per_dev_a, const PlatformCost &a,
                        double watts_a, double qps_per_dev_b,
                        const PlatformCost &b, double watts_b) const
 {
-    if (qps_per_dev_a <= 0.0 || qps_per_dev_b <= 0.0)
-        MTIA_PANIC("TcoModel::tcoReduction: non-positive throughput");
+    MTIA_CHECK_GT(qps_per_dev_a, 0.0) << ": tcoReduction throughput A";
+    MTIA_CHECK_GT(qps_per_dev_b, 0.0) << ": tcoReduction throughput B";
     // Cost of one unit of throughput on each platform.
     const double cost_a = tcoPerDevice(a, watts_a) / qps_per_dev_a;
     const double cost_b = tcoPerDevice(b, watts_b) / qps_per_dev_b;

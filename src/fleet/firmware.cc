@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -92,12 +92,24 @@ FirmwareManager::rollout(const FirmwareBundle &bundle,
     RolloutResult result;
     if (!bundle.verify())
         return result; // refuse to ship an unsigned/corrupt image
-    if (max_concurrent_restarts == 0)
-        MTIA_FATAL("rollout: restart policy must allow progress");
+    MTIA_CHECK_GT(max_concurrent_restarts, 0u)
+        << ": rollout restart policy must allow progress";
 
     Tick now = 0;
     unsigned updated = 0;
+    double prev_fraction = 0.0;
     for (const RolloutStage &stage : plan) {
+        // Rollout stages form a monotone state machine over the fleet:
+        // each stage only ever widens the deployed fraction.
+        MTIA_CHECK_GT(stage.fleet_fraction, 0.0)
+            << ": rollout stage '" << stage.name << "' deploys nothing";
+        MTIA_CHECK_LE(stage.fleet_fraction, 1.0)
+            << ": rollout stage '" << stage.name
+            << "' exceeds the whole fleet";
+        MTIA_CHECK_GE(stage.fleet_fraction, prev_fraction)
+            << ": rollout stage '" << stage.name
+            << "' shrinks the deployed fraction";
+        prev_fraction = stage.fleet_fraction;
         const auto target = static_cast<unsigned>(
             std::ceil(stage.fleet_fraction * fleet_servers_));
         while (updated < target) {

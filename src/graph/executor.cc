@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -32,9 +32,9 @@ Executor::run(const Graph &g, const std::map<int, Tensor> &bound_inputs)
         ins.reserve(nd.inputs.size());
         for (int in : nd.inputs) {
             auto it = live.find(in);
-            if (it == live.end())
-                MTIA_PANIC("Executor: input ", in, " of node ", id,
-                           " not live");
+            MTIA_CHECK(it != live.end())
+                << ": Executor input " << in << " of node " << id
+                << " is not live (bad schedule?)";
             ins.push_back(it->second);
         }
 

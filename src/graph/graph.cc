@@ -2,24 +2,22 @@
 
 #include <sstream>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
 int
 Graph::add(OpPtr op, std::vector<int> inputs, std::string label)
 {
-    if (!op)
-        MTIA_PANIC("Graph::add: null op");
+    MTIA_CHECK(op != nullptr) << ": Graph::add null op";
     const int id = static_cast<int>(nodes_.size());
     for (int in : inputs) {
-        if (in < 0 || in >= id)
-            MTIA_PANIC("Graph::add: input ", in,
-                       " does not precede node ", id);
+        MTIA_CHECK_GE(in, 0) << ": Graph::add negative input id";
+        MTIA_CHECK_LT(in, id)
+            << ": Graph::add input must precede node " << id;
     }
-    if (inputs.size() != op->arity())
-        MTIA_PANIC("Graph::add: op ", op->kind(), " wants ",
-                   op->arity(), " inputs, got ", inputs.size());
+    MTIA_CHECK_EQ(inputs.size(), op->arity())
+        << ": Graph::add op " << op->kind() << " arity mismatch";
     nodes_.push_back(Node{id, std::move(op), std::move(inputs),
                           std::move(label), false});
     shape_cache_.emplace_back();
@@ -30,8 +28,9 @@ Graph::add(OpPtr op, std::vector<int> inputs, std::string label)
 const Node &
 Graph::node(int id) const
 {
-    if (id < 0 || id >= static_cast<int>(nodes_.size()))
-        MTIA_PANIC("Graph::node: bad id ", id);
+    MTIA_CHECK_GE(id, 0) << ": Graph::node negative id";
+    MTIA_CHECK_LT(id, static_cast<int>(nodes_.size()))
+        << ": Graph::node id out of range";
     return nodes_[static_cast<std::size_t>(id)];
 }
 
@@ -113,13 +112,13 @@ Graph::validate() const
     for (const auto &nd : nodes_) {
         if (nd.dead)
             continue;
-        if (nd.inputs.size() != nd.op->arity())
-            MTIA_PANIC("Graph::validate: node ", nd.id, " (",
-                       nd.op->kind(), ") arity mismatch");
+        MTIA_CHECK_EQ(nd.inputs.size(), nd.op->arity())
+            << ": Graph::validate node " << nd.id << " ("
+            << nd.op->kind() << ") arity mismatch";
         for (int in : nd.inputs) {
-            if (node(in).dead)
-                MTIA_PANIC("Graph::validate: node ", nd.id,
-                           " reads dead node ", in);
+            MTIA_CHECK(!node(in).dead)
+                << ": Graph::validate node " << nd.id
+                << " reads dead node " << in;
         }
         shapeOf(nd.id); // panics on incompatible shapes
     }
@@ -137,8 +136,8 @@ void
 Graph::rewireInput(int node_id, std::size_t slot, int new_src)
 {
     Node &nd = node(node_id);
-    if (slot >= nd.inputs.size())
-        MTIA_PANIC("Graph::rewireInput: bad slot");
+    MTIA_CHECK_LT(slot, nd.inputs.size())
+        << ": Graph::rewireInput slot out of range";
     nd.inputs[slot] = new_src;
     std::fill(shape_valid_.begin(), shape_valid_.end(), false);
 }

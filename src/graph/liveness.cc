@@ -4,7 +4,7 @@
 #include <map>
 #include <set>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -105,8 +105,8 @@ memoryAwareOrder(const Graph &g)
                 best_delta = delta;
             }
         }
-        if (best < 0)
-            MTIA_PANIC("memoryAwareOrder: no ready node (cycle?)");
+        MTIA_CHECK_GE(best, 0)
+            << ": memoryAwareOrder found no ready node (cycle?)";
         order.push_back(best);
         scheduled.insert(best);
         remaining.erase(best);

@@ -5,7 +5,7 @@
 #include <cmath>
 #include <cstring>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -31,8 +31,7 @@ put32(ByteBuffer &out, std::uint32_t v)
 std::uint32_t
 get32(const ByteBuffer &in, std::size_t &pos)
 {
-    if (pos + 4 > in.size())
-        MTIA_PANIC("rANS: truncated stream");
+    MTIA_CHECK_LE(pos + 4, in.size()) << ": rANS truncated stream";
     const std::uint32_t v = static_cast<std::uint32_t>(in[pos]) |
         (static_cast<std::uint32_t>(in[pos + 1]) << 8) |
         (static_cast<std::uint32_t>(in[pos + 2]) << 16) |
@@ -66,8 +65,8 @@ normalizeFreqs(const std::array<std::uint64_t, 256> &counts,
         const std::int64_t delta =
             static_cast<std::int64_t>(kProbScale) - assigned;
         const std::int64_t adjusted = freq[largest] + delta;
-        if (adjusted < 1)
-            MTIA_PANIC("rANS: frequency normalization failed");
+        MTIA_CHECK_GE(adjusted, 1)
+            << ": rANS frequency normalization failed";
         freq[largest] = static_cast<std::uint32_t>(adjusted);
     }
     return freq;
@@ -120,8 +119,8 @@ decompressBlock(const ByteBuffer &in, std::size_t &pos, ByteBuffer &out)
 {
     const std::uint32_t n = get32(in, pos);
     std::array<std::uint32_t, 256> freq{};
-    if (pos + 512 > in.size())
-        MTIA_PANIC("rANS: truncated frequency table");
+    MTIA_CHECK_LE(pos + 512, in.size())
+        << ": rANS truncated frequency table";
     for (int s = 0; s < 256; ++s) {
         freq[s] = static_cast<std::uint32_t>(in[pos]) |
             (static_cast<std::uint32_t>(in[pos + 1]) << 8);
@@ -138,12 +137,10 @@ decompressBlock(const ByteBuffer &in, std::size_t &pos, ByteBuffer &out)
 
     const std::uint32_t payload = get32(in, pos);
     const std::size_t end = pos + payload;
-    if (end > in.size())
-        MTIA_PANIC("rANS: truncated payload");
+    MTIA_CHECK_LE(end, in.size()) << ": rANS truncated payload";
 
     auto next_byte = [&]() -> std::uint32_t {
-        if (pos >= end)
-            MTIA_PANIC("rANS: payload underrun");
+        MTIA_CHECK_LT(pos, end) << ": rANS payload underrun";
         return in[pos++];
     };
 
@@ -193,8 +190,7 @@ readVarLen(const ByteBuffer &in, std::size_t &pos, std::size_t base)
         return base;
     std::size_t v = base;
     while (true) {
-        if (pos >= in.size())
-            MTIA_PANIC("LZ: truncated length");
+        MTIA_CHECK_LT(pos, in.size()) << ": LZ truncated length";
         const std::uint8_t b = in[pos++];
         v += b;
         if (b != 255)
@@ -325,26 +321,25 @@ LzCodec::decompress(const ByteBuffer &input)
     ByteBuffer out;
     out.reserve(total);
     while (out.size() < total) {
-        if (pos >= input.size())
-            MTIA_PANIC("LZ: truncated stream");
+        MTIA_CHECK_LT(pos, input.size()) << ": LZ truncated stream";
         const std::uint8_t token = input[pos++];
         std::size_t nlit = readVarLen(input, pos, token >> 4);
-        if (pos + nlit > input.size())
-            MTIA_PANIC("LZ: truncated literals");
+        MTIA_CHECK_LE(pos + nlit, input.size())
+            << ": LZ truncated literals";
         out.insert(out.end(), input.begin() + pos,
                    input.begin() + pos + nlit);
         pos += nlit;
         if (out.size() >= total)
             break;
-        if (pos + 2 > input.size())
-            MTIA_PANIC("LZ: truncated offset");
+        MTIA_CHECK_LE(pos + 2, input.size()) << ": LZ truncated offset";
         const std::size_t offset = input[pos] |
             (static_cast<std::size_t>(input[pos + 1]) << 8);
         pos += 2;
         std::size_t match_len =
             readVarLen(input, pos, token & 0x0f) + kMinMatch;
-        if (offset == 0 || offset > out.size())
-            MTIA_PANIC("LZ: bad offset ", offset);
+        MTIA_CHECK_GT(offset, 0u) << ": LZ zero match offset";
+        MTIA_CHECK_LE(offset, out.size())
+            << ": LZ match offset outside the window";
         // Byte-by-byte copy: overlapping matches are legal.
         std::size_t src = out.size() - offset;
         for (std::size_t j = 0; j < match_len; ++j)

@@ -2,7 +2,7 @@
 
 #include <array>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -105,7 +105,8 @@ EccCodeword::flipBit(unsigned i)
     } else if (i < 72) {
         check ^= static_cast<std::uint8_t>(1u << (i - 64));
     } else {
-        MTIA_PANIC("EccCodeword::flipBit: bit ", i, " out of range");
+        MTIA_CHECK_LT(i, 72u) << ": EccCodeword::flipBit out of the "
+                                 "72-bit codeword";
     }
 }
 

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -37,8 +37,8 @@ MemoryErrorInjector::flipRandomBits(Tensor &t, std::uint64_t n)
 {
     const std::uint64_t bits =
         static_cast<std::uint64_t>(t.raw().size()) * 8;
-    if (bits == 0)
-        MTIA_PANIC("flipRandomBits: empty tensor");
+    MTIA_CHECK_GT(bits, 0u)
+        << ": flipRandomBits target tensor is empty";
     for (std::uint64_t i = 0; i < n; ++i)
         t.flipBit(rng_.below(bits));
 }
@@ -47,8 +47,7 @@ ErrorOutcome
 MemoryErrorInjector::injectAndClassify(Tensor &t, double corrupt_rel)
 {
     const std::int64_t n = t.numel();
-    if (n == 0)
-        MTIA_PANIC("injectAndClassify: empty tensor");
+    MTIA_CHECK_GT(n, 0) << ": injectAndClassify target tensor is empty";
     const std::int64_t elem =
         static_cast<std::int64_t>(rng_.below(static_cast<std::uint64_t>(n)));
     const float before = t.at(elem);

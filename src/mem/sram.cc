@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/check.h"
 #include "sim/logging.h"
 
 namespace mtia {
@@ -81,8 +82,8 @@ LlsAllocator::allocate(Bytes bytes)
 void
 LlsAllocator::release(Bytes mark)
 {
-    if (mark > used_)
-        MTIA_PANIC("LlsAllocator::release: mark above watermark");
+    MTIA_CHECK_LE(mark, used_)
+        << ": LlsAllocator::release mark above the allocation watermark";
     used_ = mark;
 }
 

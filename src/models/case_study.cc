@@ -4,7 +4,7 @@
 
 #include "ops/attention_ops.h"
 #include "ops/dense_ops.h"
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -94,8 +94,8 @@ ModelInfo
 buildCaseStudyGraph(int month, double width_scale,
                     std::int64_t tbe_tables, int extra_dhen_layers)
 {
-    if (month < 0 || month > 8)
-        MTIA_PANIC("case study: month must be in [0, 8]");
+    MTIA_CHECK_GE(month, 0) << ": case-study month";
+    MTIA_CHECK_LE(month, 8) << ": case-study month";
     ModelInfo info;
     info.name = "case-study-m" + std::to_string(month);
     info.batch = kBatch;

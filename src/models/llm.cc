@@ -11,19 +11,22 @@ LlamaConfig::params() const
 {
     // Per layer: QKV + output projections (accounting for GQA) plus
     // the gated FFN (three matrices), plus embeddings/head.
-    const double qkv = static_cast<double>(dim) * dim *
-        (1.0 + 2.0 * kv_heads / heads);
-    const double o = static_cast<double>(dim) * dim;
-    const double ffn3 = 3.0 * static_cast<double>(dim) * ffn;
+    const double d = static_cast<double>(dim);
+    const double qkv = d * d *
+        (1.0 + 2.0 * static_cast<double>(kv_heads) /
+                   static_cast<double>(heads));
+    const double o = d * d;
+    const double ffn3 = 3.0 * d * static_cast<double>(ffn);
     const double per_layer = qkv + o + ffn3;
-    const double emb = 2.0 * static_cast<double>(vocab) * dim;
+    const double emb = 2.0 * static_cast<double>(vocab) * d;
     return per_layer * layers + emb;
 }
 
 Bytes
 LlamaConfig::paramBytes(DType dt) const
 {
-    return static_cast<Bytes>(params() * dtypeSize(dt));
+    return static_cast<Bytes>(
+        params() * static_cast<double>(dtypeSize(dt)));
 }
 
 LlamaConfig

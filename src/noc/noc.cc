@@ -1,11 +1,21 @@
 #include "noc/noc.h"
 
+#include "core/check.h"
+
 namespace mtia {
+
+NocModel::NocModel(NocConfig cfg) : cfg_(cfg)
+{
+    MTIA_CHECK_GT(cfg_.bisection_bandwidth, 0.0)
+        << ": NocModel needs positive fabric bandwidth";
+}
 
 Tick
 NocModel::transferTime(Bytes bytes)
 {
     const Bytes wire = cfg_.fragmenter.wireBytes(bytes);
+    // Packetization only ever adds header bytes on the wire.
+    MTIA_DCHECK_GE(wire, bytes) << ": fragmenter shrank a transfer";
     ++stats_.transfers;
     stats_.payload_bytes += bytes;
     stats_.wire_bytes += wire;

@@ -45,7 +45,8 @@ struct NocStats
 class NocModel
 {
   public:
-    explicit NocModel(NocConfig cfg) : cfg_(cfg) {}
+    /** @pre cfg.bisection_bandwidth > 0 */
+    explicit NocModel(NocConfig cfg);
 
     const NocConfig &config() const { return cfg_; }
     NocStats &stats() { return stats_; }

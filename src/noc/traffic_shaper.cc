@@ -3,17 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
 TrafficShaper::TrafficShaper(BytesPerSec rate, Bytes burst)
     : rate_(rate), burst_(burst), tokens_(static_cast<double>(burst))
 {
-    if (rate_ <= 0.0)
-        MTIA_FATAL("TrafficShaper: rate must be positive");
-    if (burst_ == 0)
-        MTIA_FATAL("TrafficShaper: burst must be positive");
+    MTIA_CHECK_GT(rate_, 0.0) << ": TrafficShaper rate";
+    MTIA_CHECK_GT(burst_, 0u) << ": TrafficShaper burst";
 }
 
 double
@@ -45,6 +43,7 @@ TrafficShaper::offer(Tick now, Bytes bytes)
 std::uint64_t
 PacketFragmenter::packetCount(Bytes bytes) const
 {
+    MTIA_DCHECK_GT(max_payload, 0u) << ": PacketFragmenter payload size";
     if (bytes == 0)
         return 0;
     return (bytes + max_payload - 1) / max_payload;

@@ -5,7 +5,7 @@
 #include "pe/dpe.h"
 #include "pe/mlu.h"
 #include "pe/simd_engine.h"
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -18,8 +18,9 @@ MhaOp::MhaOp(std::int64_t batch, std::int64_t seq, std::int64_t dim,
       dtype_(dtype),
       weight_seed_(weight_seed)
 {
-    if (dim_ % heads_ != 0)
-        MTIA_PANIC("MhaOp: dim must divide evenly into heads");
+    MTIA_CHECK_GT(heads_, 0) << ": MhaOp head count";
+    MTIA_CHECK_EQ(dim_ % heads_, 0)
+        << ": MhaOp dim must divide evenly into heads";
 }
 
 const std::vector<Tensor> &
@@ -63,7 +64,8 @@ MhaOp::run(const std::vector<Tensor> &inputs, OpContext &ctx) const
                     for (std::int64_t d = 0; d < dh; ++d) {
                         dot += static_cast<double>(
                                    q.at2(b * seq_ + i, h * dh + d)) *
-                            k.at2(b * seq_ + j, h * dh + d);
+                            static_cast<double>(
+                                   k.at2(b * seq_ + j, h * dh + d));
                     }
                     scores.set2(i, j,
                                 static_cast<float>(dot) * inv_sqrt);
@@ -82,10 +84,11 @@ MhaOp::run(const std::vector<Tensor> &inputs, OpContext &ctx) const
                     : SimdEngine::applyExact(Nonlinearity::Exp, row);
                 double sum = 0.0;
                 for (std::int64_t j = 0; j < seq_; ++j)
-                    sum += e.at(j);
+                    sum += static_cast<double>(e.at(j));
                 for (std::int64_t j = 0; j < seq_; ++j)
                     scores.set2(i, j,
-                                static_cast<float>(e.at(j) / sum));
+                                static_cast<float>(
+                                    static_cast<double>(e.at(j)) / sum));
             }
             // Attention output A * V for this head.
             for (std::int64_t i = 0; i < seq_; ++i) {
@@ -93,7 +96,8 @@ MhaOp::run(const std::vector<Tensor> &inputs, OpContext &ctx) const
                     double acc = 0.0;
                     for (std::int64_t j = 0; j < seq_; ++j) {
                         acc += static_cast<double>(scores.at2(i, j)) *
-                            v.at2(b * seq_ + j, h * dh + d);
+                            static_cast<double>(
+                                v.at2(b * seq_ + j, h * dh + d));
                     }
                     attn_out.set2(b * seq_ + i, h * dh + d,
                                   static_cast<float>(acc));
@@ -164,10 +168,12 @@ MhaOp::weightBytes() const
 double
 MhaOp::flops() const
 {
-    const double rows = static_cast<double>(batch_) * seq_;
-    const double proj = 4.0 * 2.0 * rows * dim_ * dim_;
-    const double attn = 2.0 * 2.0 * batch_ * heads_ * seq_ * seq_ *
-        (dim_ / heads_);
+    const double rows =
+        static_cast<double>(batch_) * static_cast<double>(seq_);
+    const double dim = static_cast<double>(dim_);
+    const double proj = 4.0 * 2.0 * rows * dim * dim;
+    const double attn = 2.0 * 2.0 * rows * static_cast<double>(seq_) *
+        static_cast<double>(dim_ / heads_);
     return proj + attn;
 }
 
@@ -186,8 +192,9 @@ RaggedAttentionOp::RaggedAttentionOp(std::int64_t batch,
       bias_buckets_(bias_buckets),
       seed_(seed)
 {
-    if (dim_ % heads_ != 0)
-        MTIA_PANIC("RaggedAttentionOp: dim must divide into heads");
+    MTIA_CHECK_GT(heads_, 0) << ": RaggedAttentionOp head count";
+    MTIA_CHECK_EQ(dim_ % heads_, 0)
+        << ": RaggedAttentionOp dim must divide into heads";
 }
 
 float
@@ -233,7 +240,8 @@ RaggedAttentionOp::run(const std::vector<Tensor> &inputs,
                     for (std::int64_t d = 0; d < dh; ++d) {
                         dot += static_cast<double>(x.at(
                                    (b * l + i) * dim_ + h * dh + d)) *
-                            x.at((b * l + j) * dim_ + h * dh + d);
+                            static_cast<double>(
+                                x.at((b * l + j) * dim_ + h * dh + d));
                     }
                     score[static_cast<std::size_t>(j)] =
                         static_cast<float>(dot) * inv_sqrt +
@@ -252,7 +260,8 @@ RaggedAttentionOp::run(const std::vector<Tensor> &inputs,
                     for (std::int64_t j = 0; j <= i; ++j) {
                         acc += static_cast<double>(
                                    score[static_cast<std::size_t>(j)]) *
-                            x.at((b * l + j) * dim_ + h * dh + d);
+                            static_cast<double>(
+                                x.at((b * l + j) * dim_ + h * dh + d));
                     }
                     out.set((b * l + i) * dim_ + h * dh + d,
                             static_cast<float>(
@@ -315,8 +324,9 @@ double
 RaggedAttentionOp::flops() const
 {
     const double e = mean_history_;
-    return 2.0 * 2.0 * batch_ * heads_ * e * (e / 2.0) *
-        (dim_ / heads_);
+    return 2.0 * 2.0 * static_cast<double>(batch_) *
+        static_cast<double>(heads_) * e * (e / 2.0) *
+        static_cast<double>(dim_ / heads_);
 }
 
 } // namespace mtia

@@ -5,7 +5,7 @@
 
 #include "pe/dpe.h"
 #include "pe/mlu.h"
-#include "sim/logging.h"
+#include "core/check.h"
 #include "tensor/quantize.h"
 
 namespace mtia {
@@ -69,10 +69,10 @@ FullyConnectedOp::weights() const
 Shape
 FullyConnectedOp::outputShape(const std::vector<Shape> &inputs) const
 {
-    if (inputs.size() != 1 || inputs[0].rank() != 2 ||
-        inputs[0].dim(1) != shape_.k) {
-        MTIA_PANIC("fc: bad input shape");
-    }
+    MTIA_CHECK_EQ(inputs.size(), 1u) << ": fc takes one input";
+    MTIA_CHECK_EQ(inputs[0].rank(), 2u) << ": fc input rank";
+    MTIA_CHECK_EQ(inputs[0].dim(1), shape_.k)
+        << ": fc input width must match weight K";
     return Shape{inputs[0].dim(0), shape_.n};
 }
 
@@ -163,18 +163,21 @@ LayerNormOp::run(const std::vector<Tensor> &inputs, OpContext &) const
         for (std::int64_t r = 0; r < rows; ++r) {
             double mean = 0.0;
             for (std::int64_t c = 0; c < cols; ++c)
-                mean += x.at2(r, c);
+                mean += static_cast<double>(x.at2(r, c));
             mean /= static_cast<double>(cols);
             double var = 0.0;
             for (std::int64_t c = 0; c < cols; ++c) {
-                const double d = x.at2(r, c) - mean;
+                const double d =
+                    static_cast<double>(x.at2(r, c)) - mean;
                 var += d * d;
             }
             var /= static_cast<double>(cols);
             const double inv = 1.0 / std::sqrt(var + 1e-5);
             for (std::int64_t c = 0; c < cols; ++c) {
                 out.set2(r, col_off + c,
-                         static_cast<float>((x.at2(r, c) - mean) * inv));
+                         static_cast<float>(
+                             (static_cast<double>(x.at2(r, c)) - mean) *
+                             inv));
             }
         }
     };
@@ -217,9 +220,11 @@ SoftmaxOp::run(const std::vector<Tensor> &inputs, OpContext &ctx) const
                               ctx.use_lut_simd);
         double sum = 0.0;
         for (std::int64_t c = 0; c < cols_; ++c)
-            sum += e.at(c);
+            sum += static_cast<double>(e.at(c));
         for (std::int64_t c = 0; c < cols_; ++c)
-            out.set2(r, c, static_cast<float>(e.at(c) / sum));
+            out.set2(r, c,
+                     static_cast<float>(
+                         static_cast<double>(e.at(c)) / sum));
     }
     return out;
 }
@@ -270,8 +275,7 @@ TransposeOp::cost(const KernelCostModel &km, const CostContext &ctx) const
 ConcatOp::ConcatOp(std::vector<Shape> inputs, int axis)
     : inputs_(std::move(inputs)), axis_(axis)
 {
-    if (inputs_.empty())
-        MTIA_PANIC("concat: no inputs");
+    MTIA_CHECK(!inputs_.empty()) << ": concat with no inputs";
     std::int64_t rows = inputs_[0].dim(0);
     std::int64_t cols = inputs_[0].dim(1);
     for (std::size_t i = 1; i < inputs_.size(); ++i) {
@@ -335,7 +339,8 @@ InteractionOp::run(const std::vector<Tensor> &inputs, OpContext &) const
                 for (std::int64_t d = 0; d < dim_; ++d) {
                     dot += static_cast<double>(
                                x.at((b * features_ + i) * dim_ + d)) *
-                        x.at((b * features_ + j) * dim_ + d);
+                        static_cast<double>(
+                            x.at((b * features_ + j) * dim_ + d));
                 }
                 out.set2(b, slot++, static_cast<float>(dot));
             }
@@ -367,8 +372,8 @@ FusedTransposeFcOp::FusedTransposeFcOp(Shape input,
       dtype_(dtype),
       weight_seed_(weight_seed)
 {
-    if (out_features_.empty())
-        MTIA_PANIC("fused-transpose-fc: no branches");
+    MTIA_CHECK(!out_features_.empty())
+        << ": fused-transpose-fc with no branches";
 }
 
 Shape
@@ -438,7 +443,8 @@ FusedTransposeFcOp::flops() const
 {
     double total = 0.0;
     for (std::int64_t n : out_features_)
-        total += 2.0 * input_.dim(1) * n * input_.dim(0);
+        total += 2.0 * static_cast<double>(input_.dim(1)) *
+            static_cast<double>(n) * static_cast<double>(input_.dim(0));
     return total;
 }
 

@@ -155,7 +155,8 @@ class LayerNormOp : public Op
                     const CostContext &ctx) const override;
     double flops() const override
     {
-        return 8.0 * rows_ * cols_ * instances_;
+        return 8.0 * static_cast<double>(rows_) *
+               static_cast<double>(cols_) * static_cast<double>(instances_);
     }
     std::int64_t instances() const { return instances_; }
     std::int64_t rows() const { return rows_; }
@@ -184,7 +185,11 @@ class SoftmaxOp : public Op
                OpContext &ctx) const override;
     KernelTime cost(const KernelCostModel &km,
                     const CostContext &ctx) const override;
-    double flops() const override { return 5.0 * rows_ * cols_; }
+    double flops() const override
+    {
+        return 5.0 * static_cast<double>(rows_) *
+               static_cast<double>(cols_);
+    }
 
   private:
     std::int64_t rows_;
@@ -319,7 +324,10 @@ class InteractionOp : public Op
                     const CostContext &ctx) const override;
     double flops() const override
     {
-        return 2.0 * batch_ * features_ * features_ * dim_ / 2.0;
+        return 2.0 * static_cast<double>(batch_) *
+               static_cast<double>(features_) *
+               static_cast<double>(features_) *
+               static_cast<double>(dim_) / 2.0;
     }
 
   private:

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "mem/llc.h"
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -31,8 +31,9 @@ TbeOp::TbeOp(TbeTableSpec spec, std::int64_t batch, std::int64_t pooling,
       weighted_(weighted),
       table_seed_(table_seed)
 {
-    if (spec_.tables <= 0 || batch_ <= 0 || pooling_ <= 0)
-        MTIA_PANIC("TbeOp: non-positive dimensions");
+    MTIA_CHECK_GT(spec_.tables, 0) << ": TbeOp table count";
+    MTIA_CHECK_GT(batch_, 0) << ": TbeOp batch size";
+    MTIA_CHECK_GT(pooling_, 0) << ": TbeOp pooling factor";
 }
 
 float
@@ -52,8 +53,8 @@ TbeOp::rowValue(std::int64_t table, std::int64_t row,
 Tensor
 TbeOp::run(const std::vector<Tensor> &, OpContext &ctx) const
 {
-    if (ctx.rng == nullptr)
-        MTIA_PANIC("TbeOp::run: needs an rng for index sampling");
+    MTIA_CHECK(ctx.rng != nullptr)
+        << ": TbeOp::run needs an rng for index sampling";
     ZipfSampler zipf(static_cast<std::uint64_t>(spec_.rows_per_table),
                      spec_.zipf_alpha);
     Tensor out(Shape{batch_, spec_.tables * spec_.dim}, DType::FP32);
@@ -110,8 +111,9 @@ TbeOp::cost(const KernelCostModel &km, const CostContext &ctx) const
 double
 TbeOp::flops() const
 {
-    return static_cast<double>(spec_.tables) * batch_ * pooling_ *
-        spec_.dim * (weighted_ ? 2.0 : 1.0);
+    return static_cast<double>(spec_.tables) *
+        static_cast<double>(batch_) * static_cast<double>(pooling_) *
+        static_cast<double>(spec_.dim) * (weighted_ ? 2.0 : 1.0);
 }
 
 std::string
@@ -138,8 +140,7 @@ SequenceTbeOp::SequenceTbeOp(TbeTableSpec spec, std::int64_t batch,
 Tensor
 SequenceTbeOp::run(const std::vector<Tensor> &, OpContext &ctx) const
 {
-    if (ctx.rng == nullptr)
-        MTIA_PANIC("SequenceTbeOp::run: needs an rng");
+    MTIA_CHECK(ctx.rng != nullptr) << ": SequenceTbeOp::run needs an rng";
     const JaggedTensor hist = JaggedTensor::randomHistory(
         *ctx.rng, batch_, spec_.dim, mean_history_, max_history_);
     return hist.toDense(max_history_);

@@ -1,14 +1,14 @@
 #include "pe/command_processor.h"
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
 CircularBuffer::CircularBuffer(unsigned slots, Bytes slot_bytes)
     : slots_(slots), slot_bytes_(slot_bytes)
 {
-    if (slots_ == 0)
-        MTIA_FATAL("CircularBuffer: need at least one slot");
+    MTIA_CHECK_GT(slots_, 0u)
+        << ": CircularBuffer needs at least one slot";
 }
 
 bool

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -10,14 +10,13 @@ Tensor
 DotProductEngine::gemm(const Tensor &a, const Tensor &b,
                        DType compute_dtype) const
 {
-    if (a.shape().rank() != 2 || b.shape().rank() != 2)
-        MTIA_PANIC("DPE::gemm: expected rank-2 operands");
+    MTIA_CHECK_EQ(a.shape().rank(), 2u) << ": DPE::gemm lhs rank";
+    MTIA_CHECK_EQ(b.shape().rank(), 2u) << ": DPE::gemm rhs rank";
     const std::int64_t m = a.shape().dim(0);
     const std::int64_t k = a.shape().dim(1);
     const std::int64_t k2 = b.shape().dim(0);
     const std::int64_t n = b.shape().dim(1);
-    if (k != k2)
-        MTIA_PANIC("DPE::gemm: inner dims mismatch: ", k, " vs ", k2);
+    MTIA_CHECK_EQ(k, k2) << ": DPE::gemm inner dimensions";
 
     Tensor c(Shape{m, n}, DType::FP32);
     for (std::int64_t i = 0; i < m; ++i) {
@@ -40,8 +39,8 @@ DotProductEngine::gemmInt8(const QuantizedTensor &a,
 {
     const std::int64_t m = a.values.shape().dim(0);
     const std::int64_t k = a.values.shape().dim(1);
-    if (b.values.shape().dim(0) != k)
-        MTIA_PANIC("DPE::gemmInt8: inner dims mismatch");
+    MTIA_CHECK_EQ(b.values.shape().dim(0), k)
+        << ": DPE::gemmInt8 inner dimensions";
     const std::int64_t n = b.values.shape().dim(1);
 
     Tensor c(Shape{m, n}, DType::FP32);

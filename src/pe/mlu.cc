@@ -2,15 +2,15 @@
 
 #include <cstring>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
 Tensor
 MemoryLayoutUnit::transpose(const Tensor &t)
 {
-    if (t.shape().rank() != 2)
-        MTIA_PANIC("MLU::transpose: expected rank-2");
+    MTIA_CHECK_EQ(t.shape().rank(), 2u)
+        << ": MLU::transpose expects rank 2";
     const std::int64_t m = t.shape().dim(0);
     const std::int64_t n = t.shape().dim(1);
     Tensor out(Shape{n, m}, t.dtype());
@@ -23,8 +23,8 @@ MemoryLayoutUnit::transpose(const Tensor &t)
 Tensor
 MemoryLayoutUnit::permute3(const Tensor &t, const std::array<int, 3> &perm)
 {
-    if (t.shape().rank() != 3)
-        MTIA_PANIC("MLU::permute3: expected rank-3");
+    MTIA_CHECK_EQ(t.shape().rank(), 3u)
+        << ": MLU::permute3 expects rank 3";
     const std::int64_t d0 = t.shape().dim(0);
     const std::int64_t d1 = t.shape().dim(1);
     const std::int64_t d2 = t.shape().dim(2);
@@ -50,21 +50,20 @@ MemoryLayoutUnit::permute3(const Tensor &t, const std::array<int, 3> &perm)
 Tensor
 MemoryLayoutUnit::concat(const std::vector<Tensor> &parts, int axis)
 {
-    if (parts.empty())
-        MTIA_PANIC("MLU::concat: no parts");
-    if (axis != 0 && axis != 1)
-        MTIA_PANIC("MLU::concat: axis must be 0 or 1");
+    MTIA_CHECK(!parts.empty()) << ": MLU::concat with no parts";
+    MTIA_CHECK(axis == 0 || axis == 1)
+        << ": MLU::concat axis " << axis << " not supported";
     const DType dt = parts[0].dtype();
     std::int64_t rows = parts[0].shape().dim(0);
     std::int64_t cols = parts[0].shape().dim(1);
     for (std::size_t p = 1; p < parts.size(); ++p) {
         if (axis == 0) {
-            if (parts[p].shape().dim(1) != cols)
-                MTIA_PANIC("MLU::concat: column mismatch");
+            MTIA_CHECK_EQ(parts[p].shape().dim(1), cols)
+                << ": MLU::concat part " << p << " column mismatch";
             rows += parts[p].shape().dim(0);
         } else {
-            if (parts[p].shape().dim(0) != rows)
-                MTIA_PANIC("MLU::concat: row mismatch");
+            MTIA_CHECK_EQ(parts[p].shape().dim(0), rows)
+                << ": MLU::concat part " << p << " row mismatch";
             cols += parts[p].shape().dim(1);
         }
     }
@@ -91,10 +90,11 @@ Tensor
 MemoryLayoutUnit::sliceRows(const Tensor &t, std::int64_t begin,
                             std::int64_t end)
 {
-    if (t.shape().rank() != 2)
-        MTIA_PANIC("MLU::sliceRows: expected rank-2");
-    if (begin < 0 || end > t.shape().dim(0) || begin > end)
-        MTIA_PANIC("MLU::sliceRows: bad range [", begin, ", ", end, ")");
+    MTIA_CHECK_EQ(t.shape().rank(), 2u)
+        << ": MLU::sliceRows expects rank 2";
+    MTIA_CHECK_GE(begin, 0) << ": MLU::sliceRows range start";
+    MTIA_CHECK_LE(end, t.shape().dim(0)) << ": MLU::sliceRows range end";
+    MTIA_CHECK_LE(begin, end) << ": MLU::sliceRows reversed range";
     const std::int64_t cols = t.shape().dim(1);
     Tensor out(Shape{end - begin, cols}, t.dtype());
     for (std::int64_t i = begin; i < end; ++i)
@@ -106,8 +106,8 @@ MemoryLayoutUnit::sliceRows(const Tensor &t, std::int64_t begin,
 Tensor
 MemoryLayoutUnit::reshape(const Tensor &t, Shape new_shape)
 {
-    if (new_shape.numel() != t.numel())
-        MTIA_PANIC("MLU::reshape: element count mismatch");
+    MTIA_CHECK_EQ(new_shape.numel(), t.numel())
+        << ": MLU::reshape must preserve the element count";
     Tensor out(new_shape, t.dtype());
     out.raw() = t.raw();
     return out;

@@ -2,15 +2,16 @@
 
 #include <algorithm>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
 void
 ReductionEngine::accumulate(Tensor &acc, const Tensor &partial)
 {
-    if (!(acc.shape() == partial.shape()))
-        MTIA_PANIC("ReductionEngine::accumulate: shape mismatch");
+    MTIA_CHECK(acc.shape() == partial.shape())
+        << ": ReductionEngine::accumulate shape mismatch "
+        << acc.shape().toString() << " vs " << partial.shape().toString();
     const std::int64_t n = acc.numel();
     for (std::int64_t i = 0; i < n; ++i)
         acc.set(i, acc.at(i) + partial.at(i));
@@ -19,8 +20,8 @@ ReductionEngine::accumulate(Tensor &acc, const Tensor &partial)
 Tensor
 ReductionEngine::reduceAll(const std::vector<Tensor> &partials)
 {
-    if (partials.empty())
-        MTIA_PANIC("ReductionEngine::reduceAll: no partials");
+    MTIA_CHECK(!partials.empty())
+        << ": ReductionEngine::reduceAll with no partials";
     Tensor acc = partials.front();
     for (std::size_t i = 1; i < partials.size(); ++i)
         accumulate(acc, partials[i]);
@@ -30,8 +31,8 @@ ReductionEngine::reduceAll(const std::vector<Tensor> &partials)
 std::vector<RowMinMax>
 ReductionEngine::rowMinMax(const Tensor &t)
 {
-    if (t.shape().rank() != 2)
-        MTIA_PANIC("ReductionEngine::rowMinMax: expected rank-2");
+    MTIA_CHECK_EQ(t.shape().rank(), 2u)
+        << ": ReductionEngine::rowMinMax expects rank 2";
     const std::int64_t m = t.shape().dim(0);
     const std::int64_t n = t.shape().dim(1);
     std::vector<RowMinMax> out(static_cast<std::size_t>(m));

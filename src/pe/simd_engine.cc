@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -42,17 +42,16 @@ nonlinearityExact(Nonlinearity f, float x)
       case Nonlinearity::Silu:
         return x / (1.0f + std::exp(-x));
     }
-    MTIA_PANIC("nonlinearityExact: unknown function");
+    MTIA_UNREACHABLE("nonlinearityExact: unknown function");
 }
 
 LookupTable::LookupTable(std::function<float(float)> fn, float lo,
                          float hi, unsigned entries)
     : lo_(lo), hi_(hi)
 {
-    if (entries < 2)
-        MTIA_FATAL("LookupTable: need at least 2 entries");
-    if (!(hi > lo))
-        MTIA_FATAL("LookupTable: empty range");
+    MTIA_CHECK_GE(entries, 2u)
+        << ": LookupTable needs at least two entries";
+    MTIA_CHECK_LT(lo, hi) << ": LookupTable range is empty";
     step_ = (hi_ - lo_) / static_cast<float>(entries - 1);
     table_.resize(entries);
     for (unsigned i = 0; i < entries; ++i)

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "graph/executor.h"
-#include "sim/logging.h"
+#include "core/check.h"
 #include "sim/random.h"
 
 namespace mtia {
@@ -13,8 +13,10 @@ double
 normalizedEntropy(const std::vector<double> &predictions,
                   const std::vector<int> &labels)
 {
-    if (predictions.size() != labels.size() || predictions.empty())
-        MTIA_PANIC("normalizedEntropy: size mismatch or empty");
+    MTIA_CHECK_EQ(predictions.size(), labels.size())
+        << ": normalizedEntropy needs one label per prediction";
+    MTIA_CHECK(!predictions.empty())
+        << ": normalizedEntropy over an empty sample";
     const double eps = 1e-7;
     double loss = 0.0;
     double positives = 0.0;
@@ -54,13 +56,13 @@ AbTestHarness::compare(const Graph &g, int runs,
                 out.max_pred_diff = std::max(
                     out.max_pred_diff,
                     std::abs(static_cast<double>(tensor.at(i)) -
-                             other.at(i)));
+                             static_cast<double>(other.at(i))));
             }
         }
     }
     out.samples = preds_ref.size();
-    if (out.samples == 0)
-        MTIA_PANIC("AbTestHarness: model produced no predictions");
+    MTIA_CHECK_GT(out.samples, 0u)
+        << ": AbTestHarness model produced no predictions";
 
     // Synthetic ground truth: clicks drawn from the reference arm's
     // probabilities (the reference is well-calibrated by design).

@@ -3,13 +3,19 @@
 #include <algorithm>
 #include <deque>
 
-#include "sim/logging.h"
+#include "core/check.h"
+
+#include "core/check.h"
 
 namespace mtia {
 
 std::vector<CoalescedBatch>
 Coalescer::coalesce(const std::vector<Request> &trace) const
 {
+    MTIA_CHECK_GT(cfg_.window, 0u) << ": Coalescer window";
+    MTIA_CHECK_GT(cfg_.parallel_windows, 0u)
+        << ": Coalescer needs at least one open window";
+    MTIA_CHECK_GT(cfg_.batch_capacity, 0) << ": Coalescer batch capacity";
     std::vector<CoalescedBatch> done;
     struct Open
     {
@@ -28,7 +34,17 @@ Coalescer::coalesce(const std::vector<Request> &trace) const
         }
     };
 
+    Tick prev_arrival = 0;
     for (const Request &r : trace) {
+        // The sweep assumes an arrival-ordered trace: window expiry is
+        // evaluated against each request's timestamp in turn.
+        MTIA_CHECK_GE(r.arrival, prev_arrival)
+            << ": Coalescer trace must be sorted by arrival";
+        prev_arrival = r.arrival;
+        MTIA_CHECK_GT(r.candidates, 0)
+            << ": Coalescer request with no candidate rows";
+        MTIA_CHECK_LE(r.candidates, cfg_.batch_capacity)
+            << ": request larger than a whole batch can hold";
         flush_expired(r.arrival);
         // Place into the oldest open batch with room.
         bool placed = false;
@@ -66,6 +82,11 @@ Coalescer::coalesce(const std::vector<Request> &trace) const
     for (Open &o : open) {
         o.batch.dispatch_time = o.opened + cfg_.window;
         done.push_back(std::move(o.batch));
+    }
+    for (const CoalescedBatch &b : done) {
+        MTIA_DCHECK_LE(b.rows, cfg_.batch_capacity)
+            << ": coalesced batch overfilled";
+        MTIA_DCHECK(!b.requests.empty()) << ": dispatched an empty batch";
     }
     std::sort(done.begin(), done.end(),
               [](const CoalescedBatch &a, const CoalescedBatch &b) {

@@ -5,7 +5,7 @@
 #include <functional>
 #include <memory>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -35,6 +35,13 @@ ServingResult
 ServingSimulator::simulate(double qps, Tick duration,
                            std::uint64_t seed) const
 {
+    MTIA_CHECK_GT(params_.shards, 0u)
+        << ": ServingSimulator needs at least one shard device";
+    MTIA_CHECK_GT(params_.remote_jobs_per_shard, 0u)
+        << ": ServingSimulator needs at least one remote job per shard";
+    MTIA_CHECK_GT(qps, 0.0) << ": ServingSimulator offered load";
+    MTIA_CHECK_GT(duration, 0u) << ": ServingSimulator duration";
+
     EventQueue eq;
     Rng rng(seed);
 

@@ -1,14 +1,14 @@
 #include "sim/event_queue.h"
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
 void
 EventQueue::schedule(Tick when, Callback cb)
 {
-    if (when < now_)
-        MTIA_PANIC("EventQueue::schedule in the past: ", when, " < ", now_);
+    MTIA_CHECK_GE(when, now_) << ": EventQueue::schedule in the past";
+    MTIA_CHECK(cb != nullptr) << ": EventQueue::schedule null callback";
     heap_.push(Entry{when, nextSeq_++, std::move(cb)});
 }
 
@@ -19,6 +19,9 @@ EventQueue::run()
         // Copy out before pop: the callback may schedule more events.
         Entry e = heap_.top();
         heap_.pop();
+        // Simulated time never moves backwards: the heap orders by
+        // (when, seq) and schedule() rejects past timestamps.
+        MTIA_DCHECK_GE(e.when, now_) << ": event queue tick regression";
         now_ = e.when;
         e.cb();
     }
@@ -31,6 +34,7 @@ EventQueue::runUntil(Tick limit)
     while (!heap_.empty() && heap_.top().when <= limit) {
         Entry e = heap_.top();
         heap_.pop();
+        MTIA_DCHECK_GE(e.when, now_) << ": event queue tick regression";
         now_ = e.when;
         e.cb();
     }

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <deque>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -64,8 +64,7 @@ Rng::uniform(double lo, double hi)
 std::uint64_t
 Rng::below(std::uint64_t n)
 {
-    if (n == 0)
-        MTIA_PANIC("Rng::below(0)");
+    MTIA_CHECK_GT(n, 0u) << ": Rng::below needs a non-empty range";
     // Modulo bias is negligible for the n used here (<< 2^64).
     return next() % n;
 }
@@ -73,8 +72,7 @@ Rng::below(std::uint64_t n)
 std::int64_t
 Rng::range(std::int64_t lo, std::int64_t hi)
 {
-    if (hi < lo)
-        MTIA_PANIC("Rng::range: hi < lo");
+    MTIA_CHECK_LE(lo, hi) << ": Rng::range bounds reversed";
     return lo + static_cast<std::int64_t>(
         below(static_cast<std::uint64_t>(hi - lo) + 1));
 }
@@ -112,8 +110,7 @@ Rng::gaussian(double mean, double stddev)
 double
 Rng::exponential(double rate)
 {
-    if (rate <= 0.0)
-        MTIA_PANIC("Rng::exponential: rate must be positive");
+    MTIA_CHECK_GT(rate, 0.0) << ": Rng::exponential needs a positive rate";
     double u = 0.0;
     do {
         u = uniform();
@@ -151,10 +148,14 @@ Rng::lognormal(double mu, double sigma)
 ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)
     : n_(n), alpha_(alpha)
 {
-    if (n == 0)
-        MTIA_PANIC("ZipfSampler: n must be positive");
-    if (std::abs(alpha - 1.0) < 1e-9)
-        alpha_ = 1.0 + 1e-6; // avoid the alpha == 1 singularity
+    MTIA_CHECK_GT(n, 0u) << ": ZipfSampler over an empty item set";
+    // h()/hInv() integrate x^-alpha assuming alpha != 1; at alpha == 1
+    // the closed form divides by zero, so the singularity is a hard
+    // precondition rather than a silent nudge.
+    MTIA_CHECK_GT(std::abs(alpha - 1.0), 1e-9)
+        << ": ZipfSampler alpha == 1 hits the integration singularity; "
+           "use 1 +/- epsilon explicitly";
+    MTIA_CHECK_GT(alpha, 0.0) << ": ZipfSampler alpha must be positive";
     hx0_ = h(0.5);
     hxm_ = h(static_cast<double>(n_) + 0.5);
     hx1_ = hx0_ - 1.0;
@@ -196,16 +197,13 @@ ZipfSampler::sample(Rng &rng) const
 DiscreteSampler::DiscreteSampler(const std::vector<double> &weights)
 {
     const std::size_t n = weights.size();
-    if (n == 0)
-        MTIA_PANIC("DiscreteSampler: empty weight vector");
+    MTIA_CHECK_GT(n, 0u) << ": DiscreteSampler needs at least one weight";
     double total = 0.0;
     for (double w : weights) {
-        if (w < 0.0)
-            MTIA_PANIC("DiscreteSampler: negative weight");
+        MTIA_CHECK_GE(w, 0.0) << ": DiscreteSampler weights must be >= 0";
         total += w;
     }
-    if (total <= 0.0)
-        MTIA_PANIC("DiscreteSampler: zero total weight");
+    MTIA_CHECK_GT(total, 0.0) << ": DiscreteSampler weights sum to zero";
 
     prob_.assign(n, 0.0);
     alias_.assign(n, 0);

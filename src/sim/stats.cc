@@ -4,7 +4,7 @@
 #include <cmath>
 #include <iomanip>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -34,16 +34,14 @@ Histogram::mean() const
 double
 Histogram::min() const
 {
-    if (samples_.empty())
-        MTIA_PANIC("Histogram::min on empty histogram");
+    MTIA_CHECK(!samples_.empty()) << ": Histogram::min on empty histogram";
     return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double
 Histogram::max() const
 {
-    if (samples_.empty())
-        MTIA_PANIC("Histogram::max on empty histogram");
+    MTIA_CHECK(!samples_.empty()) << ": Histogram::max on empty histogram";
     return *std::max_element(samples_.begin(), samples_.end());
 }
 
@@ -62,10 +60,10 @@ Histogram::stddev() const
 double
 Histogram::percentile(double p) const
 {
-    if (samples_.empty())
-        MTIA_PANIC("Histogram::percentile on empty histogram");
-    if (p < 0.0 || p > 100.0)
-        MTIA_PANIC("Histogram::percentile: p out of range: ", p);
+    MTIA_CHECK(!samples_.empty())
+        << ": Histogram::percentile on empty histogram";
+    MTIA_CHECK_GE(p, 0.0) << ": percentile rank below range";
+    MTIA_CHECK_LE(p, 100.0) << ": percentile rank above range";
     if (!sorted_) {
         std::sort(samples_.begin(), samples_.end());
         sorted_ = true;

@@ -4,7 +4,7 @@
 #include <bit>
 #include <cmath>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -18,7 +18,7 @@ dtypeSize(DType t)
       case DType::INT8: return 1;
       case DType::INT32: return 4;
     }
-    MTIA_PANIC("dtypeSize: unknown dtype");
+    MTIA_UNREACHABLE("dtypeSize: unknown dtype");
 }
 
 std::string
@@ -152,7 +152,7 @@ roundTrip(float f, DType t)
       case DType::INT32:
         return std::nearbyint(f);
     }
-    MTIA_PANIC("roundTrip: unknown dtype");
+    MTIA_UNREACHABLE("roundTrip: unknown dtype");
 }
 
 } // namespace mtia

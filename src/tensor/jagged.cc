@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -14,8 +14,8 @@ JaggedTensor::JaggedTensor(const std::vector<std::int64_t> &lengths,
     offsets_.assign(1, 0);
     offsets_.reserve(lengths.size() + 1);
     for (std::int64_t len : lengths) {
-        if (len < 0)
-            MTIA_PANIC("JaggedTensor: negative length");
+        MTIA_CHECK_GE(len, 0) << ": JaggedTensor segment lengths must "
+                                 "be non-negative";
         offsets_.push_back(offsets_.back() + len);
     }
     values_ = Tensor(Shape{offsets_.back(), dim_}, dtype);
@@ -47,13 +47,13 @@ JaggedTensor
 JaggedTensor::fromDense(const Tensor &dense,
                         const std::vector<std::int64_t> &lengths)
 {
-    if (dense.shape().rank() != 3)
-        MTIA_PANIC("JaggedTensor::fromDense: expected rank-3 tensor");
+    MTIA_CHECK_EQ(dense.shape().rank(), 3u)
+        << ": JaggedTensor::fromDense expects a [batch, len, dim] tensor";
     const std::int64_t b = dense.shape().dim(0);
     const std::int64_t l = dense.shape().dim(1);
     const std::int64_t d = dense.shape().dim(2);
-    if (static_cast<std::int64_t>(lengths.size()) != b)
-        MTIA_PANIC("JaggedTensor::fromDense: lengths size mismatch");
+    MTIA_CHECK_EQ(static_cast<std::int64_t>(lengths.size()), b)
+        << ": JaggedTensor::fromDense needs one length per batch row";
 
     JaggedTensor out(lengths, d, dense.dtype());
     for (std::int64_t i = 0; i < b; ++i) {

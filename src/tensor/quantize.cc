@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
@@ -40,8 +40,8 @@ QuantizedTensor
 quantizeDynamic(const Tensor &src, QuantGranularity granularity,
                 std::int64_t group_rows)
 {
-    if (src.shape().rank() != 2)
-        MTIA_PANIC("quantizeDynamic: expected rank-2 tensor");
+    MTIA_CHECK_EQ(src.shape().rank(), 2u)
+        << ": quantizeDynamic expects a rank-2 tensor";
     const std::int64_t m = src.shape().dim(0);
 
     std::int64_t group = 1;
@@ -53,8 +53,8 @@ quantizeDynamic(const Tensor &src, QuantGranularity granularity,
         group = 1;
         break;
       case QuantGranularity::PerRowGroup:
-        if (group_rows < 1)
-            MTIA_PANIC("quantizeDynamic: group_rows must be >= 1");
+        MTIA_CHECK_GE(group_rows, 1)
+            << ": quantizeDynamic row-group size";
         group = group_rows;
         break;
     }
@@ -75,8 +75,8 @@ quantizeDynamic(const Tensor &src, QuantGranularity granularity,
 QuantizedTensor
 quantizeStatic(const Tensor &weights, double saturate_percentile)
 {
-    if (weights.shape().rank() != 2)
-        MTIA_PANIC("quantizeStatic: expected rank-2 tensor");
+    MTIA_CHECK_EQ(weights.shape().rank(), 2u)
+        << ": quantizeStatic expects a rank-2 tensor";
     const std::int64_t m = weights.shape().dim(0);
 
     float amax = 0.0f;
@@ -119,8 +119,9 @@ dequantize(const QuantizedTensor &q)
 double
 sqnrDb(const Tensor &src, const Tensor &deq)
 {
-    if (!(src.shape() == deq.shape()))
-        MTIA_PANIC("sqnrDb: shape mismatch");
+    MTIA_CHECK(src.shape() == deq.shape())
+        << ": sqnrDb shape mismatch " << src.shape().toString() << " vs "
+        << deq.shape().toString();
     double signal = 0.0;
     double noise = 0.0;
     for (std::int64_t i = 0; i < src.numel(); ++i) {
@@ -137,8 +138,8 @@ sqnrDb(const Tensor &src, const Tensor &deq)
 double
 applyTwoFourSparsity(Tensor &weights)
 {
-    if (weights.shape().rank() != 2)
-        MTIA_PANIC("applyTwoFourSparsity: expected rank-2 tensor");
+    MTIA_CHECK_EQ(weights.shape().rank(), 2u)
+        << ": applyTwoFourSparsity expects a rank-2 tensor";
     const std::int64_t m = weights.shape().dim(0);
     const std::int64_t k = weights.shape().dim(1);
 

@@ -5,15 +5,14 @@
 #include <cstring>
 #include <sstream>
 
-#include "sim/logging.h"
+#include "core/check.h"
 
 namespace mtia {
 
 std::int64_t
 Shape::dim(std::size_t i) const
 {
-    if (i >= dims_.size())
-        MTIA_PANIC("Shape::dim: index ", i, " out of rank ", dims_.size());
+    MTIA_CHECK_LT(i, dims_.size()) << ": Shape::dim axis out of rank";
     return dims_[i];
 }
 
@@ -41,14 +40,16 @@ Tensor::Tensor(Shape shape, DType dtype)
     : shape_(std::move(shape)), dtype_(dtype)
 {
     const std::int64_t n = shape_.numel();
-    if (n < 0)
-        MTIA_PANIC("Tensor: negative element count");
+    MTIA_CHECK_GE(n, 0) << ": Tensor shape " << shape_.toString()
+                        << " has a negative element count";
     data_.assign(static_cast<std::size_t>(n) * dtypeSize(dtype_), 0);
 }
 
 float
 Tensor::at(std::int64_t i) const
 {
+    MTIA_DCHECK_GE(i, 0) << ": Tensor::at negative index";
+    MTIA_DCHECK_LT(i, numel()) << ": Tensor::at index out of bounds";
     const std::size_t off = static_cast<std::size_t>(i) * dtypeSize(dtype_);
     switch (dtype_) {
       case DType::FP32: {
@@ -75,12 +76,14 @@ Tensor::at(std::int64_t i) const
         return static_cast<float>(v);
       }
     }
-    MTIA_PANIC("Tensor::at: unknown dtype");
+    MTIA_UNREACHABLE("Tensor::at: unknown dtype");
 }
 
 void
 Tensor::set(std::int64_t i, float v)
 {
+    MTIA_DCHECK_GE(i, 0) << ": Tensor::set negative index";
+    MTIA_DCHECK_LT(i, numel()) << ": Tensor::set index out of bounds";
     const std::size_t off = static_cast<std::size_t>(i) * dtypeSize(dtype_);
     switch (dtype_) {
       case DType::FP32:
@@ -108,18 +111,20 @@ Tensor::set(std::int64_t i, float v)
         return;
       }
     }
-    MTIA_PANIC("Tensor::set: unknown dtype");
+    MTIA_UNREACHABLE("Tensor::set: unknown dtype");
 }
 
 float
 Tensor::at2(std::int64_t row, std::int64_t col) const
 {
+    MTIA_DCHECK_EQ(shape_.rank(), 2u) << ": Tensor::at2 needs rank 2";
     return at(row * shape_.dim(1) + col);
 }
 
 void
 Tensor::set2(std::int64_t row, std::int64_t col, float v)
 {
+    MTIA_DCHECK_EQ(shape_.rank(), 2u) << ": Tensor::set2 needs rank 2";
     set(row * shape_.dim(1) + col, v);
 }
 
@@ -127,8 +132,8 @@ void
 Tensor::flipBit(std::uint64_t bit_index)
 {
     const std::uint64_t byte = bit_index / 8;
-    if (byte >= data_.size())
-        MTIA_PANIC("Tensor::flipBit: bit ", bit_index, " out of range");
+    MTIA_CHECK_LT(byte, data_.size())
+        << ": Tensor::flipBit bit " << bit_index << " out of range";
     data_[byte] ^= static_cast<std::uint8_t>(1u << (bit_index % 8));
 }
 
@@ -179,8 +184,9 @@ Tensor::toFloats() const
 Tensor
 Tensor::fromFloats(const std::vector<float> &vals, Shape shape, DType dtype)
 {
-    if (static_cast<std::int64_t>(vals.size()) != shape.numel())
-        MTIA_PANIC("Tensor::fromFloats: size mismatch");
+    MTIA_CHECK_EQ(static_cast<std::int64_t>(vals.size()), shape.numel())
+        << ": Tensor::fromFloats value count must match shape "
+        << shape.toString();
     Tensor t(std::move(shape), dtype);
     for (std::size_t i = 0; i < vals.size(); ++i)
         t.set(static_cast<std::int64_t>(i), vals[i]);
@@ -201,8 +207,9 @@ Tensor::hasNonFinite() const
 double
 Tensor::maxAbsDiff(const Tensor &a, const Tensor &b)
 {
-    if (!(a.shape() == b.shape()))
-        MTIA_PANIC("maxAbsDiff: shape mismatch");
+    MTIA_CHECK(a.shape() == b.shape())
+        << ": maxAbsDiff shape mismatch " << a.shape().toString()
+        << " vs " << b.shape().toString();
     double m = 0.0;
     const std::int64_t n = a.numel();
     for (std::int64_t i = 0; i < n; ++i)
@@ -214,8 +221,9 @@ Tensor::maxAbsDiff(const Tensor &a, const Tensor &b)
 double
 Tensor::rmse(const Tensor &a, const Tensor &b)
 {
-    if (!(a.shape() == b.shape()))
-        MTIA_PANIC("rmse: shape mismatch");
+    MTIA_CHECK(a.shape() == b.shape())
+        << ": rmse shape mismatch " << a.shape().toString() << " vs "
+        << b.shape().toString();
     const std::int64_t n = a.numel();
     if (n == 0)
         return 0.0;

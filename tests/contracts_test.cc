@@ -1,0 +1,258 @@
+/**
+ * Precondition tests: every contract-bearing module fires a
+ * MTIA_CHECK on invalid input. ScopedCheckThrow swaps the aborting
+ * failure handler for one that throws CheckFailedError, so a fired
+ * contract is observable with EXPECT_THROW.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/check.h"
+#include "fleet/firmware.h"
+#include "graph/graph.h"
+#include "host/compression.h"
+#include "mem/ecc.h"
+#include "noc/noc.h"
+#include "pe/command_processor.h"
+#include "pe/simd_engine.h"
+#include "serving/coalescer.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+#include "tensor/tensor.h"
+
+namespace mtia {
+namespace {
+
+// ---------------------------------------------------------------- sim
+
+TEST(ContractsSim, EventQueueRejectsScheduleInThePast)
+{
+    ScopedCheckThrow guard;
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.run();
+    EXPECT_EQ(q.now(), 100u);
+    EXPECT_THROW(q.schedule(99, [] {}), CheckFailedError);
+}
+
+TEST(ContractsSim, EventQueueRejectsNullCallback)
+{
+    ScopedCheckThrow guard;
+    EventQueue q;
+    EXPECT_THROW(q.schedule(1, nullptr), CheckFailedError);
+}
+
+TEST(ContractsSim, RngBelowRejectsEmptyRange)
+{
+    ScopedCheckThrow guard;
+    Rng rng(42);
+    EXPECT_THROW(rng.below(0), CheckFailedError);
+}
+
+TEST(ContractsSim, RngExponentialRejectsNonPositiveRate)
+{
+    ScopedCheckThrow guard;
+    Rng rng(42);
+    EXPECT_THROW(rng.exponential(0.0), CheckFailedError);
+}
+
+TEST(ContractsSim, ZipfSamplerRejectsEmptyItemSet)
+{
+    ScopedCheckThrow guard;
+    EXPECT_THROW(ZipfSampler(0, 0.8), CheckFailedError);
+}
+
+TEST(ContractsSim, ZipfSamplerRejectsAlphaOne)
+{
+    // alpha == 1 hits the 1/(1-alpha) singularity of the
+    // rejection-inversion sampler; it must fail loudly rather than
+    // silently nudge the exponent.
+    ScopedCheckThrow guard;
+    EXPECT_THROW(ZipfSampler(100, 1.0), CheckFailedError);
+}
+
+TEST(ContractsSim, DiscreteSamplerRejectsEmptyWeights)
+{
+    ScopedCheckThrow guard;
+    EXPECT_THROW(DiscreteSampler(std::vector<double>{}), CheckFailedError);
+}
+
+TEST(ContractsSim, DiscreteSamplerRejectsNegativeWeight)
+{
+    ScopedCheckThrow guard;
+    EXPECT_THROW(DiscreteSampler({1.0, -0.5, 2.0}), CheckFailedError);
+}
+
+TEST(ContractsSim, HistogramPercentileRejectsEmptyAndOutOfRange)
+{
+    ScopedCheckThrow guard;
+    Histogram h;
+    EXPECT_THROW(h.percentile(50.0), CheckFailedError);
+    h.add(1.0);
+    EXPECT_THROW(h.percentile(101.0), CheckFailedError);
+}
+
+// ------------------------------------------------------------- tensor
+
+TEST(ContractsTensor, ShapeDimRejectsOutOfRangeAxis)
+{
+    ScopedCheckThrow guard;
+    Shape s{4, 8};
+    EXPECT_THROW(s.dim(2), CheckFailedError);
+}
+
+TEST(ContractsTensor, FromFloatsRejectsMismatchedShape)
+{
+    ScopedCheckThrow guard;
+    EXPECT_THROW(
+        Tensor::fromFloats({1.0f, 2.0f, 3.0f}, Shape{2, 2}, DType::FP32),
+        CheckFailedError);
+}
+
+// ---------------------------------------------------------------- mem
+
+TEST(ContractsMem, EccFlipBitRejectsIndexPast72)
+{
+    ScopedCheckThrow guard;
+    EccCodeword cw = EccCodec::encode(0xdeadbeefULL);
+    EXPECT_THROW(cw.flipBit(72), CheckFailedError);
+}
+
+// ---------------------------------------------------------------- noc
+
+TEST(ContractsNoc, NocModelRejectsNonPositiveBisectionBandwidth)
+{
+    ScopedCheckThrow guard;
+    NocConfig cfg;
+    cfg.bisection_bandwidth = 0.0;
+    EXPECT_THROW(NocModel{cfg}, CheckFailedError);
+}
+
+// ----------------------------------------------------------------- pe
+
+TEST(ContractsPe, CircularBufferRejectsZeroSlots)
+{
+    ScopedCheckThrow guard;
+    EXPECT_THROW(CircularBuffer(0, 256), CheckFailedError);
+}
+
+TEST(ContractsPe, LookupTableRejectsEmptyRange)
+{
+    ScopedCheckThrow guard;
+    EXPECT_THROW(
+        LookupTable([](float x) { return x; }, 1.0f, 1.0f, 16),
+        CheckFailedError);
+}
+
+// ------------------------------------------------------------ serving
+
+TEST(ContractsServing, CoalescerRejectsZeroBatchCapacity)
+{
+    ScopedCheckThrow guard;
+    CoalescerConfig cfg;
+    cfg.batch_capacity = 0;
+    Coalescer c(cfg);
+    EXPECT_THROW(c.coalesce({}), CheckFailedError);
+}
+
+TEST(ContractsServing, CoalescerRejectsUnsortedTrace)
+{
+    ScopedCheckThrow guard;
+    Coalescer c{CoalescerConfig{}};
+    std::vector<Request> trace;
+    trace.push_back(Request{0, /*arrival=*/200, /*candidates=*/4});
+    trace.push_back(Request{1, /*arrival=*/100, /*candidates=*/4});
+    EXPECT_THROW(c.coalesce(trace), CheckFailedError);
+}
+
+// -------------------------------------------------------------- fleet
+
+TEST(ContractsFleet, RolloutRejectsZeroConcurrentRestarts)
+{
+    ScopedCheckThrow guard;
+    FirmwareManager mgr(/*seed=*/7, /*fleet_servers=*/100);
+    FirmwareBundle bundle;
+    bundle.version = "test";
+    bundle.image = {1, 2, 3};
+    bundle.sign();
+    EXPECT_THROW(
+        mgr.rollout(bundle, FirmwareManager::standardPlan(), 0),
+        CheckFailedError);
+}
+
+TEST(ContractsFleet, RolloutRejectsNonMonotoneStageFractions)
+{
+    ScopedCheckThrow guard;
+    FirmwareManager mgr(/*seed=*/7, /*fleet_servers=*/100);
+    FirmwareBundle bundle;
+    bundle.version = "test";
+    bundle.image = {1, 2, 3};
+    bundle.sign();
+    std::vector<RolloutStage> plan = {
+        {"wide", 0.5, fromSeconds(1.0)},
+        {"narrow", 0.25, fromSeconds(1.0)}, // fraction went backwards
+    };
+    EXPECT_THROW(mgr.rollout(bundle, plan, 4), CheckFailedError);
+}
+
+// -------------------------------------------------------------- graph
+
+TEST(ContractsGraph, GraphAddRejectsNullOp)
+{
+    ScopedCheckThrow guard;
+    Graph g;
+    EXPECT_THROW(g.add(nullptr), CheckFailedError);
+}
+
+// --------------------------------------------------------------- host
+
+TEST(ContractsHost, RansDecompressRejectsTruncatedStream)
+{
+    ScopedCheckThrow guard;
+    ByteBuffer truncated = {0x01, 0x02};
+    EXPECT_THROW(RansCodec::decompress(truncated), CheckFailedError);
+}
+
+// ------------------------------------------------------------- macros
+
+TEST(ContractsMacros, StreamedMessageReachesHandler)
+{
+    ScopedCheckThrow guard;
+    try {
+        MTIA_CHECK_EQ(2 + 2, 5) << ": arithmetic still works";
+        FAIL() << "check did not fire";
+    } catch (const CheckFailedError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("MTIA_CHECK_EQ"), std::string::npos) << what;
+        EXPECT_NE(what.find("arithmetic still works"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("4 vs. 5"), std::string::npos) << what;
+    }
+}
+
+TEST(ContractsMacros, PassingChecksEvaluateOperandsOnce)
+{
+    ScopedCheckThrow guard;
+    int evals = 0;
+    auto once = [&evals] { return ++evals; };
+    MTIA_CHECK_GE(once(), 1);
+    EXPECT_EQ(evals, 1);
+    MTIA_CHECK(once() == 2);
+    EXPECT_EQ(evals, 2);
+}
+
+TEST(ContractsMacros, HandlerIsRestoredAfterScopeExit)
+{
+    const auto before = getCheckFailureHandler();
+    {
+        ScopedCheckThrow guard;
+        EXPECT_NE(getCheckFailureHandler(), before);
+    }
+    EXPECT_EQ(getCheckFailureHandler(), before);
+}
+
+} // namespace
+} // namespace mtia

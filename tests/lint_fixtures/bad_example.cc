@@ -1,0 +1,35 @@
+// Deliberately broken file exercising every check_sim_invariants.py
+// rule. It is never compiled — the `lint_fixture_detects_violations`
+// ctest runs the linter over this directory and asserts a non-zero
+// exit. If you add a linter rule, seed a violation of it here.
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+namespace mtia {
+
+int
+violations()
+{
+    // wall-clock: host time in simulator code.
+    auto t0 = std::chrono::system_clock::now();
+    (void)t0;
+
+    // unseeded-rng: global C PRNG and default-constructed engines.
+    int r = rand();
+    std::random_device rd;
+    std::mt19937 gen;
+
+    // raw-output: console output outside sim/logging.
+    printf("%d\n", r);
+
+    // check-side-effect: mutation inside a check condition.
+    int n = static_cast<int>(rd()) + static_cast<int>(gen());
+#define MTIA_CHECK(x) (void)(x)
+    MTIA_CHECK(n++ > 0);
+#undef MTIA_CHECK
+    return n;
+}
+
+} // namespace mtia

@@ -1,0 +1,9 @@
+// include-guard: this header has no #ifndef/#define guard.
+
+namespace mtia {
+inline int
+answer()
+{
+    return 42;
+}
+} // namespace mtia
