@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "models/model_zoo.h"
 #include "serving/ab_testing.h"
@@ -59,5 +60,10 @@ main()
     bench::row("numeric divergence source",
                "accelerator-specific kernels (LUT nonlinearity)",
                "nonzero but tiny per-sample deltas above");
+
+    bench::Report report("ab_testing");
+    report.metric("ne_delta_pct", r.neDeltaPercent(), -0.5, 0.5, "%");
+    report.metric("max_pred_diff", r.max_pred_diff);
+    report.metric("samples_scored", static_cast<double>(r.samples));
     return 0;
 }

@@ -11,6 +11,7 @@
 #include "autotune/batch_tuner.h"
 #include "autotune/coalescing_tuner.h"
 #include "autotune/kernel_tuner.h"
+#include "bench_report.h"
 #include "bench_util.h"
 #include "models/model_zoo.h"
 
@@ -118,5 +119,16 @@ main()
     bench::row("requests per batch with tuning", "> 95% fill",
                bench::fmt("%.1f%%",
                           candidates.front().stats.mean_fill * 100.0));
+
+    bench::Report report("autotune");
+    report.metric("ann_tuning_speedup", exhaustive_cost / ann_cost,
+                  "x");
+    report.metric("ann_worst_regression_pct", (worst - 1.0) * 100.0,
+                  0.0, 5.0, "%");
+    report.metric("winning_batch",
+                  static_cast<double>(snaps[winner].batch));
+    report.metric("coalescing_best_fill_pct",
+                  candidates.front().stats.mean_fill * 100.0, 95.0,
+                  100.0, "%");
     return 0;
 }

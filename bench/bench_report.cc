@@ -1,0 +1,111 @@
+#include "bench_report.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/check.h"
+#include "telemetry/json.h"
+#include "telemetry/telemetry.h"
+
+namespace mtia::bench {
+
+Report::Report(std::string name) : name_(std::move(name))
+{
+    MTIA_CHECK(!name_.empty()) << ": bench report needs a name";
+}
+
+Report::~Report()
+{
+    if (!written_)
+        write();
+}
+
+void
+Report::metric(const std::string &metric_name, double measured,
+               const std::string &unit)
+{
+    entries_.push_back({metric_name, measured, 0.0, 0.0, false, unit});
+}
+
+void
+Report::metric(const std::string &metric_name, double measured,
+               double paper_lo, double paper_hi, const std::string &unit)
+{
+    MTIA_CHECK_LE(paper_lo, paper_hi)
+        << ": inverted paper band for " << metric_name;
+    entries_.push_back(
+        {metric_name, measured, paper_lo, paper_hi, true, unit});
+}
+
+std::string
+Report::path() const
+{
+    const std::string file = "BENCH_" + name_ + ".json";
+    const char *dir = std::getenv("MTIA_BENCH_REPORT_DIR");
+    if (dir == nullptr || dir[0] == '\0')
+        return file;
+    std::string p(dir);
+    if (p.back() != '/')
+        p += '/';
+    return p + file;
+}
+
+std::string
+Report::json() const
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"mtia-bench-report-v1\",\"bench\":";
+    telemetry::writeJsonString(os, name_);
+    os << ",\"metrics\":[";
+    bool first = true;
+    for (const Entry &e : entries_) {
+        os << (first ? "\n" : ",\n") << "{\"name\":";
+        first = false;
+        telemetry::writeJsonString(os, e.name);
+        os << ",\"measured\":";
+        telemetry::writeJsonDouble(os, e.measured);
+        if (!e.unit.empty()) {
+            os << ",\"unit\":";
+            telemetry::writeJsonString(os, e.unit);
+        }
+        if (e.has_band) {
+            os << ",\"paper_lo\":";
+            telemetry::writeJsonDouble(os, e.paper_lo);
+            os << ",\"paper_hi\":";
+            telemetry::writeJsonDouble(os, e.paper_hi);
+            const bool within =
+                e.measured >= e.paper_lo && e.measured <= e.paper_hi;
+            os << ",\"within_band\":" << (within ? "true" : "false");
+        }
+        os << '}';
+    }
+    os << "\n]";
+    if (telemetry_ != nullptr) {
+        std::string snap = telemetry_->json();
+        while (!snap.empty() &&
+               (snap.back() == '\n' || snap.back() == ' '))
+            snap.pop_back();
+        os << ",\"telemetry\":" << snap;
+    }
+    os << "}\n";
+    return os.str();
+}
+
+void
+Report::write()
+{
+    if (written_)
+        return;
+    written_ = true;
+    const std::string p = path();
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    if (!out.is_open())
+        telemetry::exportError("bench report: cannot open " + p);
+    out << json();
+    out.flush();
+    if (!out.good())
+        telemetry::exportError("bench report: write failed for " + p);
+}
+
+} // namespace mtia::bench

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "host/compression.h"
 #include "host/pcie.h"
@@ -31,18 +32,20 @@ main()
     auto report = [&](const char *label, const ByteBuffer &data) {
         const ByteBuffer c = RansCodec::compress(data);
         const bool ok = RansCodec::decompress(c) == data;
-        std::printf("  %-36s %9.1f%% %12.2f %s\n", label,
-                    100.0 * static_cast<double>(c.size()) /
-                        static_cast<double>(data.size()),
+        const double ratio = 100.0 * static_cast<double>(c.size()) /
+            static_cast<double>(data.size());
+        std::printf("  %-36s %9.1f%% %12.2f %s\n", label, ratio,
                     RansCodec::entropyBitsPerByte(data),
                     ok ? "" : "ROUND-TRIP FAILED");
+        return ratio;
     };
 
     ByteBuffer int8_narrow(1 << 20);
     for (auto &b : int8_narrow)
         b = static_cast<std::uint8_t>(static_cast<std::int8_t>(
             std::clamp(rng.gaussian(0.0, 4.0), -127.0, 127.0)));
-    report("INT8 weights, narrow spectrum", int8_narrow);
+    const double narrow_ratio =
+        report("INT8 weights, narrow spectrum", int8_narrow);
 
     ByteBuffer int8_wide(1 << 20);
     for (auto &b : int8_wide)
@@ -57,7 +60,7 @@ main()
         fp16[i] = static_cast<std::uint8_t>(h);
         fp16[i + 1] = static_cast<std::uint8_t>(h >> 8);
     }
-    report("FP16 weights", fp16);
+    const double fp16_ratio = report("FP16 weights", fp16);
 
     bench::row("INT8 weight savings", "up to 50%",
                "see narrow-spectrum row");
@@ -91,5 +94,14 @@ main()
     bench::row("input transfer speedup on congested link",
                "alleviates PCIe congestion (retrieval models)",
                bench::fmt("%.2fx", static_cast<double>(raw) / comp));
+
+    bench::Report rep("compression");
+    rep.metric("rans_int8_narrow_ratio_pct", narrow_ratio, 40.0, 60.0,
+               "%");
+    rep.metric("rans_fp16_ratio_pct", fp16_ratio, "%");
+    rep.metric("lz_feature_ratio_pct", lz_ratio * 100.0, "%");
+    rep.metric("pcie_congested_speedup",
+               static_cast<double>(raw) / static_cast<double>(comp),
+               "x");
     return 0;
 }

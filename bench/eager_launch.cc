@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "core/device.h"
 
@@ -54,5 +55,13 @@ main()
                     "%5.1f%% (old path)\n",
                     job_us, eager_eff * 100.0, old_eff * 100.0);
     }
+
+    bench::Report report("eager_launch");
+    report.metric("job_launch_us", toMicros(mtia2i.jobLaunchTime()),
+                  0.0, 1.0, "us");
+    report.metric("job_replace_us", toMicros(mtia2i.jobReplaceTime()),
+                  0.0, 0.5, "us");
+    report.metric("launch_reduction_pct", reduction * 100.0, 60.0,
+                  90.0, "%");
     return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "baselines/comparison.h"
+#include "bench_report.h"
 #include "bench_util.h"
 #include "graph/fusion.h"
 #include "models/case_study.h"
@@ -106,5 +107,12 @@ main()
                bench::fmt("%.2f", final_ratio));
     bench::row("complexity growth", "140 -> 940 MFLOPS/sample",
                "see MF/sample column");
+
+    bench::Report report("fig4_case_study");
+    report.metric("initial_perf_per_tco_ratio", first_ratio, 0.4, 0.6,
+                  "x");
+    report.metric("final_perf_per_tco_ratio", final_ratio, 1.6, 2.4,
+                  "x");
+    report.metric("tbe_consolidation_gain", tbe_gain, "x");
     return 0;
 }

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "serving/serving_sim.h"
 
@@ -68,5 +69,16 @@ main()
                    bench::fmt("%.1f ms", b.remote_p99_ms));
     bench::row("PE-grid execution per request", "identical",
                "identical by construction (6 ms remote + 12 ms merge)");
+
+    bench::Report report("fig5_tbe_consolidation");
+    report.metric("qps_at_slo_split", qps_split, "QPS");
+    report.metric("qps_at_slo_consolidated", qps_merged, "QPS");
+    report.metric("throughput_gain_pct",
+                  (qps_merged / qps_split - 1.0) * 100.0, "%");
+    report.metric("p99_split_ms", a.p99_ms, "ms");
+    report.metric("p99_consolidated_ms", b.p99_ms, "ms");
+    report.metric("p99_drop_ms", a.p99_ms - b.p99_ms, 5.0, 25.0, "ms");
+    report.metric("remote_p99_delta_ms",
+                  b.remote_p99_ms - a.remote_p99_ms, "ms");
     return 0;
 }

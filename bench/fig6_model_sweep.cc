@@ -8,9 +8,11 @@
 #include <cstdio>
 
 #include "baselines/comparison.h"
+#include "bench_report.h"
 #include "bench_util.h"
 #include "graph/fusion.h"
 #include "models/model_zoo.h"
+#include "telemetry/telemetry.h"
 
 using namespace mtia;
 
@@ -28,6 +30,10 @@ main()
                 "MF/sample", "batch", "perf/W", "perf/TCO",
                 "TCO saved", "bottleneck");
 
+    telemetry::MetricRegistry registry;
+    bench::Report report("fig6_model_sweep");
+    report.attachTelemetry(&registry);
+
     double sum_reduction = 0.0;
     double best_tco = 0.0;
     double worst_tco = 1e9;
@@ -44,6 +50,8 @@ main()
                     cmp.tcoReduction() * 100.0,
                     model.mflopsPerSample() < 200 ? "memory/host"
                                                   : "compute/sram");
+        report.metric("perf_per_tco_" + cmp.model,
+                      cmp.perfPerTcoRatio(), "x");
         sum_reduction += cmp.tcoReduction();
         if (cmp.perfPerTcoRatio() > best_tco) {
             best_tco = cmp.perfPerTcoRatio();
@@ -66,5 +74,11 @@ main()
                "best: " + best_name + ", worst: " + worst_name);
     bench::row("batch-size effect", "LC1@4K beats LC2@512",
                "see LC1 vs LC2 rows");
+
+    report.metric("fleet_avg_tco_reduction_pct",
+                  sum_reduction / n * 100.0, 40.0, 48.0, "%");
+    report.metric("best_perf_per_tco", best_tco, "x");
+    report.metric("worst_perf_per_tco", worst_tco, "x");
+    dev.exportTelemetry(registry, "mtia2i");
     return 0;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "fleet/firmware.h"
 
@@ -67,5 +68,19 @@ main()
     bench::row("fleet-wide deployments", "23 in 2024",
                "23 of the builds promoted (vs 1-2/yr on 3rd-party "
                "GPUs)");
+
+    bench::Report report("firmware_rollout");
+    report.metric("stress_pcie_loss_pct", bad.pcie_loss_fraction * 100.0,
+                  0.5, 1.5, "%");
+    report.metric("fixed_firmware_passes", good.passed ? 1.0 : 0.0,
+                  1.0, 1.0);
+    report.metric("standard_rollout_days",
+                  toSeconds(standard.duration) / 86400.0, 14.0, 21.0,
+                  "days");
+    report.metric("emergency_rollout_hours",
+                  toSeconds(emergency.duration) / 3600.0, 0.0, 3.0,
+                  "h");
+    report.metric("override_rollout_hours",
+                  toSeconds(urgent.duration) / 3600.0, 0.0, 1.0, "h");
     return 0;
 }

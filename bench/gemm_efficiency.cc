@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "core/device.h"
 #include "core/kernel_cost_model.h"
@@ -63,5 +64,16 @@ main()
     bench::row("small shapes without new instructions",
                "issue-rate bound, low out-of-box efficiency",
                "instruction-issue bottleneck reproduced above");
+
+    bench::Report report("gemm_efficiency");
+    report.metric("gemm_2k_efficiency_pct",
+                  big.efficiencyVs(big_ideal) * 100.0, 92.0, 100.0,
+                  "%");
+    const KernelTime small_old = km_old.fc(FcShape{256, 256, 256}, opt);
+    const Tick small_ideal = fromSeconds(
+        FcShape{256, 256, 256}.flops() /
+        modern.peakGemmFlops(DType::FP16));
+    report.metric("gemm_256_old_isa_efficiency_pct",
+                  small_old.efficiencyVs(small_ideal) * 100.0, "%");
     return 0;
 }

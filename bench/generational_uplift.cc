@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "graph/fusion.h"
 #include "graph/graph_cost.h"
@@ -58,5 +59,9 @@ main()
                bench::fmt("%.2fx across ", geo) + std::to_string(n) +
                    " models");
     bench::row("die area increase", "1.13x", "not modeled (physical)");
+
+    bench::Report report("generational_uplift");
+    report.metric("model_geomean_uplift", geo, 1.16, 3.0, "x");
+    report.metric("models_evaluated", static_cast<double>(n));
     return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "core/device.h"
 #include "models/llm.h"
@@ -49,5 +50,14 @@ main()
                l7.meetsDecode() ? "MEETS (wrong)" : "misses");
     bench::row("root cause", "MHA+FFN LPDDR-bandwidth bound in decode",
                "weight stream = param bytes / 182 GB/s per token");
+
+    bench::Report report("llm_latency");
+    report.metric("llama2_7b_prefill_ms", toMillis(l7.prefill), 0.0,
+                  600.0, "ms");
+    report.metric("llama2_7b_decode_per_token_ms",
+                  toMillis(l7.decode_per_token), "ms");
+    report.metric("llama2_7b_meets_ttft", l7.meetsTtft() ? 1.0 : 0.0);
+    report.metric("llama2_7b_meets_decode",
+                  l7.meetsDecode() ? 1.0 : 0.0);
     return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "graph/fusion.h"
 #include "graph/graph_cost.h"
@@ -26,6 +27,7 @@ main()
                   "broadcast, and the SRAM cliff.");
 
     Device dev(ChipConfig::mtia2i());
+    bench::Report report("locality");
 
     bench::section("sparse-network SRAM hit rates (128 MB LLC share)");
     std::printf("  %-34s %10s\n", "table configuration", "hit rate");
@@ -55,6 +57,9 @@ main()
     bench::row("sparse access SRAM hit band", "40-60%",
                bench::fmt("%.0f%%", lo * 100.0) + " - " +
                    bench::fmt("%.0f%%", hi * 100.0));
+    report.metric("sparse_hit_rate_low_pct", lo * 100.0, 35.0, 65.0,
+                  "%");
+    report.metric("sparse_hit_rate_high_pct", hi * 100.0, "%");
 
     bench::section("dense hit rate (weights resident in LLC)");
     {
@@ -74,6 +79,10 @@ main()
         bench::row("dense weight accesses served by SRAM", "> 95%",
                    bench::fmt("%.0f%% of FC layers LLC-resident",
                               100.0 * llc_nodes / dense_nodes));
+        report.metric("dense_fc_llc_resident_pct",
+                      100.0 * static_cast<double>(llc_nodes) /
+                          static_cast<double>(dense_nodes),
+                      95.0, 100.0, "%");
     }
 
     bench::section("graph fusions on the case-study model");
@@ -90,6 +99,9 @@ main()
         bench::row("fusion performance gain", "up to 15%",
                    bench::fmt("%.1f%%",
                               (after.qps / before.qps - 1.0) * 100.0));
+        report.metric("fusion_gain_pct",
+                      (after.qps / before.qps - 1.0) * 100.0, 0.0,
+                      15.0, "%");
         bench::row("activation peak shrinks", "yes",
                    bench::fmt("%.0f MB",
                               static_cast<double>(
@@ -123,6 +135,8 @@ main()
                     a.activations_fit_lls ? "pinned in LLS" : "SPILL");
         bench::row("rejected change throughput", "~90% drop",
                    bench::fmt("-%.0f%%", (1.0 - r.qps / b.qps) * 100.0));
+        report.metric("rejected_change_qps_drop_pct",
+                      (1.0 - r.qps / b.qps) * 100.0, 70.0, 95.0, "%");
         bench::row("accepted alternative", "similar quality, SRAM safe",
                    bench::fmt("-%.0f%% (two extra DHEN layers)",
                               (1.0 - a.qps / b.qps) * 100.0));

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "core/kernel_cost_model.h"
 #include "fleet/memory_error_study.h"
@@ -90,5 +91,15 @@ main()
                           (1.0 - c_with.qps / c_without.qps) * 100.0));
     bench::row("decision", "enable ECC despite the penalty",
                "enabled by default in ChipConfig::mtia2i()");
+
+    bench::Report report("memory_errors");
+    report.metric("fleet_server_error_pct",
+                  fleet.serverErrorFraction() * 100.0, 20.0, 28.0,
+                  "%");
+    report.metric("secded_single_bit_correction_pct",
+                  corrected / 100.0, 100.0, 100.0, "%");
+    report.metric("ecc_throughput_penalty_pct",
+                  (1.0 - c_with.qps / c_without.qps) * 100.0, 10.0,
+                  15.0, "%");
     return 0;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "core/device.h"
 #include "core/kernel_cost_model.h"
@@ -86,5 +87,18 @@ main()
                               100.0));
     bench::row("DRAM bandwidth achieved", "> 95%",
                bench::fmt("%.1f%%", dram_frac * 100.0));
+
+    bench::Report report("memory_hierarchy");
+    report.metric("sram_to_lpddr_bandwidth_ratio",
+                  dev.sramBandwidth() /
+                      dev.dram().effectiveReadBandwidth(),
+                  11.0, 15.0, "x");
+    report.metric("broadcast_latency_improvement_pct",
+                  (1.0 - static_cast<double>(coord.total) /
+                       static_cast<double>(uncoord.total)) *
+                      100.0,
+                  40.0, 50.0, "%");
+    report.metric("broadcast_dram_bandwidth_pct", dram_frac * 100.0,
+                  95.0, 100.0, "%");
     return 0;
 }

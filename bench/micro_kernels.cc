@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "autotune/perf_database.h"
+#include "bench_report.h"
 #include "host/compression.h"
 #include "host/sha256.h"
 #include "mem/ecc.h"
@@ -167,6 +168,63 @@ BM_KdTreeNearest(benchmark::State &state)
 BENCHMARK(BM_KdTreeNearest);
 
 } // namespace
+
+/**
+ * google-benchmark timings are wall-clock and machine-dependent, so
+ * the machine-readable report records only deterministic functional
+ * results of the same primitives.
+ */
+void
+emitMicroKernelReport()
+{
+    bench::Report report("micro_kernels");
+
+    const ByteBuffer weights = weightBytes(1 << 20, 8.0);
+    const ByteBuffer rans = RansCodec::compress(weights);
+    report.metric("rans_weight_ratio_pct",
+                  100.0 * static_cast<double>(rans.size()) /
+                      static_cast<double>(weights.size()),
+                  "%");
+    report.metric("rans_round_trip_ok",
+                  RansCodec::decompress(rans) == weights ? 1.0 : 0.0,
+                  1.0, 1.0);
+
+    ByteBuffer features(1 << 20);
+    for (std::size_t i = 0; i < features.size(); ++i)
+        features[i] = static_cast<std::uint8_t>((i % 64) * 3);
+    const ByteBuffer lz = LzCodec::compress(features);
+    report.metric("lz_feature_ratio_pct",
+                  100.0 * static_cast<double>(lz.size()) /
+                      static_cast<double>(features.size()),
+                  "%");
+    report.metric("lz_round_trip_ok",
+                  LzCodec::decompress(lz) == features ? 1.0 : 0.0, 1.0,
+                  1.0);
+
+    Rng rng(3);
+    int corrected = 0;
+    const int trials = 1000;
+    for (int t = 0; t < trials; ++t) {
+        EccCodeword cw = EccCodec::encode(rng.next());
+        cw.flipBit(static_cast<unsigned>(rng.below(72)));
+        std::uint64_t data = 0;
+        corrected +=
+            EccCodec::decode(cw, data) == EccResult::CorrectedSingle;
+    }
+    report.metric("secded_single_bit_correction_pct",
+                  100.0 * corrected / trials, 100.0, 100.0, "%");
+}
+
 } // namespace mtia
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    mtia::emitMicroKernelReport();
+    return 0;
+}

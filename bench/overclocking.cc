@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "fleet/overclocking.h"
 #include "graph/fusion.h"
@@ -68,5 +69,12 @@ main()
                bench::fmt("%.0f%%", lo * 100.0) + " - " +
                    bench::fmt("%.0f%%", hi * 100.0) +
                    " (DRAM-bound models gain least)");
+
+    bench::Report report("overclocking");
+    report.metric("pass_rate_drop_pp",
+                  (rep.passRateAt(1.1) - rep.passRateAt(1.35)) * 100.0,
+                  0.0, 1.0, "pp");
+    report.metric("e2e_gain_low_pct", lo * 100.0, 0.0, 10.0, "%");
+    report.metric("e2e_gain_high_pct", hi * 100.0, 10.0, 25.0, "%");
     return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "fleet/power_provisioning.h"
 
@@ -43,5 +44,11 @@ main()
                "initial estimates used unoptimized models; small "
                "chips allow granular allocation",
                "margin + typical-vs-TDP + measured host power");
+
+    bench::Report report("power_provisioning");
+    report.metric("budget_reduction_pct", rep.reduction() * 100.0,
+                  35.0, 45.0, "%");
+    report.metric("initial_budget_w", rep.initial_budget_w, "W");
+    report.metric("final_budget_w", rep.final_budget_w, "W");
     return 0;
 }

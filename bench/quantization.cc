@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "core/kernel_cost_model.h"
 #include "graph/fusion.h"
@@ -112,5 +113,15 @@ main()
                "a few percent unless risky layers quantized (>5%)",
                bench::fmt("%+.1f%%",
                           (q_big.qps / fp.qps - 1.0) * 100.0));
+
+    bench::Report report("quantization");
+    report.metric("fc_int8_speedup",
+                  static_cast<double>(t16.total) /
+                      static_cast<double>(t8.total),
+                  1.4, 2.0, "x");
+    report.metric("e2e_gain_largest_layers_pct",
+                  (q_big.qps / fp.qps - 1.0) * 100.0, "%");
+    report.metric("e2e_gain_all_layers_pct",
+                  (q_all.qps / fp.qps - 1.0) * 100.0, "%");
     return 0;
 }

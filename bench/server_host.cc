@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "autotune/sharding.h"
+#include "bench_report.h"
 #include "bench_util.h"
 #include "core/device.h"
 #include "host/pcie.h"
@@ -66,5 +67,18 @@ main()
     for (std::size_t i = 0; i < plan.chips.size(); ++i)
         std::printf("%s%u", i ? ", " : "", plan.chips[i]);
     std::printf("] (same socket / PCIe switch)\n");
+
+    bench::Report report("server_host");
+    report.metric("host_cores_per_accelerator", cores, 7.5, 8.5);
+    report.metric("host_dram_gb_per_accelerator", dram_gb, 90.0, 100.0,
+                  "GB");
+    report.metric("host_dram_bw_gbps_per_accelerator", dram_bw, 36.0,
+                  40.0, "GB/s");
+    report.metric("host_bytes_reduction_factor", naive / optimized,
+                  2.0, 4.0, "x");
+    report.metric("batch_rate_uplift", batches_opt / batches_naive,
+                  "x");
+    report.metric("model_200gb_shards",
+                  static_cast<double>(plan.shards));
     return 0;
 }

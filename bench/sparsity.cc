@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "core/kernel_cost_model.h"
 #include "pe/dpe.h"
@@ -68,5 +69,11 @@ main()
     bench::row("why production avoids it",
                "largest matrices lack sparsity -> quality loss",
                "dense spectra retain <90% energy (first row)");
+
+    bench::Report rep("sparsity");
+    rep.metric("sparse_24_speedup",
+               static_cast<double>(dense.total) /
+                   static_cast<double>(sparse.total),
+               1.5, 2.0, "x");
     return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "core/chip_config.h"
 
@@ -76,5 +77,27 @@ main()
     bench::row("DRAM bandwidth ratio", "~1.4x (prose); 1.16x (table)",
                bench::fmt("%.2fx", c2.lpddr.peak_bandwidth /
                                        c1.lpddr.peak_bandwidth));
+
+    bench::Report report("table2_specs");
+    report.metric("flops_ratio_fp16",
+                  c2.peakGemmFlops(DType::FP16) /
+                      c1.peakGemmFlops(DType::FP16),
+                  3.0, 5.0, "x");
+    report.metric("sram_bandwidth_ratio",
+                  c2.sram.bandwidth / c1.sram.bandwidth, 3.0, 5.0, "x");
+    report.metric("noc_bandwidth_ratio",
+                  c2.noc.bisection_bandwidth /
+                      c1.noc.bisection_bandwidth,
+                  3.0, 3.6, "x");
+    report.metric("dram_capacity_ratio",
+                  static_cast<double>(c2.lpddr.capacity) /
+                      static_cast<double>(c1.lpddr.capacity),
+                  1.9, 2.1, "x");
+    report.metric("dram_bandwidth_ratio",
+                  c2.lpddr.peak_bandwidth / c1.lpddr.peak_bandwidth,
+                  1.1, 1.5, "x");
+    report.metric("gemm_int8_tops",
+                  c2.peakGemmFlops(DType::INT8) / 1e12, "TOPS");
+    report.metric("tdp_watts", c2.tdp_watts, "W");
     return 0;
 }

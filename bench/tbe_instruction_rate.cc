@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "core/device.h"
 #include "core/kernel_cost_model.h"
@@ -65,5 +66,15 @@ main()
                               modern.tbeInstructions(rows)));
     bench::row("cached TBE without new instructions",
                "instruction-bound", "reproduced at hit rate >= 0.9");
+
+    bench::Report report("tbe_instruction_rate");
+    report.metric("new_isa_instructions_per_100k_rows",
+                  static_cast<double>(modern.tbeInstructions(rows)));
+    report.metric("old_isa_instructions_per_100k_rows",
+                  static_cast<double>(legacy.tbeInstructions(rows)));
+    report.metric("instruction_reduction_factor",
+                  static_cast<double>(legacy.tbeInstructions(rows)) /
+                      static_cast<double>(modern.tbeInstructions(rows)),
+                  3.0, 8.0, "x");
     return 0;
 }

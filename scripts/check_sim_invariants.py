@@ -22,6 +22,12 @@ silently break those properties:
                   or a bare assignment — MTIA_DCHECK compiles out in
                   release builds, so a mutating condition changes
                   behavior between build types.
+  telemetry-wall-clock
+                  any time-source include (<chrono>, <ctime>,
+                  <time.h>, <sys/time.h>) or std::chrono use inside
+                  src/telemetry/ — traces and metric snapshots must be
+                  derived from sim ticks only, so identical seeds give
+                  byte-identical exports.
 
 Suppress a false positive by appending  // sim-lint: allow(<rule>)
 to the offending line.
@@ -64,6 +70,11 @@ RAW_OUTPUT_RE = re.compile(
     r"|(?<![\w:.])fprintf\s*\(\s*stdout"
     r"|std::cout\b|std::cerr\b"
     r"|(?<![\w:.])puts\s*\("
+)
+
+TELEMETRY_TIME_RE = re.compile(
+    r"#\s*include\s*<(?:chrono|ctime|time\.h|sys/time\.h)>"
+    r"|std::chrono\b"
 )
 
 CHECK_OPEN_RE = re.compile(r"\bMTIA_D?CHECK(?:_(?:EQ|NE|LT|LE|GT|GE))?\s*\(")
@@ -114,7 +125,7 @@ class Linter:
         self.violations.append((path, lineno, rule, detail))
 
     def lint_file(self, path: pathlib.Path, in_src: bool,
-                  logging_exempt: bool) -> None:
+                  logging_exempt: bool, telemetry: bool) -> None:
         try:
             text = path.read_text(encoding="utf-8", errors="replace")
         except OSError as err:
@@ -153,6 +164,11 @@ class Linter:
                 self.report(path, lineno, "raw-output",
                             "direct console output in src/; use "
                             "sim/logging (warn/inform)", raw)
+            if telemetry and TELEMETRY_TIME_RE.search(line):
+                self.report(path, lineno, "telemetry-wall-clock",
+                            "time-source include or std::chrono in "
+                            "src/telemetry/; exports must be derived "
+                            "from sim ticks only", raw)
 
         if path.suffix in HEADER_SUFFIXES:
             self.lint_include_guard(path, lines)
@@ -256,7 +272,9 @@ def main(argv: list[str]) -> int:
         rel_posix = rel.as_posix()
         in_src = rel_posix.startswith("src/") or args.treat_as_src
         logging_exempt = rel_posix.startswith("src/sim/logging")
-        linter.lint_file(f, in_src, logging_exempt)
+        telemetry = (rel_posix.startswith("src/telemetry/")
+                     or args.treat_as_src)
+        linter.lint_file(f, in_src, logging_exempt, telemetry)
 
     for path, lineno, rule, detail in linter.violations:
         try:

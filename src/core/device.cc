@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.h"
+#include "telemetry/metrics.h"
 
 namespace mtia {
 
@@ -84,6 +85,18 @@ Tick
 Device::jobReplaceTime() const
 {
     return wqe_.replaceTime(cfg_.peCount());
+}
+
+void
+Device::exportTelemetry(telemetry::MetricRegistry &registry,
+                        const std::string &device) const
+{
+    const telemetry::Labels labels{{"device", device}};
+    registry.gauge("device.frequency_ghz", labels).set(frequency_ghz_);
+    registry.gauge("device.clock_scale", labels).set(clockScale());
+    dram_.exportMetrics(registry, device);
+    noc_.exportMetrics(registry, device);
+    cp_.exportMetrics(registry, device);
 }
 
 } // namespace mtia

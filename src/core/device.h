@@ -12,6 +12,7 @@
  */
 
 #include <memory>
+#include <string>
 
 #include "core/chip_config.h"
 #include "host/control_core.h"
@@ -79,6 +80,14 @@ class Device
     /** Job launch / replace times at the current clock. */
     Tick jobLaunchTime() const;
     Tick jobReplaceTime() const;
+
+    /**
+     * Snapshot every instrumented unit (LPDDR, NoC, command processor)
+     * plus device-level gauges into @p registry, labeled
+     * {device=@p device}.
+     */
+    void exportTelemetry(telemetry::MetricRegistry &registry,
+                         const std::string &device = "device0") const;
 
   private:
     ChipConfig cfg_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/check.h"
+#include "telemetry/telemetry.h"
 
 namespace mtia {
 
@@ -46,6 +47,14 @@ Executor::run(const Graph &g, const std::map<int, Tensor> &bound_inputs)
             out = nd.op->run(ins, ctx);
         }
 
+        if (telemetry_ != nullptr) {
+            auto &m = telemetry_->metrics;
+            m.counter("executor.nodes", {{"op", nd.op->kind()}}).inc();
+            m.counter("executor.output_bytes",
+                      {{"op", nd.op->kind()}})
+                .inc(out.sizeBytes());
+        }
+
         live_bytes += out.sizeBytes();
         result.peak_bytes = std::max(result.peak_bytes, live_bytes);
         live.emplace(id, std::move(out));
@@ -65,6 +74,14 @@ Executor::run(const Graph &g, const std::map<int, Tensor> &bound_inputs)
         auto it = live.find(id);
         if (it != live.end())
             result.outputs.emplace(id, std::move(it->second));
+    }
+
+    if (telemetry_ != nullptr) {
+        auto &m = telemetry_->metrics;
+        m.counter("executor.runs").inc();
+        auto &peak = m.gauge("executor.peak_live_bytes");
+        peak.set(std::max(peak.value(),
+                          static_cast<double>(result.peak_bytes)));
     }
     return result;
 }

@@ -15,6 +15,10 @@
 
 #include "graph/graph.h"
 
+namespace mtia::telemetry {
+class Telemetry;
+} // namespace mtia::telemetry
+
 namespace mtia {
 
 /** Result of a functional run. */
@@ -44,9 +48,22 @@ class Executor
     ExecutionResult run(const Graph &g,
                         const std::map<int, Tensor> &bound_inputs = {});
 
+    /**
+     * Attach an observability context (may be null to detach). While
+     * attached, run() records per-op-kind node counters, output-byte
+     * counters, and a peak-live-bytes gauge. The executor is
+     * functional — it has no DES clock — so it feeds metrics only,
+     * never trace events.
+     */
+    void setTelemetry(telemetry::Telemetry *telemetry)
+    {
+        telemetry_ = telemetry;
+    }
+
   private:
     Rng rng_;
     bool use_lut_;
+    telemetry::Telemetry *telemetry_ = nullptr;
 };
 
 } // namespace mtia

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.h"
+#include "telemetry/metrics.h"
 
 namespace mtia {
 
@@ -24,7 +25,12 @@ PcieConfig::bandwidth() const
 Tick
 PcieLink::transferTime(Bytes bytes) const
 {
-    return cfg_.base_latency + transferTicks(bytes, cfg_.bandwidth());
+    const Tick t = cfg_.base_latency + transferTicks(bytes, cfg_.bandwidth());
+    ++stats_.transfers;
+    stats_.logical_bytes += bytes;
+    stats_.wire_bytes += bytes;
+    stats_.busy_ticks += t;
+    return t;
 }
 
 Tick
@@ -33,7 +39,27 @@ PcieLink::compressedTransferTime(Bytes logical_bytes, Bytes wire_bytes,
 {
     const Tick wire = transferTicks(wire_bytes, cfg_.bandwidth());
     const Tick expand = transferTicks(logical_bytes, decompress_rate);
-    return cfg_.base_latency + std::max(wire, expand);
+    const Tick t = cfg_.base_latency + std::max(wire, expand);
+    ++stats_.transfers;
+    stats_.logical_bytes += logical_bytes;
+    stats_.wire_bytes += wire_bytes;
+    stats_.busy_ticks += t;
+    return t;
+}
+
+void
+PcieLink::exportMetrics(telemetry::MetricRegistry &registry,
+                        const std::string &device) const
+{
+    const telemetry::Labels labels{{"device", device}};
+    registry.gauge("pcie.transfers", labels)
+        .set(static_cast<double>(stats_.transfers));
+    registry.gauge("pcie.logical_bytes", labels)
+        .set(static_cast<double>(stats_.logical_bytes));
+    registry.gauge("pcie.wire_bytes", labels)
+        .set(static_cast<double>(stats_.wire_bytes));
+    registry.gauge("pcie.busy_ms", labels)
+        .set(toMillis(stats_.busy_ticks));
 }
 
 } // namespace mtia

@@ -10,8 +10,13 @@
  */
 
 #include <cstdint>
+#include <string>
 
 #include "sim/types.h"
+
+namespace mtia::telemetry {
+class MetricRegistry;
+} // namespace mtia::telemetry
 
 namespace mtia {
 
@@ -26,6 +31,15 @@ struct PcieConfig
     BytesPerSec bandwidth() const;
 };
 
+/** Cumulative PCIe transfer totals. */
+struct PcieStats
+{
+    std::uint64_t transfers = 0;
+    Bytes logical_bytes = 0; ///< bytes delivered to the consumer
+    Bytes wire_bytes = 0;    ///< bytes on the link (post-compression)
+    Tick busy_ticks = 0;
+};
+
 /** One direction of a PCIe link with optional inline decompression. */
 class PcieLink
 {
@@ -33,6 +47,7 @@ class PcieLink
     explicit PcieLink(PcieConfig cfg) : cfg_(cfg) {}
 
     const PcieConfig &config() const { return cfg_; }
+    const PcieStats &stats() const { return stats_; }
 
     /** Time to move @p bytes, protocol overhead included. */
     Tick transferTime(Bytes bytes) const;
@@ -46,8 +61,19 @@ class PcieLink
     Tick compressedTransferTime(Bytes logical_bytes, Bytes wire_bytes,
                                 BytesPerSec decompress_rate) const;
 
+    /**
+     * Snapshot the cumulative transfer totals into @p registry as
+     * pcie.* gauges labeled {device=@p device} (gauges overwrite, so
+     * repeated exports never double-count).
+     */
+    void exportMetrics(telemetry::MetricRegistry &registry,
+                       const std::string &device) const;
+
   private:
     PcieConfig cfg_;
+    // Transfer-time queries are logically const; the traffic totals
+    // they feed are observability state.
+    mutable PcieStats stats_;
 };
 
 } // namespace mtia

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/logging.h"
+#include "telemetry/metrics.h"
 
 namespace mtia {
 
@@ -140,6 +141,24 @@ zipfLruHitRate(std::uint64_t cache_items, std::uint64_t n_items,
     for (std::size_t i = 0; i < p.size(); ++i)
         hit += count[i] * p[i] * (1.0 - std::exp(-p[i] * t));
     return hit;
+}
+
+void
+LlcModel::exportMetrics(telemetry::MetricRegistry &registry,
+                        const std::string &device) const
+{
+    const telemetry::Labels labels{{"device", device}};
+    registry.gauge("llc.accesses", labels)
+        .set(static_cast<double>(stats_.accesses));
+    registry.gauge("llc.hits", labels)
+        .set(static_cast<double>(stats_.hits));
+    registry.gauge("llc.misses", labels)
+        .set(static_cast<double>(stats_.misses));
+    registry.gauge("llc.evictions", labels)
+        .set(static_cast<double>(stats_.evictions));
+    registry.gauge("llc.dirty_writebacks", labels)
+        .set(static_cast<double>(stats_.dirty_writebacks));
+    registry.gauge("llc.hit_rate", labels).set(stats_.hitRate());
 }
 
 } // namespace mtia

@@ -16,9 +16,14 @@
  */
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/types.h"
+
+namespace mtia::telemetry {
+class MetricRegistry;
+} // namespace mtia::telemetry
 
 namespace mtia {
 
@@ -75,6 +80,14 @@ class LlcModel
     const LlcStats &stats() const { return stats_; }
     const LlcConfig &config() const { return cfg_; }
     std::uint64_t numSets() const { return num_sets_; }
+
+    /**
+     * Snapshot the cumulative access totals into @p registry as llc.*
+     * gauges labeled {device=@p device} (gauges overwrite, so repeated
+     * exports never double-count).
+     */
+    void exportMetrics(telemetry::MetricRegistry &registry,
+                       const std::string &device) const;
 
   private:
     struct Way

@@ -1,6 +1,7 @@
 #include "mem/lpddr.h"
 
 #include "sim/logging.h"
+#include "telemetry/metrics.h"
 
 namespace mtia {
 
@@ -35,13 +36,21 @@ LpddrChannel::effectiveWriteBandwidth() const
 Tick
 LpddrChannel::readTime(Bytes bytes) const
 {
-    return transferTicks(bytes, effectiveReadBandwidth());
+    const Tick t = transferTicks(bytes, effectiveReadBandwidth());
+    ++stats_.reads;
+    stats_.bytes_read += bytes;
+    stats_.busy_ticks += t;
+    return t;
 }
 
 Tick
 LpddrChannel::writeTime(Bytes bytes) const
 {
-    return transferTicks(bytes, effectiveWriteBandwidth());
+    const Tick t = transferTicks(bytes, effectiveWriteBandwidth());
+    ++stats_.writes;
+    stats_.bytes_written += bytes;
+    stats_.busy_ticks += t;
+    return t;
 }
 
 double
@@ -55,6 +64,23 @@ LpddrChannel::sampleBitErrors(Rng &rng, Bytes resident,
                               double seconds) const
 {
     return rng.poisson(expectedBitErrors(resident, seconds));
+}
+
+void
+LpddrChannel::exportMetrics(telemetry::MetricRegistry &registry,
+                            const std::string &device) const
+{
+    const telemetry::Labels labels{{"device", device}};
+    registry.gauge("lpddr.reads", labels)
+        .set(static_cast<double>(stats_.reads));
+    registry.gauge("lpddr.writes", labels)
+        .set(static_cast<double>(stats_.writes));
+    registry.gauge("lpddr.bytes_read", labels)
+        .set(static_cast<double>(stats_.bytes_read));
+    registry.gauge("lpddr.bytes_written", labels)
+        .set(static_cast<double>(stats_.bytes_written));
+    registry.gauge("lpddr.busy_ms", labels)
+        .set(toMillis(stats_.busy_ticks));
 }
 
 } // namespace mtia

@@ -12,9 +12,14 @@
  */
 
 #include <cstdint>
+#include <string>
 
 #include "sim/random.h"
 #include "sim/types.h"
+
+namespace mtia::telemetry {
+class MetricRegistry;
+} // namespace mtia::telemetry
 
 namespace mtia {
 
@@ -37,6 +42,16 @@ struct LpddrConfig
      * resident data. Calibrated so ~24% of servers see errors over a
      * months-long observation (Section 5.1). */
     double bit_error_rate = 1e-17;
+};
+
+/** Cumulative LPDDR traffic totals. */
+struct LpddrStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    Bytes bytes_read = 0;
+    Bytes bytes_written = 0;
+    Tick busy_ticks = 0; ///< channel time the modeled transfers occupy
 };
 
 /**
@@ -86,8 +101,21 @@ class LpddrChannel
     /** Switch ECC mode at runtime (the productionization decision). */
     void setEccMode(EccMode mode) { cfg_.ecc = mode; }
 
+    const LpddrStats &stats() const { return stats_; }
+
+    /**
+     * Snapshot the cumulative traffic totals into @p registry as
+     * lpddr.* gauges labeled {device=@p device} (gauges overwrite, so
+     * repeated exports never double-count).
+     */
+    void exportMetrics(telemetry::MetricRegistry &registry,
+                       const std::string &device) const;
+
   private:
     LpddrConfig cfg_;
+    // readTime()/writeTime() are logically const queries of the cost
+    // model; the traffic accounting they feed is observability state.
+    mutable LpddrStats stats_;
 };
 
 } // namespace mtia

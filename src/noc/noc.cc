@@ -1,6 +1,7 @@
 #include "noc/noc.h"
 
 #include "core/check.h"
+#include "telemetry/metrics.h"
 
 namespace mtia {
 
@@ -57,6 +58,21 @@ NocModel::dramEdgeEfficiency(unsigned readers, bool coordinated) const
     // number of contending streams.
     const double r = static_cast<double>(readers);
     return 1.0 / (1.0 + 0.12 * r);
+}
+
+void
+NocModel::exportMetrics(telemetry::MetricRegistry &registry,
+                        const std::string &device) const
+{
+    const telemetry::Labels labels{{"device", device}};
+    registry.gauge("noc.transfers", labels)
+        .set(static_cast<double>(stats_.transfers));
+    registry.gauge("noc.payload_bytes", labels)
+        .set(static_cast<double>(stats_.payload_bytes));
+    registry.gauge("noc.wire_bytes", labels)
+        .set(static_cast<double>(stats_.wire_bytes));
+    registry.gauge("noc.redundant_bytes", labels)
+        .set(static_cast<double>(stats_.redundant_bytes));
 }
 
 } // namespace mtia

@@ -12,9 +12,14 @@
  */
 
 #include <cstdint>
+#include <string>
 
 #include "noc/traffic_shaper.h"
 #include "sim/types.h"
+
+namespace mtia::telemetry {
+class MetricRegistry;
+} // namespace mtia::telemetry
 
 namespace mtia {
 
@@ -73,6 +78,14 @@ class NocModel
     double dramEdgeEfficiency(unsigned readers, bool coordinated) const;
 
     void setBroadcastReads(bool enabled) { cfg_.broadcast_reads = enabled; }
+
+    /**
+     * Snapshot the cumulative traffic totals into @p registry as
+     * noc.* gauges labeled {device=@p device}. Gauges overwrite, so
+     * repeated exports never double-count.
+     */
+    void exportMetrics(telemetry::MetricRegistry &registry,
+                       const std::string &device) const;
 
   private:
     NocConfig cfg_;

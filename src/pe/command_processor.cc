@@ -1,6 +1,7 @@
 #include "pe/command_processor.h"
 
 #include "core/check.h"
+#include "telemetry/metrics.h"
 
 namespace mtia {
 
@@ -82,7 +83,20 @@ CommandProcessor::issueTime(std::uint64_t instructions, double ghz) const
 {
     const double cycles =
         static_cast<double>(instructions) * cyclesPerIssue();
-    return fromSeconds(cycles / (ghz * 1e9));
+    const Tick t = fromSeconds(cycles / (ghz * 1e9));
+    issued_ += instructions;
+    issue_ticks_ += t;
+    return t;
+}
+
+void
+CommandProcessor::exportMetrics(telemetry::MetricRegistry &registry,
+                                const std::string &device) const
+{
+    const telemetry::Labels labels{{"device", device}};
+    registry.gauge("cp.instructions_issued", labels)
+        .set(static_cast<double>(issued_));
+    registry.gauge("cp.issue_ms", labels).set(toMillis(issue_ticks_));
 }
 
 } // namespace mtia

@@ -12,8 +12,13 @@
  */
 
 #include <cstdint>
+#include <string>
 
 #include "sim/types.h"
+
+namespace mtia::telemetry {
+class MetricRegistry;
+} // namespace mtia::telemetry
 
 namespace mtia {
 
@@ -108,8 +113,26 @@ class CommandProcessor
     /** Time to issue @p instructions at clock @p ghz. */
     Tick issueTime(std::uint64_t instructions, double ghz) const;
 
+    /** Custom instructions issued through issueTime() so far. */
+    std::uint64_t instructionsIssued() const { return issued_; }
+
+    /** Issue-path time accumulated by issueTime() so far. */
+    Tick issueTicks() const { return issue_ticks_; }
+
+    /**
+     * Snapshot the cumulative issue totals into @p registry as cp.*
+     * gauges labeled {device=@p device} (gauges overwrite, so repeated
+     * exports never double-count).
+     */
+    void exportMetrics(telemetry::MetricRegistry &registry,
+                       const std::string &device) const;
+
   private:
     IsaFeatures features_;
+    // Issue-time queries are logically const; the issue totals they
+    // feed are observability state.
+    mutable std::uint64_t issued_ = 0;
+    mutable Tick issue_ticks_ = 0;
 };
 
 } // namespace mtia

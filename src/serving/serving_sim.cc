@@ -4,8 +4,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "core/check.h"
+#include "telemetry/telemetry.h"
 
 namespace mtia {
 
@@ -16,6 +18,7 @@ struct SimDevice
 {
     std::deque<std::function<void(Tick)>> queue; // completion callbacks
     std::deque<Tick> durations;
+    std::deque<const char *> kinds; // "remote" / "merge" (trace labels)
     bool busy = false;
     Tick busy_until = 0;
     Tick busy_accum = 0;
@@ -28,6 +31,16 @@ struct SimRequest
     Tick remote_done = 0;
     Tick merge_enqueued = 0;
 };
+
+/** Latency range for the bounded histograms: 1 us to ~100 s, in ms. */
+telemetry::LogHistogram::Config
+latencyHistogramConfig()
+{
+    telemetry::LogHistogram::Config cfg;
+    cfg.min_value = 1e-3;
+    cfg.max_value = 1e5;
+    return cfg;
+}
 
 } // namespace
 
@@ -45,12 +58,45 @@ ServingSimulator::simulate(double qps, Tick duration,
     EventQueue eq;
     Rng rng(seed);
 
+    telemetry::Telemetry *tel = telemetry_;
+    telemetry::TraceRecorder *tr = tel ? &tel->trace : nullptr;
+
     std::vector<SimDevice> devices(params_.shards);
     std::vector<std::unique_ptr<SimRequest>> requests;
-    Histogram latency;
-    Histogram merge_latency;
-    Histogram remote_latency;
+
+    // Latency accounting uses the bounded log-bucketed histogram, so
+    // multi-million-request runs hold a few KiB per series instead of
+    // every sample. With telemetry attached the series live in the
+    // registry (labeled by request class) and survive into the
+    // exported snapshot; otherwise they are locals.
+    const auto hist_cfg = latencyHistogramConfig();
+    telemetry::LogHistogram local_total(hist_cfg);
+    telemetry::LogHistogram local_merge(hist_cfg);
+    telemetry::LogHistogram local_remote(hist_cfg);
+    telemetry::LogHistogram *latency = &local_total;
+    telemetry::LogHistogram *merge_latency = &local_merge;
+    telemetry::LogHistogram *remote_latency = &local_remote;
+    if (tel) {
+        latency = &tel->metrics.histogram(
+            "serving.latency_ms", {{"class", "total"}}, hist_cfg);
+        merge_latency = &tel->metrics.histogram(
+            "serving.latency_ms", {{"class", "merge"}}, hist_cfg);
+        remote_latency = &tel->metrics.histogram(
+            "serving.latency_ms", {{"class", "remote"}}, hist_cfg);
+    }
     std::uint64_t completed = 0;
+
+    // Per-shard trace tracks: job spans on one row, queue depth on a
+    // sibling counter row.
+    std::vector<telemetry::TrackId> job_track(params_.shards);
+    std::vector<telemetry::TrackId> queue_track(params_.shards);
+    if (tr != nullptr && tr->enabled()) {
+        for (unsigned i = 0; i < params_.shards; ++i) {
+            const std::string dev = "shard" + std::to_string(i);
+            job_track[i] = tr->track(dev, "jobs");
+            queue_track[i] = tr->track(dev, "queue");
+        }
+    }
 
     // Device job execution: start the next queued job when idle.
     std::function<void(unsigned)> pump = [&](unsigned dev_idx) {
@@ -59,10 +105,17 @@ ServingSimulator::simulate(double qps, Tick duration,
             return;
         dev.busy = true;
         const Tick dur = dev.durations.front();
+        const char *kind = dev.kinds.front();
         auto done = std::move(dev.queue.front());
         dev.queue.pop_front();
         dev.durations.pop_front();
+        dev.kinds.pop_front();
         dev.busy_accum += dur;
+        MTIA_TRACE_COMPLETE(tr, job_track[dev_idx], kind, "job",
+                            eq.now(), eq.now() + dur);
+        MTIA_TRACE_COUNTER(tr, queue_track[dev_idx], "queue_depth",
+                           eq.now(),
+                           static_cast<std::int64_t>(dev.queue.size()));
         // The job's result is ready after dur; the device only picks
         // up its next job after the host-side dispatch gap.
         eq.scheduleAfter(dur, [&, done = std::move(done)]() {
@@ -75,10 +128,14 @@ ServingSimulator::simulate(double qps, Tick duration,
                          });
     };
 
-    auto enqueue = [&](unsigned dev_idx, Tick dur,
+    auto enqueue = [&](unsigned dev_idx, Tick dur, const char *kind,
                        std::function<void(Tick)> done) {
         devices[dev_idx].queue.push_back(std::move(done));
         devices[dev_idx].durations.push_back(dur);
+        devices[dev_idx].kinds.push_back(kind);
+        MTIA_TRACE_COUNTER(
+            tr, queue_track[dev_idx], "queue_depth", eq.now(),
+            static_cast<std::int64_t>(devices[dev_idx].queue.size()));
         pump(dev_idx);
     };
 
@@ -103,19 +160,19 @@ ServingSimulator::simulate(double qps, Tick duration,
             for (unsigned shard = 0; shard < params_.shards; ++shard) {
                 for (unsigned j = 0;
                      j < params_.remote_jobs_per_shard; ++j) {
-                    enqueue(shard, per_job, [&, r](Tick now) {
+                    enqueue(shard, per_job, "remote", [&, r](Tick now) {
                         if (--r->remotes_pending != 0)
                             return;
                         r->remote_done = now;
-                        remote_latency.add(
+                        remote_latency->add(
                             toMillis(now - r->arrival));
                         // Merge runs on the request's home shard 0.
                         r->merge_enqueued = now;
-                        enqueue(0, params_.merge_time,
+                        enqueue(0, params_.merge_time, "merge",
                                 [&, r, duration](Tick end) {
-                                    latency.add(toMillis(
+                                    latency->add(toMillis(
                                         end - r->arrival));
-                                    merge_latency.add(toMillis(
+                                    merge_latency->add(toMillis(
                                         end - r->remote_done));
                                     // Sustainable throughput counts
                                     // only in-window completions.
@@ -134,11 +191,11 @@ ServingSimulator::simulate(double qps, Tick duration,
     out.offered_qps = qps;
     const double secs = toSeconds(duration);
     out.completed_qps = static_cast<double>(completed) / secs;
-    if (!latency.empty()) {
-        out.p50_ms = latency.percentile(50);
-        out.p99_ms = latency.percentile(99);
-        out.merge_p99_ms = merge_latency.percentile(99);
-        out.remote_p99_ms = remote_latency.percentile(99);
+    if (!latency->empty()) {
+        out.p50_ms = latency->percentile(50);
+        out.p99_ms = latency->percentile(99);
+        out.merge_p99_ms = merge_latency->percentile(99);
+        out.remote_p99_ms = remote_latency->percentile(99);
     }
     Tick busy_total = 0;
     for (const auto &dev : devices)
@@ -146,7 +203,24 @@ ServingSimulator::simulate(double qps, Tick duration,
     out.device_utilization = static_cast<double>(busy_total) /
         (static_cast<double>(duration) * params_.shards);
     out.meets_slo =
-        !latency.empty() && out.p99_ms <= toMillis(params_.latency_slo);
+        !latency->empty() && out.p99_ms <= toMillis(params_.latency_slo);
+
+    if (tel) {
+        auto &m = tel->metrics;
+        m.counter("serving.requests", {{"event", "arrived"}})
+            .inc(arrivals);
+        m.counter("serving.requests", {{"event", "completed"}})
+            .inc(completed);
+        for (unsigned i = 0; i < params_.shards; ++i)
+            m.gauge("serving.device_utilization",
+                    {{"shard", std::to_string(i)}})
+                .set(static_cast<double>(devices[i].busy_accum) /
+                     static_cast<double>(duration));
+        m.counter("sim.events_executed").inc(eq.executed());
+        auto &peak = m.gauge("sim.peak_pending_events");
+        peak.set(std::max(peak.value(),
+                          static_cast<double>(eq.peakPending())));
+    }
     return out;
 }
 

@@ -18,8 +18,11 @@
 
 #include "sim/event_queue.h"
 #include "sim/random.h"
-#include "sim/stats.h"
 #include "sim/types.h"
+
+namespace mtia::telemetry {
+class Telemetry;
+} // namespace mtia::telemetry
 
 namespace mtia {
 
@@ -76,8 +79,23 @@ class ServingSimulator
 
     const ServingModelParams &params() const { return params_; }
 
+    /**
+     * Attach an observability context (may be null to detach). While
+     * attached, simulate() records per-shard job spans and queue-depth
+     * counters into the trace, and latency histograms (labeled by
+     * request class: total / remote / merge), throughput counters, and
+     * per-shard utilization gauges into the metric registry. Metrics
+     * accumulate across simulate() calls; callers that bisect (e.g.
+     * maxQpsAtSlo) normally run detached.
+     */
+    void setTelemetry(telemetry::Telemetry *telemetry)
+    {
+        telemetry_ = telemetry;
+    }
+
   private:
     ServingModelParams params_;
+    telemetry::Telemetry *telemetry_ = nullptr;
 };
 
 } // namespace mtia

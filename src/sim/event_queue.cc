@@ -1,5 +1,7 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "core/check.h"
 
 namespace mtia {
@@ -10,6 +12,7 @@ EventQueue::schedule(Tick when, Callback cb)
     MTIA_CHECK_GE(when, now_) << ": EventQueue::schedule in the past";
     MTIA_CHECK(cb != nullptr) << ": EventQueue::schedule null callback";
     heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    peak_pending_ = std::max(peak_pending_, heap_.size());
 }
 
 Tick
@@ -23,6 +26,7 @@ EventQueue::run()
         // (when, seq) and schedule() rejects past timestamps.
         MTIA_DCHECK_GE(e.when, now_) << ": event queue tick regression";
         now_ = e.when;
+        ++executed_;
         e.cb();
     }
     return now_;
@@ -36,6 +40,7 @@ EventQueue::runUntil(Tick limit)
         heap_.pop();
         MTIA_DCHECK_GE(e.when, now_) << ": event queue tick regression";
         now_ = e.when;
+        ++executed_;
         e.cb();
     }
     // No events remain at or before the limit: time advances to it.

@@ -41,6 +41,12 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return heap_.size(); }
 
+    /** Events dispatched so far (telemetry). */
+    std::uint64_t executed() const { return executed_; }
+
+    /** High-water mark of pending() over the queue's lifetime. */
+    std::size_t peakPending() const { return peak_pending_; }
+
     /** Run events until the queue drains. Returns final time. */
     Tick run();
 
@@ -73,6 +79,8 @@ class EventQueue
 
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::size_t peak_pending_ = 0;
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
 };
 

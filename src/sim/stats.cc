@@ -62,21 +62,26 @@ Histogram::percentile(double p) const
 {
     MTIA_CHECK(!samples_.empty())
         << ": Histogram::percentile on empty histogram";
+    MTIA_CHECK(std::isfinite(p)) << ": percentile rank must be finite";
     MTIA_CHECK_GE(p, 0.0) << ": percentile rank below range";
     MTIA_CHECK_LE(p, 100.0) << ": percentile rank above range";
+    if (samples_.size() == 1)
+        return samples_.front();
     if (!sorted_) {
         std::sort(samples_.begin(), samples_.end());
         sorted_ = true;
     }
+    // Nearest-rank with exact extremes: p=0 is the minimum, p=100 the
+    // maximum, regardless of floating-point rounding in the rank
+    // computation below.
     if (p <= 0.0)
         return samples_.front();
+    if (p >= 100.0)
+        return samples_.back();
     const auto n = samples_.size();
     auto rank = static_cast<std::size_t>(
         std::ceil(p / 100.0 * static_cast<double>(n)));
-    if (rank == 0)
-        rank = 1;
-    if (rank > n)
-        rank = n;
+    rank = std::clamp<std::size_t>(rank, 1, n);
     return samples_[rank - 1];
 }
 

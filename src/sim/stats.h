@@ -30,8 +30,10 @@ class Counter
 
 /**
  * Collection of scalar samples supporting mean/min/max and exact
- * percentile queries (sorts lazily; fine for the sample counts used in
- * serving and fleet experiments).
+ * percentile queries (sorts lazily). Retains every sample — O(n)
+ * memory — which is right for small fleet studies where exactness
+ * matters; multi-million-request serving runs should use the
+ * bounded-memory telemetry::LogHistogram instead.
  */
 class Histogram
 {

@@ -1,0 +1,62 @@
+#ifndef MTIA_TELEMETRY_JSON_H_
+#define MTIA_TELEMETRY_JSON_H_
+
+/**
+ * @file
+ * Tiny deterministic JSON-writing helpers shared by the trace and
+ * metric exporters. Doubles are printed with std::to_chars (shortest
+ * round-trip form), which is locale-independent and platform-stable,
+ * so identical simulated values always serialize to identical bytes.
+ */
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace mtia::telemetry {
+
+/** Append @p s to @p os as a quoted, escaped JSON string. */
+inline void
+writeJsonString(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\r': os << "\\r"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                constexpr char hex[] = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/**
+ * Append @p v as a JSON number in shortest round-trip form. Non-finite
+ * values (not representable in JSON) serialize as null.
+ */
+inline void
+writeJsonDouble(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    os << std::string_view(buf, static_cast<std::size_t>(res.ptr - buf));
+}
+
+} // namespace mtia::telemetry
+
+#endif // MTIA_TELEMETRY_JSON_H_

@@ -1,0 +1,364 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/check.h"
+#include "telemetry/json.h"
+
+namespace mtia::telemetry {
+
+namespace {
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    auto head = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               c == '_';
+    };
+    if (!head(name[0]))
+        return false;
+    for (char c : name)
+        if (!head(c) && !(c >= '0' && c <= '9') && c != '.')
+            return false;
+    return true;
+}
+
+/** Sorted-by-key copy of @p labels; rejects empty/duplicate keys. */
+Labels
+canonicalLabels(const std::string &name, const Labels &labels)
+{
+    Labels out = labels;
+    std::sort(out.begin(), out.end());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        MTIA_CHECK(!out[i].first.empty())
+            << ": metric \"" << name << "\" has an empty label key";
+        if (i > 0)
+            MTIA_CHECK(out[i].first != out[i - 1].first)
+                << ": metric \"" << name << "\" repeats label key \""
+                << out[i].first << "\"";
+    }
+    return out;
+}
+
+std::string
+labelKey(const Labels &canonical)
+{
+    std::string out;
+    for (const auto &[k, v] : canonical) {
+        if (!out.empty())
+            out += ',';
+        out += k;
+        out += '=';
+        out += v;
+    }
+    return out;
+}
+
+} // namespace
+
+// ------------------------------------------------------- LogHistogram
+
+LogHistogram::LogHistogram(const Config &cfg) : cfg_(cfg)
+{
+    MTIA_CHECK_GT(cfg_.min_value, 0.0) << ": LogHistogram min_value";
+    MTIA_CHECK_LT(cfg_.min_value, cfg_.max_value)
+        << ": LogHistogram bucket range is empty";
+    MTIA_CHECK_GT(cfg_.sub_buckets, 0u) << ": LogHistogram sub_buckets";
+    (void)std::frexp(cfg_.min_value, &min_exp_);
+    (void)std::frexp(cfg_.max_value, &max_exp_);
+    const std::size_t octaves =
+        static_cast<std::size_t>(max_exp_ - min_exp_ + 1);
+    // Index 0 is the underflow bucket (v < min_value, including 0);
+    // the last index is the overflow bucket (v >= max_value).
+    buckets_.assign(octaves * cfg_.sub_buckets + 2, 0);
+}
+
+std::size_t
+LogHistogram::bucketIndex(double v) const
+{
+    if (v < cfg_.min_value)
+        return 0;
+    if (v >= cfg_.max_value)
+        return buckets_.size() - 1;
+    int exp = 0;
+    const double m = std::frexp(v, &exp); // v = m * 2^exp, m in [0.5, 1)
+    auto sub = static_cast<std::size_t>(
+        (m - 0.5) * 2.0 * static_cast<double>(cfg_.sub_buckets));
+    sub = std::min<std::size_t>(sub, cfg_.sub_buckets - 1);
+    const std::size_t idx = 1 +
+        static_cast<std::size_t>(exp - min_exp_) * cfg_.sub_buckets + sub;
+    return std::min(idx, buckets_.size() - 2);
+}
+
+double
+LogHistogram::bucketLowerBound(std::size_t idx) const
+{
+    if (idx == 0)
+        return 0.0;
+    if (idx >= buckets_.size() - 1)
+        return cfg_.max_value;
+    const std::size_t k = idx - 1;
+    const std::size_t octave = k / cfg_.sub_buckets;
+    const std::size_t sub = k % cfg_.sub_buckets;
+    // Bucket holds mantissas [0.5 + sub/2S, 0.5 + (sub+1)/2S) at this
+    // exponent, i.e. values from 2^(exp-1) * (1 + sub/S).
+    return std::ldexp(1.0 + static_cast<double>(sub) /
+                                static_cast<double>(cfg_.sub_buckets),
+                      min_exp_ + static_cast<int>(octave) - 1);
+}
+
+double
+LogHistogram::bucketUpperBound(std::size_t idx) const
+{
+    if (idx == 0)
+        return cfg_.min_value;
+    if (idx >= buckets_.size() - 1)
+        return cfg_.max_value;
+    return bucketLowerBound(idx + 1);
+}
+
+void
+LogHistogram::add(double v)
+{
+    MTIA_CHECK(std::isfinite(v)) << ": LogHistogram::add non-finite";
+    MTIA_CHECK_GE(v, 0.0) << ": LogHistogram::add negative sample";
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    ++buckets_[bucketIndex(v)];
+}
+
+void
+LogHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+double
+LogHistogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+LogHistogram::min() const
+{
+    MTIA_CHECK_GT(count_, 0u) << ": LogHistogram::min on empty histogram";
+    return min_;
+}
+
+double
+LogHistogram::max() const
+{
+    MTIA_CHECK_GT(count_, 0u) << ": LogHistogram::max on empty histogram";
+    return max_;
+}
+
+double
+LogHistogram::percentile(double p) const
+{
+    MTIA_CHECK_GT(count_, 0u)
+        << ": LogHistogram::percentile on empty histogram";
+    MTIA_CHECK(std::isfinite(p)) << ": percentile rank must be finite";
+    MTIA_CHECK_GE(p, 0.0) << ": percentile rank below range";
+    MTIA_CHECK_LE(p, 100.0) << ": percentile rank above range";
+    if (p <= 0.0)
+        return min_;
+    if (p >= 100.0)
+        return max_;
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    rank = std::clamp<std::uint64_t>(rank, 1, count_);
+
+    std::uint64_t before = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (before + buckets_[i] >= rank) {
+            const double lo = bucketLowerBound(i);
+            const double hi = bucketUpperBound(i);
+            const double frac = static_cast<double>(rank - before) /
+                                static_cast<double>(buckets_[i]);
+            return std::clamp(lo + (hi - lo) * frac, min_, max_);
+        }
+        before += buckets_[i];
+    }
+    return max_; // unreachable with consistent counts
+}
+
+// ----------------------------------------------------- MetricRegistry
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+    }
+    MTIA_UNREACHABLE("metricKindName: bad MetricKind");
+}
+
+MetricRegistry::Series &
+MetricRegistry::series(MetricKind kind, const std::string &name,
+                       const Labels &labels,
+                       const LogHistogram::Config *hist_cfg)
+{
+    MTIA_CHECK(validMetricName(name))
+        << ": invalid metric name \"" << name
+        << "\" (want [A-Za-z_][A-Za-z0-9_.]*)";
+    auto [fit, fresh] = families_.try_emplace(name);
+    Family &family = fit->second;
+    if (fresh)
+        family.kind = kind;
+    MTIA_CHECK(family.kind == kind)
+        << ": metric \"" << name << "\" already registered as a "
+        << metricKindName(family.kind) << ", requested as a "
+        << metricKindName(kind);
+
+    const Labels canonical = canonicalLabels(name, labels);
+    auto [sit, created] = family.series.try_emplace(labelKey(canonical));
+    Series &s = sit->second;
+    if (created) {
+        s.labels = canonical;
+        switch (kind) {
+        case MetricKind::Counter:
+            s.counter = std::make_unique<MetricCounter>();
+            break;
+        case MetricKind::Gauge:
+            s.gauge = std::make_unique<MetricGauge>();
+            break;
+        case MetricKind::Histogram:
+            s.histogram = std::make_unique<LogHistogram>(
+                hist_cfg ? *hist_cfg : LogHistogram::Config{});
+            break;
+        }
+    }
+    return s;
+}
+
+MetricCounter &
+MetricRegistry::counter(const std::string &name, const Labels &labels)
+{
+    return *series(MetricKind::Counter, name, labels, nullptr).counter;
+}
+
+MetricGauge &
+MetricRegistry::gauge(const std::string &name, const Labels &labels)
+{
+    return *series(MetricKind::Gauge, name, labels, nullptr).gauge;
+}
+
+LogHistogram &
+MetricRegistry::histogram(const std::string &name, const Labels &labels,
+                          const LogHistogram::Config &cfg)
+{
+    return *series(MetricKind::Histogram, name, labels, &cfg).histogram;
+}
+
+std::size_t
+MetricRegistry::seriesCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[name, family] : families_)
+        n += family.series.size();
+    return n;
+}
+
+void
+MetricRegistry::writeJson(std::ostream &os) const
+{
+    os << "{\"schema\":\"mtia-metrics-v1\",\"metrics\":[";
+    bool first = true;
+    for (const auto &[name, family] : families_) {
+        for (const auto &[key, s] : family.series) {
+            os << (first ? "\n" : ",\n");
+            first = false;
+            os << "{\"name\":";
+            writeJsonString(os, name);
+            os << ",\"kind\":\"" << metricKindName(family.kind)
+               << "\",\"labels\":{";
+            for (std::size_t i = 0; i < s.labels.size(); ++i) {
+                if (i)
+                    os << ',';
+                writeJsonString(os, s.labels[i].first);
+                os << ':';
+                writeJsonString(os, s.labels[i].second);
+            }
+            os << '}';
+            switch (family.kind) {
+            case MetricKind::Counter:
+                os << ",\"value\":" << s.counter->value();
+                break;
+            case MetricKind::Gauge:
+                os << ",\"value\":";
+                writeJsonDouble(os, s.gauge->value());
+                break;
+            case MetricKind::Histogram: {
+                const LogHistogram &h = *s.histogram;
+                os << ",\"count\":" << h.count() << ",\"sum\":";
+                writeJsonDouble(os, h.sum());
+                if (!h.empty()) {
+                    os << ",\"min\":";
+                    writeJsonDouble(os, h.min());
+                    os << ",\"max\":";
+                    writeJsonDouble(os, h.max());
+                    os << ",\"mean\":";
+                    writeJsonDouble(os, h.mean());
+                    os << ",\"p50\":";
+                    writeJsonDouble(os, h.percentile(50.0));
+                    os << ",\"p90\":";
+                    writeJsonDouble(os, h.percentile(90.0));
+                    os << ",\"p95\":";
+                    writeJsonDouble(os, h.percentile(95.0));
+                    os << ",\"p99\":";
+                    writeJsonDouble(os, h.percentile(99.0));
+                }
+                break;
+            }
+            }
+            os << '}';
+        }
+    }
+    os << "\n]}\n";
+}
+
+std::string
+MetricRegistry::json() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+void
+MetricRegistry::resetAll()
+{
+    for (auto &[name, family] : families_) {
+        for (auto &[key, s] : family.series) {
+            if (s.counter)
+                s.counter->reset();
+            if (s.gauge)
+                s.gauge->reset();
+            if (s.histogram)
+                s.histogram->reset();
+        }
+    }
+}
+
+} // namespace mtia::telemetry

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "core/check.h"
@@ -93,6 +94,27 @@ TEST(ContractsSim, HistogramPercentileRejectsEmptyAndOutOfRange)
     EXPECT_THROW(h.percentile(50.0), CheckFailedError);
     h.add(1.0);
     EXPECT_THROW(h.percentile(101.0), CheckFailedError);
+    EXPECT_THROW(h.percentile(-0.5), CheckFailedError);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(h.percentile(nan), CheckFailedError);
+}
+
+TEST(ContractsSim, HistogramPercentileEdgeBehavior)
+{
+    Histogram h;
+    h.add(7.0);
+    // Single sample: every percentile is that sample.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 7.0);
+
+    h.add(3.0);
+    h.add(11.0);
+    // p=0 is the minimum, p=100 the maximum, exactly.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 11.0);
+    // Tiny but nonzero p never falls below the minimum.
+    EXPECT_DOUBLE_EQ(h.percentile(1e-9), 3.0);
 }
 
 // ------------------------------------------------------------- tensor

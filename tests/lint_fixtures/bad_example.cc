@@ -3,8 +3,11 @@
 // ctest runs the linter over this directory and asserts a non-zero
 // exit. If you add a linter rule, seed a violation of it here.
 
+// telemetry-wall-clock: time-source includes (the fixture is linted
+// with --treat-as-src, which also applies the src/telemetry/ rule).
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <random>
 
 namespace mtia {
