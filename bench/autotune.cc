@@ -6,6 +6,7 @@
  * >95% requests per batch.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "autotune/batch_tuner.h"
@@ -13,6 +14,7 @@
 #include "autotune/kernel_tuner.h"
 #include "bench_report.h"
 #include "bench_util.h"
+#include "core/parallel.h"
 #include "models/model_zoo.h"
 
 using namespace mtia;
@@ -37,7 +39,19 @@ main()
             static_cast<std::int64_t>(128u << rng.below(7)),
             static_cast<std::int64_t>(128u << rng.below(6))});
     }
+    // Database construction is the bench's hot fan-out; time it once
+    // pinned to one lane and once at the configured lane count for
+    // the wall-clock speedup ratio (both produce the same database).
+    double serial_s = 0.0;
+    {
+        ScopedParallelism one(1);
+        bench::WallTimer t;
+        (void)tuner.buildDatabase(corpus);
+        serial_s = t.seconds();
+    }
+    bench::WallTimer parallel_timer;
     PerfDatabase db = tuner.buildDatabase(corpus);
+    const double parallel_s = parallel_timer.seconds();
 
     double worst = 1.0;
     double exhaustive_cost = 0.0;
@@ -130,5 +144,7 @@ main()
     report.metric("coalescing_best_fill_pct",
                   candidates.front().stats.mean_fill * 100.0, 95.0,
                   100.0, "%");
+    report.wallClockSpeedup(parallelLanes(),
+                            serial_s / std::max(parallel_s, 1e-9));
     return 0;
 }

@@ -38,6 +38,18 @@ Report::metric(const std::string &metric_name, double measured,
         {metric_name, measured, paper_lo, paper_hi, true, unit});
 }
 
+void
+Report::wallClockSpeedup(unsigned threads, double speedup)
+{
+    MTIA_CHECK_GT(threads, 0u)
+        << ": wall_clock_speedup needs a thread count";
+    MTIA_CHECK_GT(speedup, 0.0)
+        << ": wall_clock_speedup must be a positive ratio";
+    speedup_threads_ = threads;
+    speedup_ = speedup;
+    has_speedup_ = true;
+}
+
 std::string
 Report::path() const
 {
@@ -81,6 +93,12 @@ Report::json() const
         os << '}';
     }
     os << "\n]";
+    if (has_speedup_) {
+        os << ",\"wall_clock_speedup\":{\"threads\":" << speedup_threads_
+           << ",\"speedup\":";
+        telemetry::writeJsonDouble(os, speedup_);
+        os << '}';
+    }
     if (telemetry_ != nullptr) {
         std::string snap = telemetry_->json();
         while (!snap.empty() &&

@@ -19,13 +19,17 @@
  *        "paper_lo": 40.0, "paper_hi": 48.0, "within_band": true},
  *       ...
  *     ],
- *     "telemetry": { <mtia-metrics-v1 snapshot> }   // optional
+ *     "wall_clock_speedup": {"threads": 8, "speedup": 3.4}, // optional
+ *     "telemetry": { <mtia-metrics-v1 snapshot> }           // optional
  *   }
  *
  * Every value recorded here must be derived from simulated state, so
- * identical builds produce byte-identical reports. Export failures go
- * through the telemetry error handler (ScopedTelemetryThrow makes
- * them assertable in tests).
+ * identical builds produce byte-identical reports. The one exception
+ * is "wall_clock_speedup" — a measured serial-vs-parallel harness
+ * ratio that by nature varies run to run; determinism comparisons
+ * must strip that field before diffing. Export failures go through
+ * the telemetry error handler (ScopedTelemetryThrow makes them
+ * assertable in tests).
  */
 
 #include <string>
@@ -56,6 +60,15 @@ class Report
     void metric(const std::string &metric_name, double measured,
                 double paper_lo, double paper_hi,
                 const std::string &unit = "");
+
+    /**
+     * Record how much faster the bench's parallel section ran than a
+     * single-lane rerun of the same work ( > 1 means parallelism
+     * helped). Wall-clock by nature: excluded from byte-identical
+     * guarantees, emitted as the top-level "wall_clock_speedup"
+     * object.
+     */
+    void wallClockSpeedup(unsigned threads, double speedup);
 
     /**
      * Attach a metric registry whose snapshot is embedded under
@@ -89,6 +102,9 @@ class Report
     std::string name_;
     std::vector<Entry> entries_;
     const telemetry::MetricRegistry *telemetry_ = nullptr;
+    unsigned speedup_threads_ = 0;
+    double speedup_ = 0.0;
+    bool has_speedup_ = false;
     bool written_ = false;
 };
 

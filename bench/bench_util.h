@@ -8,10 +8,39 @@
  * regenerates, then rows of "paper vs measured".
  */
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
 namespace mtia::bench {
+
+/**
+ * Wall-clock stopwatch for the serial-vs-parallel speedup harness.
+ * This is the one sanctioned wall-clock use in the repo: the measured
+ * ratio feeds Report::wallClockSpeedup, which is explicitly excluded
+ * from byte-identical report guarantees. Simulated results must never
+ * depend on it.
+ */
+class WallTimer
+{
+  public:
+    WallTimer()
+        : start_(std::chrono::steady_clock::now()) // sim-lint: allow(wall-clock)
+    {
+    }
+
+    /** Seconds since construction. */
+    double
+    seconds() const
+    {
+        const auto now =
+            std::chrono::steady_clock::now(); // sim-lint: allow(wall-clock)
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_; // sim-lint: allow(wall-clock)
+};
 
 inline void
 banner(const std::string &artifact, const std::string &summary)

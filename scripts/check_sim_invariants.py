@@ -28,6 +28,11 @@ silently break those properties:
                   src/telemetry/ — traces and metric snapshots must be
                   derived from sim ticks only, so identical seeds give
                   byte-identical exports.
+  duplicate-include
+                  the same header #included more than once in one
+                  file — the extra line is dead weight and usually a
+                  merge artifact; every repeat after the first is
+                  flagged.
 
 Suppress a false positive by appending  // sim-lint: allow(<rule>)
 to the offending line.
@@ -76,6 +81,8 @@ TELEMETRY_TIME_RE = re.compile(
     r"#\s*include\s*<(?:chrono|ctime|time\.h|sys/time\.h)>"
     r"|std::chrono\b"
 )
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"][^">]+[">])')
 
 CHECK_OPEN_RE = re.compile(r"\bMTIA_D?CHECK(?:_(?:EQ|NE|LT|LE|GT|GE))?\s*\(")
 # ++/-- anywhere, or an assignment operator that is not a comparison.
@@ -134,6 +141,7 @@ class Linter:
         lines = text.splitlines()
 
         in_block_comment = False
+        seen_includes: dict[str, int] = {}
         for lineno, raw in enumerate(lines, start=1):
             line = strip_comments_and_strings(raw)
             # Crude block-comment tracking; enough for this codebase's
@@ -152,6 +160,15 @@ class Linter:
                     line = head
                     in_block_comment = True
 
+            if re.match(r"^\s*#\s*include", line):
+                m = INCLUDE_RE.match(raw)
+                if m:
+                    target = m.group(1)
+                    first = seen_includes.setdefault(target, lineno)
+                    if first != lineno:
+                        self.report(path, lineno, "duplicate-include",
+                                    f"{target} already included on "
+                                    f"line {first}", raw)
             if WALL_CLOCK_RE.search(line):
                 self.report(path, lineno, "wall-clock",
                             "host wall-clock time in simulator code; "

@@ -2,6 +2,7 @@
 
 #include "graph/fusion.h"
 #include "core/check.h"
+#include "core/parallel.h"
 
 namespace mtia {
 
@@ -9,9 +10,14 @@ BatchCandidate
 BatchSizeTuner::evalOne(const ModelBuilder &builder, std::int64_t batch,
                         Tick slo) const
 {
+    // Each evaluation owns its model snapshot and a device clone:
+    // graph evaluation fills lazy shape caches and cost queries bump
+    // the device's mutable traffic counters, so concurrent snapshot
+    // evaluations must not share either.
     ModelInfo model = builder(batch);
     optimizeGraph(model.graph);
-    GraphCostModel gcm(dev_);
+    Device dev = dev_.cloneConfigured();
+    GraphCostModel gcm(dev);
     BatchCandidate c;
     c.batch = batch;
     c.cost = gcm.evaluate(model.graph, static_cast<double>(batch));
@@ -26,10 +32,12 @@ BatchSizeTuner::evaluate(const ModelBuilder &builder,
 {
     MTIA_CHECK(!candidates.empty())
         << ": BatchSizeTuner needs candidate batch sizes";
-    std::vector<BatchCandidate> out;
-    out.reserve(candidates.size());
-    for (std::int64_t b : candidates)
-        out.push_back(evalOne(builder, b, slo));
+    // One snapshot per candidate batch, evaluated concurrently;
+    // results land in candidate order so the winner scan below is
+    // schedule-independent.
+    std::vector<BatchCandidate> out = parallelMap(
+        candidates.size(),
+        [&](std::size_t i) { return evalOne(builder, candidates[i], slo); });
 
     winner = 0;
     bool any_slo = false;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/parallel.h"
+
 namespace mtia {
 
 std::vector<CoalescingCandidate>
@@ -11,15 +13,21 @@ CoalescingTuner::sweep(const std::vector<Request> &trace,
                        const std::vector<unsigned> &parallel_options)
     const
 {
-    std::vector<CoalescingCandidate> out;
-    for (Tick window : windows) {
-        for (unsigned parallel : parallel_options) {
+    // Materialize the (window, parallel) grid first so each cell is a
+    // pure function of its index; cells replay the shared read-only
+    // trace concurrently and land in grid order before the sort.
+    std::vector<CoalescerConfig> grid;
+    for (Tick window : windows)
+        for (unsigned parallel : parallel_options)
+            grid.push_back(
+                CoalescerConfig{window, parallel, batch_capacity});
+
+    std::vector<CoalescingCandidate> out = parallelMap(
+        grid.size(), [&](std::size_t i) {
             CoalescingCandidate c;
-            c.config = CoalescerConfig{window, parallel,
-                                       batch_capacity};
+            c.config = grid[i];
             Coalescer coalescer(c.config);
-            c.stats = Coalescer::stats(coalescer.coalesce(trace),
-                                       c.config);
+            c.stats = Coalescer::stats(coalescer.coalesce(trace));
             // Score: batch fill, discounted heavily once the mean
             // wait exceeds the budget (throughput at P99 SLO is what
             // the paper optimizes).
@@ -28,14 +36,15 @@ CoalescingTuner::sweep(const std::vector<Request> &trace,
                 c.score *= static_cast<double>(max_wait_) /
                     static_cast<double>(c.stats.mean_wait);
             }
-            out.push_back(c);
-        }
-    }
-    std::sort(out.begin(), out.end(),
-              [](const CoalescingCandidate &a,
-                 const CoalescingCandidate &b) {
-                  return a.score > b.score;
-              });
+            return c;
+        });
+    // stable_sort keeps equal-score candidates in grid order, so the
+    // ranking never depends on the thread schedule.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const CoalescingCandidate &a,
+                        const CoalescingCandidate &b) {
+                         return a.score > b.score;
+                     });
     return out;
 }
 

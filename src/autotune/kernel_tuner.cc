@@ -1,6 +1,7 @@
 #include "autotune/kernel_tuner.h"
 
 #include "core/check.h"
+#include "core/parallel.h"
 
 namespace mtia {
 
@@ -29,25 +30,50 @@ KernelTuner::variantSpace()
 TuneResult
 KernelTuner::tuneExhaustive(const FcShape &shape) const
 {
+    const std::vector<FcOptions> space = variantSpace();
+
+    // Evaluate every variant concurrently, each against its own
+    // device clone (cost-model queries bump mutable observability
+    // counters, so tasks must not share one device). Feasibility and
+    // timing per variant depend only on (shape, variant), so the
+    // reduction below — first minimum in variant order — matches the
+    // serial path byte-for-byte at any thread count.
+    struct Eval
+    {
+        Tick time = 0;
+        bool feasible = false;
+    };
+    const std::vector<Eval> evals = parallelMap(
+        space.size(), [&](std::size_t i) {
+            Eval e;
+            const FcOptions &variant = space[i];
+            // Weights larger than the LLC cannot use the cached
+            // variant.
+            if (variant.weights == Placement::Llc &&
+                shape.weightBytes(variant.dtype) >
+                    km_.device().sramPartition().llcBytes()) {
+                return e;
+            }
+            const Device dev = km_.device().cloneConfigured();
+            const KernelCostModel km(dev);
+            e.time = km.fc(shape, variant).total;
+            e.feasible = true;
+            return e;
+        });
+
     TuneResult best;
     bool first = true;
-    for (const FcOptions &variant : variantSpace()) {
-        // Weights larger than the LLC cannot use the cached variant.
-        if (variant.weights == Placement::Llc &&
-            shape.weightBytes(variant.dtype) >
-                km_.device().sramPartition().llcBytes()) {
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+        if (!evals[i].feasible)
             continue;
-        }
-        const Tick t = km_.fc(shape, variant).total;
-        if (first || t < best.kernel_time) {
-            best.variant = variant;
-            best.kernel_time = t;
+        if (first || evals[i].time < best.kernel_time) {
+            best.variant = space[i];
+            best.kernel_time = evals[i].time;
             first = false;
         }
     }
     MTIA_CHECK(!first) << ": tuneExhaustive found no feasible variant";
-    best.tuning_cost =
-        replay_cost_ * static_cast<Tick>(variantSpace().size());
+    best.tuning_cost = replay_cost_ * static_cast<Tick>(space.size());
     return best;
 }
 
@@ -78,11 +104,16 @@ KernelTuner::tuneApproximate(const FcShape &shape,
 PerfDatabase
 KernelTuner::buildDatabase(const std::vector<FcShape> &corpus) const
 {
+    // Tune every corpus shape concurrently (the inner per-variant
+    // fan-out runs inline on the worker), then insert in corpus order
+    // so the database is independent of the thread schedule.
+    const std::vector<TuneResult> results = parallelMap(
+        corpus.size(),
+        [&](std::size_t i) { return tuneExhaustive(corpus[i]); });
     PerfDatabase db;
-    for (const FcShape &shape : corpus) {
-        const TuneResult r = tuneExhaustive(shape);
-        db.insert(PerfEntry{shape, r.variant, r.kernel_time});
-    }
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        db.insert(PerfEntry{corpus[i], results[i].variant,
+                            results[i].kernel_time});
     return db;
 }
 

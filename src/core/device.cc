@@ -25,6 +25,16 @@ Device::Device(ChipConfig cfg)
 {
 }
 
+Device
+Device::cloneConfigured() const
+{
+    Device clone(cfg_);
+    clone.setFrequencyGhz(frequency_ghz_);
+    clone.setSramPartition(partition_);
+    clone.dram().setEccMode(dram_.config().ecc);
+    return clone;
+}
+
 void
 Device::setFrequencyGhz(double ghz)
 {

@@ -63,6 +63,14 @@ class Device
     const SramPartition &sramPartition() const { return partition_; }
     void setSramPartition(SramPartition p) { partition_ = std::move(p); }
 
+    /**
+     * A fresh Device with the same config and live knobs (clock, SRAM
+     * partition, ECC mode) but zeroed observability counters. Parallel
+     * sweeps give each task its own clone so concurrent cost-model
+     * queries never race on the shared device's mutable stats.
+     */
+    Device cloneConfigured() const;
+
     // Derived rates at the current clock.
     double peakGemmFlops(DType dtype, bool sparse_24 = false) const;
     double peakSimdOps() const;

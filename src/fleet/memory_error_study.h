@@ -64,6 +64,14 @@ class MemoryErrorStudy
      */
     InjectionReport injectRegion(MemRegion region, int trials);
 
+    /**
+     * Same campaign with an explicit seed instead of the member
+     * stream; const, so region campaigns can run concurrently once
+     * their seeds were drawn in order.
+     */
+    InjectionReport injectRegionSeeded(MemRegion region, int trials,
+                                       std::uint64_t seed) const;
+
     /** Run the campaign over every region. */
     std::vector<InjectionReport> injectAllRegions(int trials);
 

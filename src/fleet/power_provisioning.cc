@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
 #include "sim/stats.h"
 
 namespace mtia {
@@ -25,10 +26,18 @@ PowerProvisioningStudy::run(unsigned servers, unsigned days)
     // P90 of those peaks and run all 24 accelerators there at once.
     // Even the P90 peak stays well below full utilization because
     // serving reserves buffer capacity for load spikes (Section 5.4).
+    // Each server draws from its own substream (Rng::fork) and the
+    // per-server values are folded into the histogram in server order,
+    // so both methods are byte-identical at any MTIA_THREADS.
+    const Rng peak_base(rng_.next());
     Histogram peak_util;
-    for (unsigned s = 0; s < servers; ++s) {
-        peak_util.add(std::clamp(rng_.gaussian(0.62, 0.08), 0.3, 0.95));
-    }
+    const std::vector<double> peaks = parallelMap(
+        servers, [&](std::size_t s) {
+            Rng rng = peak_base.fork(s);
+            return std::clamp(rng.gaussian(0.62, 0.08), 0.3, 0.95);
+        });
+    for (double p : peaks)
+        peak_util.add(p);
     const double p90_peak = peak_util.percentile(90);
     rep.experiment_budget_w =
         params_.accelerators * dev_.powerWatts(p90_peak) +
@@ -36,21 +45,31 @@ PowerProvisioningStudy::run(unsigned servers, unsigned days)
 
     // --- Method (b): P90 power of fully-utilized production servers
     // over the observation window (hourly samples, diurnal load).
+    const Rng power_base(rng_.next());
     Histogram server_power;
-    for (unsigned s = 0; s < servers; ++s) {
-        for (unsigned h = 0; h < days * 24; ++h) {
-            const double diurnal = 0.50 +
-                0.18 * std::sin(2.0 * M_PI *
-                                static_cast<double>(h % 24) / 24.0);
-            double watts = params_.host_measured_watts;
-            for (unsigned a = 0; a < params_.accelerators; ++a) {
-                const double util = std::clamp(
-                    diurnal + rng_.gaussian(0.0, 0.08), 0.05, 0.98);
-                watts += dev_.powerWatts(util);
+    const std::vector<std::vector<double>> hourly = parallelMap(
+        servers, [&](std::size_t s) {
+            Rng rng = power_base.fork(s);
+            std::vector<double> samples;
+            samples.reserve(days * 24);
+            for (unsigned h = 0; h < days * 24; ++h) {
+                const double diurnal = 0.50 +
+                    0.18 *
+                        std::sin(2.0 * M_PI *
+                                 static_cast<double>(h % 24) / 24.0);
+                double watts = params_.host_measured_watts;
+                for (unsigned a = 0; a < params_.accelerators; ++a) {
+                    const double util = std::clamp(
+                        diurnal + rng.gaussian(0.0, 0.08), 0.05, 0.98);
+                    watts += dev_.powerWatts(util);
+                }
+                samples.push_back(watts);
             }
+            return samples;
+        });
+    for (const auto &samples : hourly)
+        for (double watts : samples)
             server_power.add(watts);
-        }
-    }
     rep.analysis_budget_w = server_power.percentile(90);
 
     rep.final_budget_w =

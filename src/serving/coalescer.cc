@@ -5,8 +5,6 @@
 
 #include "core/check.h"
 
-#include "core/check.h"
-
 namespace mtia {
 
 std::vector<CoalescedBatch>
@@ -23,6 +21,13 @@ Coalescer::coalesce(const std::vector<Request> &trace) const
         CoalescedBatch batch;
     };
     std::deque<Open> open;
+
+    auto open_batch = [&](Tick now) {
+        Open o;
+        o.opened = now;
+        o.batch.capacity = cfg_.batch_capacity;
+        return o;
+    };
 
     auto flush_expired = [&](Tick now) {
         while (!open.empty() &&
@@ -72,8 +77,7 @@ Coalescer::coalesce(const std::vector<Request> &trace) const
                 done.push_back(std::move(o.batch));
                 open.pop_front();
             }
-            Open o;
-            o.opened = r.arrival;
+            Open o = open_batch(r.arrival);
             o.batch.requests.push_back(r);
             o.batch.rows = r.candidates;
             open.push_back(std::move(o));
@@ -96,8 +100,7 @@ Coalescer::coalesce(const std::vector<Request> &trace) const
 }
 
 CoalescerStats
-Coalescer::stats(const std::vector<CoalescedBatch> &bs,
-                 const CoalescerConfig &cfg)
+Coalescer::stats(const std::vector<CoalescedBatch> &bs)
 {
     CoalescerStats s;
     s.batches = bs.size();
@@ -108,7 +111,10 @@ Coalescer::stats(const std::vector<CoalescedBatch> &bs,
     double wait = 0.0;
     std::uint64_t wait_n = 0;
     for (const auto &b : bs) {
-        fill += b.fill(cfg.batch_capacity);
+        MTIA_CHECK_GT(b.capacity, 0)
+            << ": CoalescedBatch without a recorded capacity; only "
+               "batches produced by Coalescer::coalesce can be scored";
+        fill += b.fill();
         reqs += static_cast<double>(b.requests.size());
         s.requests += b.requests.size();
         for (const Request &r : b.requests) {

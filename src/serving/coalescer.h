@@ -25,18 +25,25 @@ struct CoalescerConfig
     std::int64_t batch_capacity = 512; ///< candidate rows per batch
 };
 
-/** One dispatched batch. */
+/**
+ * One dispatched batch. The capacity it was coalesced against is
+ * recorded on the batch itself, so fill is always computed against
+ * the config that actually produced the batch — callers can no
+ * longer pass a mismatched config to the stats computation.
+ */
 struct CoalescedBatch
 {
     Tick dispatch_time = 0;
     std::vector<Request> requests;
     std::int64_t rows = 0;
+    std::int64_t capacity = 0; ///< batch_capacity used to coalesce
 
     double
-    fill(std::int64_t capacity) const
+    fill() const
     {
-        return static_cast<double>(rows) /
-            static_cast<double>(capacity);
+        return capacity == 0 ? 0.0
+                             : static_cast<double>(rows) /
+                static_cast<double>(capacity);
     }
 };
 
@@ -64,8 +71,13 @@ class Coalescer
     std::vector<CoalescedBatch>
     coalesce(const std::vector<Request> &trace) const;
 
-    static CoalescerStats stats(const std::vector<CoalescedBatch> &bs,
-                                const CoalescerConfig &cfg);
+    /**
+     * Aggregate statistics over dispatched batches. Fill is computed
+     * from each batch's own recorded capacity (set by coalesce()), so
+     * batches from differently-configured coalescers aggregate
+     * correctly and the old mismatched-config footgun cannot recur.
+     */
+    static CoalescerStats stats(const std::vector<CoalescedBatch> &bs);
 
     const CoalescerConfig &config() const { return cfg_; }
 

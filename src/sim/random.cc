@@ -34,6 +34,20 @@ Rng::Rng(std::uint64_t seed)
         s = splitmix64(x);
 }
 
+Rng
+Rng::fork(std::uint64_t index) const
+{
+    // Mix the task index through splitmix64 first so dense indices
+    // (0, 1, 2, ...) land far apart, then fold in every parent state
+    // word. Seeding a fresh Rng re-expands the result through
+    // splitmix64, which also guarantees the child starts with no
+    // Box-Muller spare state (hasSpare_ defaults to false).
+    std::uint64_t x = index;
+    std::uint64_t mixed = splitmix64(x);
+    mixed ^= s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 43);
+    return Rng(mixed);
+}
+
 std::uint64_t
 Rng::next()
 {

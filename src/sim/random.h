@@ -28,6 +28,17 @@ class Rng
     /** Next raw 64-bit value. */
     std::uint64_t next();
 
+    /**
+     * Derive an independent, replayable substream for task @p index
+     * (splitmix64 over the current state words and the index). The
+     * parent is not advanced, so fork(i) is a pure function of
+     * (state, i): every task in a parallel fan-out gets the same
+     * stream at any thread count. The Box-Muller spare value is
+     * deliberately not inherited — a forked stream starts clean
+     * rather than replaying the parent's pending Gaussian.
+     */
+    Rng fork(std::uint64_t index) const;
+
     /** Uniform double in [0, 1). */
     double uniform();
 

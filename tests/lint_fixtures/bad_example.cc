@@ -10,6 +10,9 @@
 #include <ctime>
 #include <random>
 
+// duplicate-include: the same header pulled in twice.
+#include <cstdio>
+
 namespace mtia {
 
 int

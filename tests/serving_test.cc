@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "models/model_zoo.h"
@@ -57,12 +58,41 @@ TEST(CoalescerTest, LargerWindowsFillBetter)
     const auto trace = makeTrace(4000.0, 3.0);
     const CoalescerConfig small{fromMillis(0.25), 2, 512};
     const CoalescerConfig large{fromMillis(8.0), 2, 512};
-    const auto s =
-        Coalescer::stats(Coalescer(small).coalesce(trace), small);
-    const auto l =
-        Coalescer::stats(Coalescer(large).coalesce(trace), large);
+    const auto s = Coalescer::stats(Coalescer(small).coalesce(trace));
+    const auto l = Coalescer::stats(Coalescer(large).coalesce(trace));
     EXPECT_GT(l.mean_fill, s.mean_fill);
     EXPECT_GT(l.mean_requests_per_batch, s.mean_requests_per_batch);
+}
+
+TEST(CoalescerTest, BatchesRecordTheirOwnCapacity)
+{
+    // Regression for the old stats(batches, cfg) footgun: fill was
+    // computed against a caller-supplied config, so scoring batches
+    // with a different config than the one that coalesced them gave
+    // silently wrong fills. Capacity now rides on each batch.
+    const auto trace = makeTrace(4000.0, 2.0);
+    const CoalescerConfig narrow{fromMillis(2.0), 2, 256};
+    const CoalescerConfig wide{fromMillis(2.0), 2, 1024};
+    const auto narrow_batches = Coalescer(narrow).coalesce(trace);
+    const auto wide_batches = Coalescer(wide).coalesce(trace);
+    for (const auto &b : narrow_batches) {
+        EXPECT_EQ(b.capacity, 256);
+        EXPECT_LE(b.rows, b.capacity);
+    }
+    for (const auto &b : wide_batches)
+        EXPECT_EQ(b.capacity, 1024);
+
+    // Mixing batches from differently-configured coalescers now
+    // aggregates each batch against its own capacity: the mean fill
+    // lands strictly between the two homogeneous means.
+    const double narrow_fill = Coalescer::stats(narrow_batches).mean_fill;
+    const double wide_fill = Coalescer::stats(wide_batches).mean_fill;
+    std::vector<CoalescedBatch> mixed = narrow_batches;
+    mixed.insert(mixed.end(), wide_batches.begin(), wide_batches.end());
+    const auto stats = Coalescer::stats(mixed);
+    EXPECT_GT(stats.mean_fill, std::min(narrow_fill, wide_fill));
+    EXPECT_LT(stats.mean_fill, std::max(narrow_fill, wide_fill));
+    EXPECT_EQ(stats.batches, narrow_batches.size() + wide_batches.size());
 }
 
 TEST(ServingSimTest, LowLoadMeetsSlo)
