@@ -1,0 +1,307 @@
+/**
+ * @file
+ * DES-core microbenchmark: schedule/dispatch throughput of the
+ * bucketed EventQueue (calendar ring + overflow heap + InlineFunction
+ * + slab recycling) against the seed binary-heap implementation it
+ * replaced (std::priority_queue of std::function entries, closure
+ * deep-copy on every dispatch).
+ *
+ * Three mixes bracket the scheduling patterns the serving, rollout,
+ * and scheduler simulations produce:
+ *
+ *   near-future     deltas inside the calendar window — the ring
+ *                   fast path (O(1) push/pop, no heap sift)
+ *   same-tick burst runs of events at one tick — per-tick FIFO drain
+ *   far-future      microsecond-scale deltas — overflow heap plus
+ *                   window promotion
+ *
+ * Simulated results (event counts, final ticks, checksums, inline
+ * fractions, promotion counts) are deterministic and land in
+ * BENCH_event_queue.json; the measured events/sec ratio is wall-clock
+ * by nature and is emitted only as the report's "wall_clock_speedup"
+ * field (near-future mix) and printed rows.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <queue>
+#include <type_traits>
+#include <vector>
+
+#include "bench_report.h"
+#include "core/check.h"
+#include "bench_util.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+
+using namespace mtia;
+
+namespace {
+
+/**
+ * The replaced implementation, verbatim: binary heap of (when, seq,
+ * std::function) entries, contract checks and peak tracking on every
+ * schedule, one closure deep-copy per dispatch. Kept here as the
+ * fixed baseline the speedup is measured against.
+ */
+class SeedHeapQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Tick now() const { return now_; }
+
+    void
+    schedule(Tick when, Callback cb)
+    {
+        MTIA_CHECK_GE(when, now_) << ": SeedHeapQueue::schedule in the past";
+        MTIA_CHECK(cb != nullptr) << ": SeedHeapQueue::schedule null callback";
+        heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+        peak_pending_ = std::max(peak_pending_, heap_.size());
+    }
+
+    void
+    scheduleAfter(Tick delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    std::size_t pending() const { return heap_.size(); }
+    std::uint64_t executed() const { return executed_; }
+
+    Tick
+    run()
+    {
+        while (!heap_.empty()) {
+            // sim-lint: allow(heap-top-copy) — this copy-before-pop IS
+            // the baseline behavior under measurement.
+            Entry e = heap_.top(); // the deep copy the rewrite removed
+            heap_.pop();
+            now_ = e.when;
+            ++executed_;
+            e.cb();
+        }
+        return now_;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::size_t peak_pending_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+constexpr std::size_t kDeltaCount = 4096; // power of two
+constexpr unsigned kChains = 256;
+constexpr std::uint64_t kEventsPerMix = 1000000;
+constexpr int kReps = 3; // best-of, to damp scheduler noise
+
+template <typename Q> struct MixState
+{
+    Q queue;
+    const std::vector<Tick> *deltas = nullptr;
+    std::size_t cursor = 0;
+    std::uint64_t scheduled = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t checksum = 0;
+    std::uint64_t total = 0;
+};
+
+/**
+ * One self-rescheduling event chain. The capture weight (32 bytes)
+ * matches a production completion closure — a couple of pointers plus
+ * request state — which overflows std::function's 16-byte small
+ * buffer (heap box per schedule on the seed queue) but stays inside
+ * InlineFunction's 48-byte buffer on the new one.
+ */
+template <typename Q> struct ChainTask
+{
+    MixState<Q> *st;
+    std::uint64_t id;
+    std::uint64_t salt;
+    std::uint64_t shard;
+
+    void
+    operator()() const
+    {
+        MixState<Q> &s = *st;
+        ++s.dispatched;
+        s.checksum += (id * 0x9e3779b97f4a7c15ull) ^ salt ^ shard;
+        if (s.scheduled < s.total) {
+            ++s.scheduled;
+            const Tick d =
+                (*s.deltas)[s.cursor++ & (kDeltaCount - 1)];
+            s.queue.scheduleAfter(
+                d, ChainTask<Q>{st, id, salt + s.dispatched, shard});
+        }
+    }
+};
+
+struct MixResult
+{
+    double seconds = 0.0;
+    std::uint64_t dispatched = 0;
+    Tick final_tick = 0;
+    std::uint64_t checksum = 0;
+    std::uint64_t inline_callbacks = 0;
+    std::uint64_t overflow_promotions = 0;
+};
+
+template <typename Q>
+MixResult
+runMix(const std::vector<Tick> &deltas)
+{
+    MixState<Q> state;
+    state.deltas = &deltas;
+    state.total = kEventsPerMix;
+    bench::WallTimer timer;
+    for (unsigned c = 0; c < kChains; ++c) {
+        ++state.scheduled;
+        const Tick d = deltas[state.cursor++ & (kDeltaCount - 1)];
+        state.queue.scheduleAfter(
+            d, ChainTask<Q>{&state, c, 0x5851f42dull + c, c % 16});
+    }
+    state.queue.run();
+    MixResult out;
+    out.seconds = timer.seconds();
+    out.dispatched = state.dispatched;
+    out.final_tick = state.queue.now();
+    out.checksum = state.checksum;
+    if constexpr (std::is_same_v<Q, EventQueue>) {
+        out.inline_callbacks = state.queue.inlineCallbackCount();
+        out.overflow_promotions = state.queue.overflowPromotions();
+    }
+    return out;
+}
+
+/** Best wall-clock of kReps identical runs (sim results must agree). */
+template <typename Q>
+MixResult
+bestOf(const std::vector<Tick> &deltas)
+{
+    MixResult best = runMix<Q>(deltas);
+    for (int r = 1; r < kReps; ++r) {
+        const MixResult rep = runMix<Q>(deltas);
+        MTIA_CHECK_EQ(rep.checksum, best.checksum)
+            << ": non-deterministic benchmark repetition";
+        MTIA_CHECK_EQ(rep.final_tick, best.final_tick)
+            << ": non-deterministic benchmark repetition";
+        if (rep.seconds < best.seconds)
+            best.seconds = rep.seconds;
+    }
+    return best;
+}
+
+double
+eventsPerSec(const MixResult &r)
+{
+    return r.seconds > 0.0
+        ? static_cast<double>(r.dispatched) / r.seconds
+        : 0.0;
+}
+
+std::vector<Tick>
+makeDeltas(const char *mix, Rng &rng)
+{
+    std::vector<Tick> deltas(kDeltaCount);
+    const std::string m = mix;
+    for (std::size_t i = 0; i < kDeltaCount; ++i) {
+        if (m == "near") {
+            // Inside the calendar window: pure ring traffic.
+            deltas[i] = rng.below(EventQueue::kRingSlots);
+        } else if (m == "burst") {
+            // Same-tick runs with an occasional short hop.
+            deltas[i] = (i % 64 == 63) ? 100 + rng.below(400) : 0;
+        } else {
+            // Far future: 10 ns – 1 us deltas, always overflow.
+            deltas[i] = fromNanos(10.0) +
+                rng.below(fromMicros(1.0) - fromNanos(10.0));
+        }
+    }
+    return deltas;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "DES core — bucketed event queue vs seed binary heap",
+        "Schedule/dispatch throughput for near-future, same-tick "
+        "burst, and far-future mixes; identical simulated results, "
+        "measured wall-clock ratio.");
+
+    bench::Report report("event_queue");
+    const char *mixes[] = {"near", "burst", "far"};
+    double near_speedup = 0.0;
+
+    for (const char *mix : mixes) {
+        Rng rng(1234);
+        const std::vector<Tick> deltas = makeDeltas(mix, rng);
+
+        const MixResult seed = bestOf<SeedHeapQueue>(deltas);
+        const MixResult fast = bestOf<EventQueue>(deltas);
+        const double speedup = eventsPerSec(seed) > 0.0
+            ? eventsPerSec(fast) / eventsPerSec(seed)
+            : 0.0;
+
+        bench::section(std::string(mix) + " mix");
+        bench::row("seed heap events/sec", "baseline",
+                   bench::fmt("%.2fM", eventsPerSec(seed) / 1e6));
+        bench::row("bucketed queue events/sec", ">= 3x on near mix",
+                   bench::fmt("%.2fM", eventsPerSec(fast) / 1e6));
+        bench::row("speedup", "-", bench::fmt("%.2fx", speedup));
+
+        const bool match = seed.dispatched == fast.dispatched &&
+            seed.final_tick == fast.final_tick &&
+            seed.checksum == fast.checksum;
+        bench::row("identical simulated results", "required",
+                   match ? "yes" : "NO — DIVERGED");
+
+        const std::string prefix = std::string(mix) + "_";
+        report.metric(prefix + "events",
+                      static_cast<double>(fast.dispatched));
+        report.metric(prefix + "final_tick_us",
+                      toMicros(fast.final_tick), "us");
+        report.metric(prefix + "results_match_seed", match ? 1.0 : 0.0,
+                      1.0, 1.0);
+        report.metric(prefix + "inline_callback_fraction",
+                      fast.dispatched > 0
+                          ? static_cast<double>(fast.inline_callbacks) /
+                              static_cast<double>(fast.dispatched)
+                          : 0.0,
+                      1.0, 1.0);
+        report.metric(prefix + "overflow_promotions",
+                      static_cast<double>(fast.overflow_promotions));
+
+        if (std::string(mix) == "near")
+            near_speedup = speedup;
+    }
+
+    // Wall-clock by nature: excluded from byte-identical guarantees,
+    // emitted as the top-level wall_clock_speedup object. The CI
+    // bench-reports job checks this stays >= 3.
+    report.wallClockSpeedup(1, near_speedup);
+    return 0;
+}

@@ -33,6 +33,11 @@ silently break those properties:
                   file — the extra line is dead weight and usually a
                   merge artifact; every repeat after the first is
                   flagged.
+  heap-top-copy   `Entry e = heap_.top()`-style copy-before-pop in
+                  src/sim/ — priority-queue entries there carry
+                  callbacks, so copying the top deep-copies a closure
+                  on every dispatch. Bind a const reference or move
+                  the parts out before pop().
 
 Suppress a false positive by appending  // sim-lint: allow(<rule>)
 to the offending line.
@@ -84,6 +89,13 @@ TELEMETRY_TIME_RE = re.compile(
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"][^">]+[">])')
 
+# `= <expr>.top()` / `= <expr>->top()`: a by-value copy of a
+# priority-queue top. Reference bindings (`const Entry &e = ...`) are
+# recognized by the `&` immediately left of the bound name.
+HEAP_TOP_COPY_RE = re.compile(
+    r"(?<![=!<>])=\s*[A-Za-z_][\w.\->]*(?:\.|->)top\s*\(\s*\)")
+REF_BIND_RE = re.compile(r"&&?\s*[A-Za-z_]\w*\s*$")
+
 CHECK_OPEN_RE = re.compile(r"\bMTIA_D?CHECK(?:_(?:EQ|NE|LT|LE|GT|GE))?\s*\(")
 # ++/-- anywhere, or an assignment operator that is not a comparison.
 SIDE_EFFECT_RE = re.compile(
@@ -132,7 +144,8 @@ class Linter:
         self.violations.append((path, lineno, rule, detail))
 
     def lint_file(self, path: pathlib.Path, in_src: bool,
-                  logging_exempt: bool, telemetry: bool) -> None:
+                  logging_exempt: bool, telemetry: bool,
+                  sim_core: bool) -> None:
         try:
             text = path.read_text(encoding="utf-8", errors="replace")
         except OSError as err:
@@ -186,6 +199,15 @@ class Linter:
                             "time-source include or std::chrono in "
                             "src/telemetry/; exports must be derived "
                             "from sim ticks only", raw)
+            if sim_core:
+                m = HEAP_TOP_COPY_RE.search(line)
+                if m and not REF_BIND_RE.search(line[:m.start()]):
+                    self.report(path, lineno, "heap-top-copy",
+                                "copy of a priority-queue top before "
+                                "pop; entries carry callbacks, so this "
+                                "deep-copies a closure per dispatch — "
+                                "bind a const reference or move first",
+                                raw)
 
         if path.suffix in HEADER_SUFFIXES:
             self.lint_include_guard(path, lines)
@@ -291,7 +313,9 @@ def main(argv: list[str]) -> int:
         logging_exempt = rel_posix.startswith("src/sim/logging")
         telemetry = (rel_posix.startswith("src/telemetry/")
                      or args.treat_as_src)
-        linter.lint_file(f, in_src, logging_exempt, telemetry)
+        sim_core = (rel_posix.startswith("src/sim/")
+                    or args.treat_as_src)
+        linter.lint_file(f, in_src, logging_exempt, telemetry, sim_core)
 
     for path, lineno, rule, detail in linter.violations:
         try:

@@ -1,0 +1,240 @@
+#ifndef MTIA_CORE_INLINE_FUNCTION_H_
+#define MTIA_CORE_INLINE_FUNCTION_H_
+
+/**
+ * @file
+ * InlineFunction: a small-buffer-optimized, move-only callable used on
+ * the DES hot path. Unlike std::function it never requires copyability
+ * of the target (so event callbacks may own std::unique_ptr state),
+ * and any callable whose size fits kInlineCapacity bytes is stored in
+ * the object itself — scheduling such a callback performs zero heap
+ * allocations. Larger callables fall back to a heap box; storedInline()
+ * reports which path a given instance took so the event queue can
+ * count inline vs boxed callbacks in telemetry.
+ *
+ * The capacity is a compile-time contract, not a tuning knob: typical
+ * simulator captures (a handful of pointers/references plus a tick or
+ * an index) must stay inline. Static-assert that where it matters:
+ *
+ *     static_assert(InlineFunction<void()>::storesInline<MyLambda>());
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "core/check.h"
+
+namespace mtia {
+
+/**
+ * Move-only callable with @p R(Args...) signature and small-buffer
+ * storage. Invoking an empty InlineFunction is a contract violation.
+ */
+template <typename Signature> class InlineFunction;
+
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)>
+{
+  public:
+    /** Inline storage: six pointers' worth of capture on LP64. */
+    static constexpr std::size_t kInlineCapacity = 48;
+    static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+    /** True when a callable of type @p F is stored inline (no heap). */
+    template <typename F>
+    static constexpr bool
+    storesInline()
+    {
+        using D = std::decay_t<F>;
+        return sizeof(D) <= kInlineCapacity &&
+            alignof(D) <= kInlineAlign &&
+            std::is_nothrow_move_constructible_v<D>;
+    }
+
+    InlineFunction() noexcept = default;
+    InlineFunction(std::nullptr_t) noexcept {}
+
+    /** Wrap any callable; move-only callables are fully supported. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    InlineFunction(F &&f)
+    {
+        using D = std::decay_t<F>;
+        if constexpr (storesInline<F>()) {
+            ::new (static_cast<void *>(storage_)) D(std::forward<F>(f));
+            invoke_ = &invokeInline<D>;
+            if constexpr (isTrivial<D>()) {
+                // Trivially relocatable target: moves are a plain
+                // 48-byte copy and destruction is a no-op, so the DES
+                // hot path never takes an indirect manage call.
+                manage_ = nullptr;
+            } else {
+                manage_ = &manageInline<D>;
+            }
+            inline_ = true;
+        } else {
+            ::new (static_cast<void *>(storage_))
+                D *(new D(std::forward<F>(f)));
+            invoke_ = &invokeBoxed<D>;
+            manage_ = &manageBoxed<D>;
+            inline_ = false;
+        }
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** True when a target is set. */
+    explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+    friend bool
+    operator==(const InlineFunction &f, std::nullptr_t) noexcept
+    {
+        return !f;
+    }
+    friend bool
+    operator!=(const InlineFunction &f, std::nullptr_t) noexcept
+    {
+        return static_cast<bool>(f);
+    }
+
+    /** True when the target lives in the inline buffer (no heap box). */
+    bool
+    storedInline() const noexcept
+    {
+        return invoke_ != nullptr && inline_;
+    }
+
+    /** Invoke the target. @pre *this is non-empty. */
+    R
+    operator()(Args... args)
+    {
+        MTIA_CHECK(invoke_ != nullptr)
+            << ": invoking an empty InlineFunction";
+        return invoke_(storage_, std::forward<Args>(args)...);
+    }
+
+  private:
+    enum class Op : std::uint8_t { MoveTo, Destroy };
+
+    using InvokeFn = R (*)(unsigned char *, Args &&...);
+    /** MoveTo: move-construct src's target into dst, destroy src's. */
+    using ManageFn = void (*)(Op, unsigned char *src, unsigned char *dst);
+
+    template <typename D>
+    static R
+    invokeInline(unsigned char *storage, Args &&...args)
+    {
+        return (*std::launder(reinterpret_cast<D *>(
+            static_cast<void *>(storage))))(std::forward<Args>(args)...);
+    }
+
+    template <typename D>
+    static void
+    manageInline(Op op, unsigned char *src, unsigned char *dst)
+    {
+        D *target = std::launder(
+            reinterpret_cast<D *>(static_cast<void *>(src)));
+        if (op == Op::MoveTo)
+            ::new (static_cast<void *>(dst)) D(std::move(*target));
+        target->~D();
+    }
+
+    template <typename D>
+    static R
+    invokeBoxed(unsigned char *storage, Args &&...args)
+    {
+        D *boxed = *std::launder(reinterpret_cast<D **>(
+            static_cast<void *>(storage)));
+        return (*boxed)(std::forward<Args>(args)...);
+    }
+
+    template <typename D>
+    static void
+    manageBoxed(Op op, unsigned char *src, unsigned char *dst)
+    {
+        D **slot = std::launder(
+            reinterpret_cast<D **>(static_cast<void *>(src)));
+        if (op == Op::MoveTo) {
+            // Transfer box ownership: a pointer move, not a deep move.
+            ::new (static_cast<void *>(dst)) D *(*slot);
+        } else {
+            delete *slot;
+        }
+        // The pointer itself is trivially destructible; its lifetime
+        // ends here either way.
+    }
+
+    template <typename D>
+    static constexpr bool
+    isTrivial()
+    {
+        return std::is_trivially_copyable_v<D> &&
+            std::is_trivially_destructible_v<D>;
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        invoke_ = other.invoke_;
+        manage_ = other.manage_;
+        inline_ = other.inline_;
+        if (other.invoke_ != nullptr) {
+            if (other.manage_ == nullptr) {
+                // Trivially relocatable inline target.
+                std::memcpy(storage_, other.storage_, kInlineCapacity);
+            } else {
+                other.manage_(Op::MoveTo, other.storage_, storage_);
+            }
+            other.invoke_ = nullptr;
+            other.manage_ = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (invoke_ != nullptr) {
+            if (manage_ != nullptr)
+                manage_(Op::Destroy, storage_, nullptr);
+            invoke_ = nullptr;
+            manage_ = nullptr;
+        }
+    }
+
+    InvokeFn invoke_ = nullptr;
+    ManageFn manage_ = nullptr;
+    bool inline_ = true;
+    alignas(kInlineAlign) unsigned char storage_[kInlineCapacity];
+};
+
+} // namespace mtia
+
+#endif // MTIA_CORE_INLINE_FUNCTION_H_

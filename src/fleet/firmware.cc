@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <functional>
 
 #include "core/check.h"
 
@@ -95,12 +97,11 @@ FirmwareManager::rollout(const FirmwareBundle &bundle,
     MTIA_CHECK_GT(max_concurrent_restarts, 0u)
         << ": rollout restart policy must allow progress";
 
-    Tick now = 0;
-    unsigned updated = 0;
+    // Rollout stages form a monotone state machine over the fleet:
+    // each stage only ever widens the deployed fraction. Validated up
+    // front so a bad plan fails before any simulated time passes.
     double prev_fraction = 0.0;
     for (const RolloutStage &stage : plan) {
-        // Rollout stages form a monotone state machine over the fleet:
-        // each stage only ever widens the deployed fraction.
         MTIA_CHECK_GT(stage.fleet_fraction, 0.0)
             << ": rollout stage '" << stage.name << "' deploys nothing";
         MTIA_CHECK_LE(stage.fleet_fraction, 1.0)
@@ -110,20 +111,39 @@ FirmwareManager::rollout(const FirmwareBundle &bundle,
             << ": rollout stage '" << stage.name
             << "' shrinks the deployed fraction";
         prev_fraction = stage.fleet_fraction;
+    }
+
+    // Discrete-event rollout: each restart wave and each soak is an
+    // event. Waves run back to back (rate-limited by the cluster-
+    // manager policy); a stage's soak gates the next stage.
+    EventQueue eq;
+    std::size_t stage_idx = 0;
+    unsigned updated = 0;
+    std::function<void()> advance = [&]() {
+        if (stage_idx == plan.size())
+            return; // rollout complete; the queue drains
+        const RolloutStage &stage = plan[stage_idx];
         const auto target = static_cast<unsigned>(
             std::ceil(stage.fleet_fraction * fleet_servers_));
-        while (updated < target) {
+        if (updated < target) {
             const unsigned wave =
                 std::min(max_concurrent_restarts, target - updated);
             result.concurrent_restart_peak =
                 std::max(result.concurrent_restart_peak, wave);
-            now += server_restart; // waves run back to back
-            updated += wave;
+            eq.scheduleAfter(server_restart, [&, wave]() {
+                updated += wave;
+                advance();
+            });
+            return;
         }
-        now += stage.soak;
-    }
+        ++stage_idx;
+        eq.scheduleAfter(stage.soak, [&]() { advance(); });
+    };
+    eq.schedule(0, [&]() { advance(); });
+    eq.run();
+
     result.completed = updated >= fleet_servers_;
-    result.duration = now;
+    result.duration = eq.now();
     result.servers_updated = updated;
     return result;
 }

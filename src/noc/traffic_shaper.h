@@ -9,8 +9,10 @@
  */
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "sim/event_queue.h"
 #include "sim/types.h"
 
 namespace mtia {
@@ -35,6 +37,22 @@ class TrafficShaper
      * debited as of that time.
      */
     Tick offer(Tick now, Bytes bytes);
+
+    /**
+     * Event-driven send: debit tokens as of eq.now() and schedule
+     * @p on_depart on @p eq at the transfer's departure time. The
+     * callable is enqueued directly (no wrapper), so move-only,
+     * inline-sized closures take the queue's no-allocation fast path.
+     * Returns the departure tick (== the callback's fire time).
+     */
+    template <typename Fn>
+    Tick
+    send(EventQueue &eq, Bytes bytes, Fn &&on_depart)
+    {
+        const Tick depart = offer(eq.now(), bytes);
+        eq.schedule(depart, std::forward<Fn>(on_depart));
+        return depart;
+    }
 
     /** Tokens available at time @p now without sending. */
     double tokensAt(Tick now) const;

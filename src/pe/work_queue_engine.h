@@ -12,7 +12,9 @@
  */
 
 #include <cstdint>
+#include <utility>
 
+#include "sim/event_queue.h"
 #include "sim/types.h"
 
 namespace mtia {
@@ -56,6 +58,33 @@ class WorkQueueEngine
      * pre-staged; only the swap broadcast remains).
      */
     Tick replaceTime(unsigned num_pes) const;
+
+    /**
+     * Event-driven launch: schedule @p on_launched on @p eq at the
+     * moment a fresh job lands on @p num_pes PEs. The callable goes
+     * into the queue as-is (no wrapper closure), so move-only,
+     * inline-sized completions ride the queue's no-allocation fast
+     * path; read eq.now() inside the callback for the completion time.
+     * Returns the scheduled completion tick.
+     */
+    template <typename Fn>
+    Tick
+    launchAsync(EventQueue &eq, unsigned num_pes, Fn &&on_launched) const
+    {
+        const Tick done = eq.now() + launchTime(num_pes);
+        eq.schedule(done, std::forward<Fn>(on_launched));
+        return done;
+    }
+
+    /** Event-driven job replacement; see launchAsync. */
+    template <typename Fn>
+    Tick
+    replaceAsync(EventQueue &eq, unsigned num_pes, Fn &&on_replaced) const
+    {
+        const Tick done = eq.now() + replaceTime(num_pes);
+        eq.schedule(done, std::forward<Fn>(on_replaced));
+        return done;
+    }
 
   private:
     WorkQueueConfig cfg_;

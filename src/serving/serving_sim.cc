@@ -7,18 +7,26 @@
 #include <string>
 
 #include "core/check.h"
+#include "core/inline_function.h"
 #include "telemetry/telemetry.h"
 
 namespace mtia {
 
 namespace {
 
+/** Completion callback of one device job (move-only, inline-sized). */
+using JobDone = InlineFunction<void(Tick)>;
+
 /** One FIFO device executing jobs. */
 struct SimDevice
 {
-    std::deque<std::function<void(Tick)>> queue; // completion callbacks
+    std::deque<JobDone> queue; // completion callbacks
     std::deque<Tick> durations;
     std::deque<const char *> kinds; // "remote" / "merge" (trace labels)
+    /** Completion of the job currently executing; parked here so the
+     * scheduled event captures only (devices, index) and stays inside
+     * the event queue's inline-callback fast path. */
+    JobDone inflight;
     bool busy = false;
     Tick busy_until = 0;
     Tick busy_accum = 0;
@@ -117,9 +125,14 @@ ServingSimulator::simulate(double qps, Tick duration,
                            eq.now(),
                            static_cast<std::int64_t>(dev.queue.size()));
         // The job's result is ready after dur; the device only picks
-        // up its next job after the host-side dispatch gap.
-        eq.scheduleAfter(dur, [&, done = std::move(done)]() {
-            done(eq.now());
+        // up its next job after the host-side dispatch gap. The
+        // completion closure is parked on the device (one job runs at
+        // a time) rather than captured, so the scheduled callback
+        // moves — never copies — and needs no heap box.
+        dev.inflight = std::move(done);
+        eq.scheduleAfter(dur, [&, dev_idx]() {
+            JobDone fire = std::move(devices[dev_idx].inflight);
+            fire(eq.now());
         });
         eq.scheduleAfter(dur + params_.job_dispatch_gap,
                          [&, dev_idx]() {
@@ -129,7 +142,7 @@ ServingSimulator::simulate(double qps, Tick duration,
     };
 
     auto enqueue = [&](unsigned dev_idx, Tick dur, const char *kind,
-                       std::function<void(Tick)> done) {
+                       JobDone done) {
         devices[dev_idx].queue.push_back(std::move(done));
         devices[dev_idx].durations.push_back(dur);
         devices[dev_idx].kinds.push_back(kind);
@@ -220,6 +233,9 @@ ServingSimulator::simulate(double qps, Tick duration,
         auto &peak = m.gauge("sim.peak_pending_events");
         peak.set(std::max(peak.value(),
                           static_cast<double>(eq.peakPending())));
+        // Queue-internals counters: scheduled / inline_callbacks /
+        // overflow_promotions plus bucket-occupancy gauges.
+        eq.publishMetrics(m);
     }
     return out;
 }

@@ -8,8 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+#include <utility>
+
 #include "core/chip_config.h"
 #include "core/device.h"
+#include "core/inline_function.h"
 #include "core/kernel_cost_model.h"
 #include "core/tco_model.h"
 
@@ -298,6 +303,124 @@ TEST(Tco, PerfPerWattHarderThanPerfPerTco)
     EXPECT_GT(tco_ratio, 1.5);
     EXPECT_GT(watt_ratio, 0.9);
     EXPECT_LT(watt_ratio, 1.4);
+}
+
+// Typical DES captures — a few pointers plus a tick or an index —
+// must stay inside the small buffer; that contract is what makes
+// steady-state scheduling allocation-free.
+struct SixPointerCapture
+{
+    void *p[6];
+    void operator()() {}
+};
+struct SevenPointerCapture
+{
+    void *p[7];
+    void operator()() {}
+};
+static_assert(InlineFunction<void()>::storesInline<SixPointerCapture>());
+static_assert(
+    !InlineFunction<void()>::storesInline<SevenPointerCapture>());
+static_assert(
+    InlineFunction<void()>::kInlineCapacity >= 48,
+    "DES callbacks assume at least six pointers of inline capture");
+
+TEST(InlineFunction, InvokesAndForwardsArguments)
+{
+    InlineFunction<int(int, int)> f = [](int a, int b) { return a + b; };
+    ASSERT_TRUE(static_cast<bool>(f));
+    EXPECT_EQ(f(2, 40), 42);
+    EXPECT_TRUE(f.storedInline());
+}
+
+TEST(InlineFunction, EmptyStateAndNullptrComparisons)
+{
+    InlineFunction<void()> f;
+    EXPECT_FALSE(static_cast<bool>(f));
+    EXPECT_TRUE(f == nullptr);
+    f = [] {};
+    EXPECT_TRUE(f != nullptr);
+    f = nullptr;
+    EXPECT_TRUE(f == nullptr);
+}
+
+TEST(InlineFunction, MoveOnlyTargetWorksAndMoveEmptiesSource)
+{
+    auto owned = std::make_unique<int>(7);
+    InlineFunction<int()> f = [p = std::move(owned)] { return *p; };
+    InlineFunction<int()> g = std::move(f);
+    EXPECT_TRUE(f == nullptr);
+    ASSERT_TRUE(g != nullptr);
+    EXPECT_EQ(g(), 7);
+}
+
+TEST(InlineFunction, MoveAssignmentDestroysPreviousTarget)
+{
+    int destroyed = 0;
+    struct CountsDtor
+    {
+        int *out;
+        bool armed = true;
+        CountsDtor(int *o) : out(o) {}
+        CountsDtor(CountsDtor &&other) noexcept
+            : out(other.out), armed(other.armed)
+        {
+            other.armed = false;
+        }
+        ~CountsDtor()
+        {
+            if (armed)
+                ++*out;
+        }
+        void operator()() {}
+    };
+    {
+        InlineFunction<void()> f = CountsDtor(&destroyed);
+        EXPECT_EQ(destroyed, 0);
+        f = [] {};
+        EXPECT_EQ(destroyed, 1);
+    }
+    EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFunction, TriviallyCopyableTargetSurvivesMoves)
+{
+    struct Trivial
+    {
+        std::uint64_t a, b, c;
+        std::uint64_t operator()() const { return a + b + c; }
+    };
+    static_assert(InlineFunction<std::uint64_t()>::storesInline<Trivial>());
+    InlineFunction<std::uint64_t()> f = Trivial{1, 2, 3};
+    InlineFunction<std::uint64_t()> g;
+    g = std::move(f);
+    InlineFunction<std::uint64_t()> h = std::move(g);
+    EXPECT_EQ(h(), 6u);
+}
+
+TEST(InlineFunction, OversizedTargetIsBoxedButFullyFunctional)
+{
+    struct Big
+    {
+        std::uint64_t words[9];
+        std::uint64_t operator()() const { return words[8]; }
+    };
+    static_assert(!InlineFunction<std::uint64_t()>::storesInline<Big>());
+    Big big{};
+    big.words[8] = 99;
+    InlineFunction<std::uint64_t()> f = big;
+    EXPECT_FALSE(f.storedInline());
+    InlineFunction<std::uint64_t()> g = std::move(f);
+    EXPECT_TRUE(f == nullptr);
+    EXPECT_EQ(g(), 99u);
+}
+
+TEST(InlineFunction, MutableStatePersistsAcrossCalls)
+{
+    InlineFunction<int()> f = [n = 0]() mutable { return ++n; };
+    EXPECT_EQ(f(), 1);
+    EXPECT_EQ(f(), 2);
+    EXPECT_EQ(f(), 3);
 }
 
 } // namespace

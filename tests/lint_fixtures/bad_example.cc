@@ -30,6 +30,17 @@ violations()
     // raw-output: console output outside sim/logging.
     printf("%d\n", r);
 
+    // heap-top-copy: copying a priority-queue top before pop
+    // deep-copies the entry's callback on every dispatch.
+    struct FakeHeap
+    {
+        int top() const { return 0; }
+        void pop() {}
+    } heap_;
+    int copied = heap_.top();
+    heap_.pop();
+    (void)copied;
+
     // check-side-effect: mutation inside a check condition.
     int n = static_cast<int>(rd()) + static_cast<int>(gen());
 #define MTIA_CHECK(x) (void)(x)

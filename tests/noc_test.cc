@@ -174,5 +174,21 @@ TEST(Deadlock, RandomGraphsAgreeWithOracle)
     }
 }
 
+TEST(Shaper, EventDrivenSendFiresAtDepartureTime)
+{
+    TrafficShaper s(gbPerSec(1.0), 2048);
+    EventQueue eq;
+    std::vector<Tick> departures;
+    // First packet drains the bucket and departs immediately; the
+    // second must wait for refill.
+    const Tick d0 = s.send(eq, 2048, [&] { departures.push_back(eq.now()); });
+    const Tick d1 = s.send(eq, 1024, [&] { departures.push_back(eq.now()); });
+    EXPECT_EQ(d0, 0u);
+    EXPECT_GT(d1, d0);
+    eq.run();
+    EXPECT_EQ(departures, (std::vector<Tick>{d0, d1}));
+    EXPECT_EQ(eq.now(), d1);
+}
+
 } // namespace
 } // namespace mtia

@@ -356,5 +356,37 @@ TEST(Wqe, EagerLaunchMeetsPaperBudgets)
     EXPECT_GE(reduction, 0.75);
 }
 
+TEST(Wqe, AsyncLaunchFiresCompletionAtLaunchTime)
+{
+    WorkQueueEngine wqe{WorkQueueConfig{}};
+    EventQueue eq;
+    Tick fired_at = 0;
+    int fired = 0;
+    const Tick done = wqe.launchAsync(eq, 64, [&] {
+        fired_at = eq.now();
+        ++fired;
+    });
+    EXPECT_EQ(done, wqe.launchTime(64));
+    EXPECT_EQ(fired, 0);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(fired_at, done);
+}
+
+TEST(Wqe, AsyncReplaceChainsFromCompletion)
+{
+    // Launch, then replace from inside the completion callback — the
+    // event-driven shape the serving simulator uses.
+    WorkQueueEngine wqe{WorkQueueConfig{}};
+    EventQueue eq;
+    Tick replaced_at = 0;
+    wqe.launchAsync(eq, 64, [&] {
+        wqe.replaceAsync(eq, 64, [&] { replaced_at = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(replaced_at, wqe.launchTime(64) + wqe.replaceTime(64));
+    EXPECT_EQ(eq.executed(), 2u);
+}
+
 } // namespace
 } // namespace mtia

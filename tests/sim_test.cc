@@ -6,14 +6,21 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "core/parallel.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/stats.h"
 #include "sim/types.h"
+#include "telemetry/metrics.h"
 
 namespace mtia {
 namespace {
@@ -243,6 +250,231 @@ TEST(EventQueue, ClearDropsPending)
     q.clear();
     q.run();
     EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, MoveOnlyCallbackIsNeverCopied)
+{
+    // Regression for the seed queue's closure deep-copy on dispatch:
+    // a callback owning unique_ptr state must compile and run.
+    EventQueue q;
+    auto payload = std::make_unique<int>(41);
+    int got = 0;
+    q.schedule(5, [p = std::move(payload), &got] { got = *p + 1; });
+    q.run();
+    EXPECT_EQ(got, 42);
+}
+
+TEST(EventQueue, MoveOnlyStateThreadsThroughReschedules)
+{
+    EventQueue q;
+    int final_count = 0;
+    struct Hop
+    {
+        EventQueue *q;
+        std::unique_ptr<int> token;
+        int *out;
+        void
+        operator()()
+        {
+            ++*token;
+            if (*token < 3)
+                q->scheduleAfter(7, Hop{q, std::move(token), out});
+            else
+                *out = *token;
+        }
+    };
+    static_assert(EventQueue::Callback::storesInline<Hop>());
+    q.schedule(0, Hop{&q, std::make_unique<int>(0), &final_count});
+    q.run();
+    EXPECT_EQ(final_count, 3);
+    EXPECT_EQ(q.now(), 14u);
+}
+
+TEST(EventQueue, ClearTenThousandEventsIsAStructuralReset)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(3, [&] { ++fired; });
+    q.run();
+    const Tick before = q.now();
+    // Spread events over both the calendar ring and the overflow heap.
+    for (int i = 0; i < 10000; ++i)
+        q.scheduleAfter(static_cast<Tick>(i) * 7, [&] { ++fired; });
+    EXPECT_EQ(q.pending(), 10000u);
+    q.clear();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.now(), before);
+    EXPECT_EQ(q.executed(), 1u);
+    // The queue stays usable and its slots are recycled.
+    q.scheduleAfter(1, [&] { ++fired; });
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilEventExactlyAtLimitFires)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(50, [&] { ++fired; });
+    q.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 50u);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, RunUntilCallbackSchedulingAtNowRunsInSameCall)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(20, [&] {
+        order.push_back(1);
+        q.schedule(q.now(), [&] { order.push_back(2); });
+    });
+    q.runUntil(20);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.now(), 20u);
+}
+
+TEST(EventQueue, RunUntilDrainingEarlyAdvancesToLimit)
+{
+    EventQueue q;
+    q.runUntil(1234);
+    EXPECT_EQ(q.now(), 1234u);
+    q.schedule(2000, [] {});
+    q.runUntil(5000);
+    EXPECT_EQ(q.now(), 5000u);
+}
+
+TEST(EventQueue, OverflowEventPrecedesLaterRingEventAtSameTick)
+{
+    // An event parked in the overflow heap predates — and must run
+    // before — a same-tick event accepted into the ring after the
+    // window slid forward.
+    EventQueue q;
+    std::vector<int> order;
+    const Tick target = static_cast<Tick>(EventQueue::kRingSlots) + 700;
+    q.schedule(target, [&] { order.push_back(1); }); // overflow, seq 0
+    q.schedule(900, [&] {
+        q.schedule(target, [&] { order.push_back(2); }); // ring, later seq
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.overflowPromotions(), 1u);
+    EXPECT_EQ(q.now(), target);
+}
+
+TEST(EventQueue, WindowSlideDispatchesOverflowBeforeLaterRingTicks)
+{
+    // Overflow tick 1034 precedes ring tick 1324 even though the ring
+    // event was accepted while 1034 still sat in the overflow heap.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(static_cast<Tick>(EventQueue::kRingSlots) + 10,
+               [&] { order.push_back(1); });
+    q.schedule(600, [&] {
+        q.schedule(static_cast<Tick>(EventQueue::kRingSlots) + 300,
+                   [&] { order.push_back(2); });
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, FarFutureJumpsPreserveOrderAcrossGaps)
+{
+    EventQueue q;
+    std::vector<std::uint64_t> order;
+    // Deltas far beyond the window force jump promotions every event.
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const Tick gap = static_cast<Tick>(EventQueue::kRingSlots) * 50;
+        q.schedule(static_cast<Tick>(64 - i) * gap,
+                   [&order, i] { order.push_back(i); });
+    }
+    q.run();
+    std::vector<std::uint64_t> want(64);
+    for (std::uint64_t i = 0; i < 64; ++i)
+        want[i] = 63 - i;
+    EXPECT_EQ(order, want);
+    EXPECT_EQ(q.overflowPromotions(), 64u);
+}
+
+TEST(EventQueue, TelemetryCountersAndPublish)
+{
+    EventQueue q;
+    for (int i = 0; i < 4; ++i)
+        q.schedule(static_cast<Tick>(i), [] {});
+    q.schedule(static_cast<Tick>(EventQueue::kRingSlots) * 8, [] {});
+    EXPECT_EQ(q.scheduledCount(), 5u);
+    EXPECT_EQ(q.inlineCallbackCount(), 5u);
+    EXPECT_EQ(q.nearPending(), 4u);
+    EXPECT_EQ(q.farPending(), 1u);
+    EXPECT_EQ(q.pending(), 5u);
+
+    telemetry::MetricRegistry reg;
+    q.publishMetrics(reg);
+    EXPECT_EQ(reg.counter("event_queue.scheduled").value(), 5u);
+    EXPECT_EQ(reg.counter("event_queue.inline_callbacks").value(), 5u);
+    EXPECT_EQ(reg.counter("event_queue.overflow_promotions").value(), 0u);
+    EXPECT_DOUBLE_EQ(
+        reg.gauge("event_queue.bucket_occupancy", {{"level", "near"}})
+            .value(),
+        4.0);
+    EXPECT_DOUBLE_EQ(
+        reg.gauge("event_queue.bucket_occupancy", {{"level", "far"}})
+            .value(),
+        1.0);
+
+    q.run();
+    EXPECT_EQ(q.overflowPromotions(), 1u);
+    EXPECT_EQ(q.executed(), 5u);
+}
+
+TEST(EventQueue, OversizedCaptureFallsBackToHeapBox)
+{
+    EventQueue q;
+    std::array<std::uint64_t, 16> big{};
+    big[15] = 7;
+    std::uint64_t got = 0;
+    auto cb = [big, &got] { got = big[15]; };
+    static_assert(!EventQueue::Callback::storesInline<decltype(cb)>());
+    q.schedule(1, std::move(cb));
+    EXPECT_EQ(q.scheduledCount(), 1u);
+    EXPECT_EQ(q.inlineCallbackCount(), 0u);
+    q.run();
+    EXPECT_EQ(got, 7u);
+}
+
+TEST(EventQueue, SameTickFifoDeterministicAcrossLaneCounts)
+{
+    // Property: the dispatch trace of a same-tick-heavy workload is a
+    // pure function of the shard seed, independent of how many worker
+    // lanes the surrounding harness runs shards on.
+    constexpr std::size_t kShards = 16;
+    auto trace = [](std::size_t shard) {
+        EventQueue q;
+        Rng rng(1000 + static_cast<std::uint64_t>(shard));
+        std::vector<std::uint64_t> order;
+        std::uint64_t id = 0;
+        for (int round = 0; round < 50; ++round) {
+            const Tick t = q.now() + rng.below(4);
+            for (int k = 0; k < 8; ++k) {
+                const std::uint64_t my = id++;
+                q.schedule(t, [&order, my] { order.push_back(my); });
+            }
+            q.runUntil(t);
+        }
+        q.run();
+        return order;
+    };
+    std::vector<std::vector<std::uint64_t>> base;
+    {
+        ScopedParallelism one(1);
+        base = parallelMap(kShards, trace);
+    }
+    for (const unsigned lanes : {2u, 8u}) {
+        ScopedParallelism scope(lanes);
+        EXPECT_EQ(parallelMap(kShards, trace), base)
+            << "dispatch trace changed at " << lanes << " lanes";
+    }
 }
 
 } // namespace
