@@ -20,8 +20,12 @@ EventQueue::schedule(Tick when, Callback &&cb)
     ++scheduled_;
     if (n->cb.storedInline())
         ++inline_callbacks_;
-    // Sliding window: when >= now_ >= ring_base_ at every call site,
-    // so the subtraction cannot wrap.
+    // Sliding window: ring_base_ only advances when a tick is actually
+    // dispatched (committed alongside now_ in run()/runUntil()), so
+    // when >= now_ >= ring_base_ holds here and the subtraction cannot
+    // wrap. Even if it did, a wrapped difference is huge and routes the
+    // event to the far heap, which orders any tick correctly.
+    MTIA_DCHECK_GE(now_, ring_base_) << ": ring window base ahead of now";
     if (when - ring_base_ < static_cast<Tick>(kRingSlots)) {
         pushRing(n);
     } else {
@@ -43,7 +47,11 @@ EventQueue::run()
         // fully before the scan moves on, and schedule() rejects past
         // timestamps.
         MTIA_DCHECK_GE(t, now_) << ": event queue tick regression";
+        // Commit the window base together with now_: ring_base_ only
+        // ever holds a dispatched tick, so an interrupted run can never
+        // leave it ahead of now_.
         now_ = t;
+        ring_base_ = t;
         drainCurrentSlot();
     }
     return now_;
@@ -59,14 +67,19 @@ EventQueue::runUntil(Tick limit)
             promoteFar();
         }
         Tick t = nextRingTick();
-        if (!far_.empty() && far_.front().when <= t)
-            t = pullEligibleFar(t);
-        // t is the global minimum pending tick: if it is past the
-        // limit, nothing at or before the limit remains.
+        // The dispatch tick is min(earliest ring tick, overflow front):
+        // if that minimum is past the limit, nothing at or before the
+        // limit remains. Checked before touching any queue state so an
+        // early exit leaves the window base and both buckets untouched.
+        if (!far_.empty() && far_.front().when < t)
+            t = far_.front().when;
         if (t > limit)
             break;
+        if (!far_.empty() && far_.front().when <= t)
+            t = pullEligibleFar(t);
         MTIA_DCHECK_GE(t, now_) << ": event queue tick regression";
         now_ = t;
+        ring_base_ = t;
         drainCurrentSlot();
     }
     // No events remain at or before the limit: time advances to it.
@@ -182,7 +195,7 @@ EventQueue::popRing(std::size_t slot)
 }
 
 Tick
-EventQueue::nextRingTick()
+EventQueue::nextRingTick() const
 {
     MTIA_DCHECK_GT(ring_count_, 0u) << ": ring scan on an empty ring";
     const auto s0 = static_cast<std::size_t>(ring_base_ & kSlotMask);
@@ -195,10 +208,7 @@ EventQueue::nextRingTick()
         if (word != 0) {
             const std::size_t slot =
                 (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
-            const Tick t =
-                ring_base_ + static_cast<Tick>((slot - s0) & kSlotMask);
-            ring_base_ = t;
-            return t;
+            return ring_base_ + static_cast<Tick>((slot - s0) & kSlotMask);
         }
         w = (w + 1) & (kBitmapWords - 1);
         word = occupied_[w];
@@ -249,9 +259,8 @@ EventQueue::pullEligibleFar(Tick t)
     if (w < t) {
         // A far-only tick precedes the earliest ring tick. Ring events
         // all satisfy when < p + kRingSlots for some drained tick
-        // p <= w, so retreating the base to w keeps the window span
-        // collision-free.
-        ring_base_ = w;
+        // p <= w, so the caller retreating the base to w (committed on
+        // dispatch) keeps the window span collision-free.
         t = w;
     }
     Node *head = nullptr;

@@ -188,10 +188,12 @@ class EventQueue
     /** Pop the FIFO head of @p slot. @pre the slot is non-empty. */
     Node *popRing(std::size_t slot);
     /**
-     * Earliest occupied tick in the ring; advances ring_base_ to it.
+     * Earliest occupied tick in the ring. Pure scan: ring_base_ is
+     * committed only when a tick is dispatched, so an early-exiting
+     * runUntil() never leaves the window ahead of now().
      * @pre ring_count_ > 0.
      */
-    Tick nextRingTick();
+    Tick nextRingTick() const;
 
     void pushFar(Node *n);
     /**
@@ -205,7 +207,8 @@ class EventQueue
      * (when <= @p t, the earliest ring tick): promote the overflow
      * events at the earliest such tick, prepending them to their
      * slot's FIFO (they predate every ring event at that tick).
-     * Returns the tick to dispatch, which is min(t, overflow front).
+     * Returns the tick to dispatch, which is min(t, overflow front);
+     * the caller commits ring_base_ to it alongside now_.
      */
     Tick pullEligibleFar(Tick t);
 

@@ -335,6 +335,50 @@ TEST(EventQueue, RunUntilCallbackSchedulingAtNowRunsInSameCall)
     EXPECT_EQ(q.now(), 20u);
 }
 
+TEST(EventQueue, RunUntilEarlyExitLeavesWindowConsistent)
+{
+    // Regression: nextRingTick() used to advance the ring window base
+    // before runUntil() checked the limit, so an early exit left the
+    // base ahead of now(). A later schedule() could then admit a ring
+    // event under the stale window (B@1900 below lands in a slot keyed
+    // off base 900), and once a far event below the window retreated
+    // the base, that event fired at the wrong tick (876 instead of
+    // 1900) — silently in release builds, where the drain DCHECK is
+    // compiled out.
+    EventQueue q;
+    std::vector<Tick> ticks;
+    auto record = [&] { ticks.push_back(q.now()); };
+    q.schedule(900, record);
+    q.runUntil(100); // exits early: earliest event is past the limit
+    EXPECT_EQ(q.now(), 100u);
+    EXPECT_EQ(q.pending(), 1u);
+    // One event inside the stale window [900, 900 + kRingSlots) the
+    // bug would have admitted into the ring...
+    q.schedule(1900, record);
+    // ...and one below it (but >= now()) to force the base to retreat.
+    q.schedule(500, record);
+    q.run();
+    EXPECT_EQ(ticks, (std::vector<Tick>{500, 900, 1900}));
+    EXPECT_EQ(q.now(), 1900u);
+    EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, RunUntilEarlyExitThenScheduleBelowPendingTick)
+{
+    // Same stale-window shape, far-heap flavor: after an early exit,
+    // scheduling between now() and the pending tick must not wrap the
+    // window subtraction into misrouting.
+    EventQueue q;
+    std::vector<Tick> ticks;
+    const Tick far = static_cast<Tick>(EventQueue::kRingSlots) * 3;
+    q.schedule(far, [&] { ticks.push_back(q.now()); });
+    q.runUntil(10);
+    EXPECT_EQ(q.now(), 10u);
+    q.schedule(20, [&] { ticks.push_back(q.now()); });
+    q.run();
+    EXPECT_EQ(ticks, (std::vector<Tick>{20, far}));
+}
+
 TEST(EventQueue, RunUntilDrainingEarlyAdvancesToLimit)
 {
     EventQueue q;
