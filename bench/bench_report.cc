@@ -50,6 +50,17 @@ Report::wallClockSpeedup(unsigned threads, double speedup)
     has_speedup_ = true;
 }
 
+void
+Report::wallClockRatio(const std::string &ratio_name, double ratio)
+{
+    MTIA_CHECK(!ratio_name.empty())
+        << ": wall_clock_ratios entry needs a name";
+    MTIA_CHECK_GT(ratio, 0.0)
+        << ": wall_clock_ratios " << ratio_name
+        << " must be a positive ratio";
+    ratios_.push_back({ratio_name, ratio});
+}
+
 std::string
 Report::path() const
 {
@@ -98,6 +109,17 @@ Report::json() const
            << ",\"speedup\":";
         telemetry::writeJsonDouble(os, speedup_);
         os << '}';
+    }
+    if (!ratios_.empty()) {
+        os << ",\"wall_clock_ratios\":[";
+        for (std::size_t i = 0; i < ratios_.size(); ++i) {
+            os << (i ? "," : "") << "{\"name\":";
+            telemetry::writeJsonString(os, ratios_[i].name);
+            os << ",\"ratio\":";
+            telemetry::writeJsonDouble(os, ratios_[i].ratio);
+            os << '}';
+        }
+        os << ']';
     }
     if (telemetry_ != nullptr) {
         std::string snap = telemetry_->json();

@@ -20,16 +20,20 @@
  *       ...
  *     ],
  *     "wall_clock_speedup": {"threads": 8, "speedup": 3.4}, // optional
+ *     "wall_clock_ratios": [                                // optional
+ *       {"name": "conversion", "ratio": 4.1}, ...
+ *     ],
  *     "telemetry": { <mtia-metrics-v1 snapshot> }           // optional
  *   }
  *
  * Every value recorded here must be derived from simulated state, so
- * identical builds produce byte-identical reports. The one exception
- * is "wall_clock_speedup" — a measured serial-vs-parallel harness
- * ratio that by nature varies run to run; determinism comparisons
- * must strip that field before diffing. Export failures go through
- * the telemetry error handler (ScopedTelemetryThrow makes them
- * assertable in tests).
+ * identical builds produce byte-identical reports. The exceptions are
+ * "wall_clock_speedup" — a measured serial-vs-parallel harness ratio
+ * — and "wall_clock_ratios" — named scalar-vs-vectorized kernel
+ * throughput ratios — which by nature vary run to run; determinism
+ * comparisons must strip those fields before diffing. Export failures
+ * go through the telemetry error handler (ScopedTelemetryThrow makes
+ * them assertable in tests).
  */
 
 #include <string>
@@ -71,6 +75,14 @@ class Report
     void wallClockSpeedup(unsigned threads, double speedup);
 
     /**
+     * Record a named measured throughput ratio (e.g. vectorized vs
+     * scalar kernel). Wall-clock by nature: excluded from
+     * byte-identical guarantees, emitted in order under the top-level
+     * "wall_clock_ratios" array.
+     */
+    void wallClockRatio(const std::string &ratio_name, double ratio);
+
+    /**
      * Attach a metric registry whose snapshot is embedded under
      * "telemetry" at write time. The registry must outlive write().
      */
@@ -99,8 +111,15 @@ class Report
         std::string unit;
     };
 
+    struct Ratio
+    {
+        std::string name;
+        double ratio;
+    };
+
     std::string name_;
     std::vector<Entry> entries_;
+    std::vector<Ratio> ratios_;
     const telemetry::MetricRegistry *telemetry_ = nullptr;
     unsigned speedup_threads_ = 0;
     double speedup_ = 0.0;

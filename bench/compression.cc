@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "bench_report.h"
 #include "bench_util.h"
@@ -54,12 +56,13 @@ main()
     report("INT8 weights, wide spectrum", int8_wide);
 
     ByteBuffer fp16(1 << 20);
-    for (std::size_t i = 0; i + 1 < fp16.size(); i += 2) {
-        const std::uint16_t h = fp32ToFp16Bits(
-            static_cast<float>(rng.gaussian(0.0, 1.0)));
-        fp16[i] = static_cast<std::uint8_t>(h);
-        fp16[i + 1] = static_cast<std::uint8_t>(h >> 8);
-    }
+    std::vector<float> fp16_src(fp16.size() / 2);
+    for (float &v : fp16_src)
+        v = static_cast<float>(rng.gaussian(0.0, 1.0));
+    std::vector<std::uint16_t> fp16_bits(fp16_src.size());
+    convertBuffer(fp16_src.data(), fp16_bits.data(), fp16_src.size(),
+                  DType::FP16);
+    std::memcpy(fp16.data(), fp16_bits.data(), fp16.size());
     const double fp16_ratio = report("FP16 weights", fp16);
 
     bench::row("INT8 weight savings", "up to 50%",

@@ -38,6 +38,13 @@ silently break those properties:
                   callbacks, so copying the top deep-copies a closure
                   on every dispatch. Bind a const reference or move
                   the parts out before pop().
+  scalar-hot-loop a per-element dtype conversion call
+                  (fp32ToFp16Bits, fp16BitsToFp32, fp32ToBf16Bits,
+                  bf16BitsToFp32) inside a loop, outside the kernel
+                  layer (src/tensor/dtype.*) — bulk conversions must
+                  go through convertBuffer so they hit the vectorized
+                  batch kernels instead of the branchy scalar path
+                  once per element.
 
 Suppress a false positive by appending  // sim-lint: allow(<rule>)
 to the offending line.
@@ -96,6 +103,16 @@ HEAP_TOP_COPY_RE = re.compile(
     r"(?<![=!<>])=\s*[A-Za-z_][\w.\->]*(?:\.|->)top\s*\(\s*\)")
 REF_BIND_RE = re.compile(r"&&?\s*[A-Za-z_]\w*\s*$")
 
+# Per-element dtype conversion call; flagged when it sits in obvious
+# loop context (a for/while on the same line or within the preceding
+# few lines). The window is deliberately small: single-element
+# accessors like Tensor::at stay clean, element loops do not.
+SCALAR_CONV_RE = re.compile(
+    r"\b(fp32ToFp16Bits|fp16BitsToFp32|fp32ToBf16Bits|bf16BitsToFp32)"
+    r"\s*\(")
+LOOP_OPEN_RE = re.compile(r"\b(?:for|while)\s*\(")
+SCALAR_LOOP_WINDOW = 4
+
 CHECK_OPEN_RE = re.compile(r"\bMTIA_D?CHECK(?:_(?:EQ|NE|LT|LE|GT|GE))?\s*\(")
 # ++/-- anywhere, or an assignment operator that is not a comparison.
 SIDE_EFFECT_RE = re.compile(
@@ -145,7 +162,7 @@ class Linter:
 
     def lint_file(self, path: pathlib.Path, in_src: bool,
                   logging_exempt: bool, telemetry: bool,
-                  sim_core: bool) -> None:
+                  sim_core: bool, dtype_kernel_layer: bool) -> None:
         try:
             text = path.read_text(encoding="utf-8", errors="replace")
         except OSError as err:
@@ -155,6 +172,7 @@ class Linter:
 
         in_block_comment = False
         seen_includes: dict[str, int] = {}
+        recent: list[str] = []  # stripped lines, scalar-hot-loop window
         for lineno, raw in enumerate(lines, start=1):
             line = strip_comments_and_strings(raw)
             # Crude block-comment tracking; enough for this codebase's
@@ -199,6 +217,15 @@ class Linter:
                             "time-source include or std::chrono in "
                             "src/telemetry/; exports must be derived "
                             "from sim ticks only", raw)
+            if not dtype_kernel_layer and SCALAR_CONV_RE.search(line):
+                window = recent[-SCALAR_LOOP_WINDOW:] + [line]
+                if any(LOOP_OPEN_RE.search(l) for l in window):
+                    self.report(path, lineno, "scalar-hot-loop",
+                                "per-element dtype conversion in a "
+                                "loop; use convertBuffer so the batch "
+                                "kernels (core/simd.h) run instead",
+                                raw)
+            recent.append(line)
             if sim_core:
                 m = HEAP_TOP_COPY_RE.search(line)
                 if m and not REF_BIND_RE.search(line[:m.start()]):
@@ -315,7 +342,9 @@ def main(argv: list[str]) -> int:
                      or args.treat_as_src)
         sim_core = (rel_posix.startswith("src/sim/")
                     or args.treat_as_src)
-        linter.lint_file(f, in_src, logging_exempt, telemetry, sim_core)
+        dtype_kernel_layer = rel_posix.startswith("src/tensor/dtype.")
+        linter.lint_file(f, in_src, logging_exempt, telemetry, sim_core,
+                         dtype_kernel_layer)
 
     for path, lineno, rule, detail in linter.violations:
         try:

@@ -1,0 +1,116 @@
+#ifndef MTIA_CORE_NUMERICS_STATS_H_
+#define MTIA_CORE_NUMERICS_STATS_H_
+
+/**
+ * @file
+ * Process-wide counters for the vectorized numerics kernel layer
+ * (dtype conversion, codecs, embedding gather). Header-only so the
+ * kernels in tensor/, host/, and ops/ can note work without linking
+ * telemetry; callers that hold a MetricRegistry publish a snapshot
+ * with publishNumericsMetrics().
+ *
+ * The counters are monotonic totals (relaxed atomics: they are
+ * bandwidth attribution, not synchronization), deterministic for a
+ * deterministic workload, and resettable for tests/benches.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+namespace mtia::numerics {
+
+namespace detail {
+
+inline std::atomic<std::uint64_t> &
+bytesConvertedCounter()
+{
+    static std::atomic<std::uint64_t> c{0};
+    return c;
+}
+
+inline std::atomic<std::uint64_t> &
+bytesCompressedCounter()
+{
+    static std::atomic<std::uint64_t> c{0};
+    return c;
+}
+
+inline std::atomic<std::uint64_t> &
+gatherRowsCounter()
+{
+    static std::atomic<std::uint64_t> c{0};
+    return c;
+}
+
+} // namespace detail
+
+/** Note @p bytes of dtype-conversion input processed by convertBuffer. */
+inline void
+noteBytesConverted(std::uint64_t bytes)
+{
+    detail::bytesConvertedCounter().fetch_add(bytes,
+                                              std::memory_order_relaxed);
+}
+
+/** Note @p bytes of codec input consumed by a compress call. */
+inline void
+noteBytesCompressed(std::uint64_t bytes)
+{
+    detail::bytesCompressedCounter().fetch_add(bytes,
+                                               std::memory_order_relaxed);
+}
+
+/** Note @p rows embedding rows gathered by the TBE kernels. */
+inline void
+noteGatherRows(std::uint64_t rows)
+{
+    detail::gatherRowsCounter().fetch_add(rows,
+                                          std::memory_order_relaxed);
+}
+
+inline std::uint64_t
+bytesConverted()
+{
+    return detail::bytesConvertedCounter().load(std::memory_order_relaxed);
+}
+
+inline std::uint64_t
+bytesCompressed()
+{
+    return detail::bytesCompressedCounter().load(std::memory_order_relaxed);
+}
+
+inline std::uint64_t
+gatherRows()
+{
+    return detail::gatherRowsCounter().load(std::memory_order_relaxed);
+}
+
+/** Zero all numerics counters (tests and bench isolation). */
+inline void
+resetStats()
+{
+    detail::bytesConvertedCounter().store(0, std::memory_order_relaxed);
+    detail::bytesCompressedCounter().store(0, std::memory_order_relaxed);
+    detail::gatherRowsCounter().store(0, std::memory_order_relaxed);
+}
+
+/**
+ * Copy the current totals into @p registry as
+ * numerics.{bytes_converted,bytes_compressed,gather_rows} counters,
+ * following the EventQueue::publishMetrics pattern. Templated so this
+ * header stays free of a telemetry dependency; instantiate with
+ * telemetry::MetricRegistry.
+ */
+template <typename Registry>
+inline void
+publishNumericsMetrics(Registry &registry)
+{
+    registry.counter("numerics.bytes_converted").inc(bytesConverted());
+    registry.counter("numerics.bytes_compressed").inc(bytesCompressed());
+    registry.counter("numerics.gather_rows").inc(gatherRows());
+}
+
+} // namespace mtia::numerics
+
+#endif // MTIA_CORE_NUMERICS_STATS_H_

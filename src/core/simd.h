@@ -1,0 +1,674 @@
+#ifndef MTIA_CORE_SIMD_H_
+#define MTIA_CORE_SIMD_H_
+
+/**
+ * @file
+ * Portable 128-bit SIMD abstraction for the vectorized numerics
+ * kernel layer: four-lane float / int32 vectors over SSE2 or NEON
+ * intrinsics with a scalar fallback, selected at compile time, plus
+ * aligned-buffer and software-prefetch helpers.
+ *
+ * The backend is chosen once per build:
+ *
+ *  - SSE2 on x86-64 (baseline ISA, no -m flags needed),
+ *  - NEON on AArch64,
+ *  - the scalar fallback everywhere else, or anywhere when the CMake
+ *    option MTIA_NO_SIMD is ON (useful to isolate a suspected
+ *    vectorization bug or to benchmark the scalar reference paths).
+ *
+ * Contract: every kernel written on top of this layer must produce
+ * bit-identical results on all three backends. The integer ops are
+ * exact by construction; the float ops (+, -, *) are IEEE-754
+ * single-precision with round-to-nearest-even on every backend, so
+ * lane-for-lane they match the equivalent scalar expression. Lane
+ * reductions (e.g. a running max) reorder only min/max, which are
+ * exact for non-NaN inputs. Kernels must not rely on NaN propagation
+ * through vmin/vmax — SSE2 and NEON disagree there.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <cmath>
+#include <new>
+#include <utility>
+
+#if !defined(MTIA_NO_SIMD) && \
+    (defined(__SSE2__) || defined(_M_X64) || \
+     (defined(_M_IX86_FP) && _M_IX86_FP >= 2))
+#define MTIA_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif !defined(MTIA_NO_SIMD) && defined(__ARM_NEON) && defined(__aarch64__)
+#define MTIA_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define MTIA_SIMD_SCALAR 1
+#endif
+
+namespace mtia::simd {
+
+/** Lanes per vector on every backend. */
+inline constexpr std::size_t kLanes = 4;
+
+/** Alignment of AlignedBuffer storage (one cache line). */
+inline constexpr std::size_t kAlignment = 64;
+
+/** Name of the compiled-in backend ("sse2", "neon", "scalar"). */
+inline const char *
+backendName()
+{
+#if defined(MTIA_SIMD_SSE2)
+    return "sse2";
+#elif defined(MTIA_SIMD_NEON)
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+/** Hint the cache that @p p will be read soon (no-op where unsupported). */
+inline void
+prefetch(const void *p)
+{
+#if defined(MTIA_SIMD_SSE2)
+    _mm_prefetch(static_cast<const char *>(p), _MM_HINT_T0);
+#elif defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p, 0, 3);
+#else
+    (void)p;
+#endif
+}
+
+struct VecF32;
+
+/** Four-lane 32-bit integer vector (also the mask type: a comparison
+ * yields all-ones / all-zeros lanes). */
+struct VecI32
+{
+#if defined(MTIA_SIMD_SSE2)
+    __m128i v;
+#elif defined(MTIA_SIMD_NEON)
+    int32x4_t v;
+#else
+    std::int32_t v[4];
+#endif
+
+    static VecI32
+    broadcast(std::int32_t x)
+    {
+#if defined(MTIA_SIMD_SSE2)
+        return {_mm_set1_epi32(x)};
+#elif defined(MTIA_SIMD_NEON)
+        return {vdupq_n_s32(x)};
+#else
+        return {{x, x, x, x}};
+#endif
+    }
+
+    /** Broadcast a bit pattern given as unsigned (avoids UB-ish casts
+     * at call sites full of 0x8000'0000-style constants). */
+    static VecI32
+    broadcastBits(std::uint32_t x)
+    {
+        return broadcast(static_cast<std::int32_t>(x));
+    }
+
+    static VecI32
+    load(const std::int32_t *p)
+    {
+#if defined(MTIA_SIMD_SSE2)
+        return {_mm_loadu_si128(reinterpret_cast<const __m128i *>(p))};
+#elif defined(MTIA_SIMD_NEON)
+        return {vld1q_s32(p)};
+#else
+        VecI32 r;
+        std::memcpy(r.v, p, sizeof(r.v));
+        return r;
+#endif
+    }
+
+    void
+    store(std::int32_t *p) const
+    {
+#if defined(MTIA_SIMD_SSE2)
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(p), v);
+#elif defined(MTIA_SIMD_NEON)
+        vst1q_s32(p, v);
+#else
+        std::memcpy(p, v, sizeof(v));
+#endif
+    }
+};
+
+/** Four-lane single-precision float vector. */
+struct VecF32
+{
+#if defined(MTIA_SIMD_SSE2)
+    __m128 v;
+#elif defined(MTIA_SIMD_NEON)
+    float32x4_t v;
+#else
+    float v[4];
+#endif
+
+    static VecF32
+    broadcast(float x)
+    {
+#if defined(MTIA_SIMD_SSE2)
+        return {_mm_set1_ps(x)};
+#elif defined(MTIA_SIMD_NEON)
+        return {vdupq_n_f32(x)};
+#else
+        return {{x, x, x, x}};
+#endif
+    }
+
+    static VecF32
+    load(const float *p)
+    {
+#if defined(MTIA_SIMD_SSE2)
+        return {_mm_loadu_ps(p)};
+#elif defined(MTIA_SIMD_NEON)
+        return {vld1q_f32(p)};
+#else
+        VecF32 r;
+        std::memcpy(r.v, p, sizeof(r.v));
+        return r;
+#endif
+    }
+
+    void
+    store(float *p) const
+    {
+#if defined(MTIA_SIMD_SSE2)
+        _mm_storeu_ps(p, v);
+#elif defined(MTIA_SIMD_NEON)
+        vst1q_f32(p, v);
+#else
+        std::memcpy(p, v, sizeof(v));
+#endif
+    }
+};
+
+// ------------------------------------------------------- integer ops
+
+inline VecI32
+operator+(VecI32 a, VecI32 b)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_add_epi32(a.v, b.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vaddq_s32(a.v, b.v)};
+#else
+    VecI32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(a.v[i]) +
+            static_cast<std::uint32_t>(b.v[i]));
+    return r;
+#endif
+}
+
+inline VecI32
+operator-(VecI32 a, VecI32 b)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_sub_epi32(a.v, b.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vsubq_s32(a.v, b.v)};
+#else
+    VecI32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(a.v[i]) -
+            static_cast<std::uint32_t>(b.v[i]));
+    return r;
+#endif
+}
+
+inline VecI32
+operator&(VecI32 a, VecI32 b)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_and_si128(a.v, b.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vandq_s32(a.v, b.v)};
+#else
+    VecI32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = a.v[i] & b.v[i];
+    return r;
+#endif
+}
+
+inline VecI32
+operator|(VecI32 a, VecI32 b)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_or_si128(a.v, b.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vorrq_s32(a.v, b.v)};
+#else
+    VecI32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = a.v[i] | b.v[i];
+    return r;
+#endif
+}
+
+inline VecI32
+operator^(VecI32 a, VecI32 b)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_xor_si128(a.v, b.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {veorq_s32(a.v, b.v)};
+#else
+    VecI32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = a.v[i] ^ b.v[i];
+    return r;
+#endif
+}
+
+/** b & ~a (operand order matches _mm_andnot). */
+inline VecI32
+andnot(VecI32 a, VecI32 b)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_andnot_si128(a.v, b.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vbicq_s32(b.v, a.v)};
+#else
+    VecI32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = b.v[i] & ~a.v[i];
+    return r;
+#endif
+}
+
+template <int N>
+inline VecI32
+shiftLeft(VecI32 a)
+{
+    static_assert(N >= 0 && N < 32);
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_slli_epi32(a.v, N)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vshlq_n_s32(a.v, N)};
+#else
+    VecI32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(a.v[i]) << N);
+    return r;
+#endif
+}
+
+/** Logical (zero-filling) right shift. */
+template <int N>
+inline VecI32
+shiftRightLogical(VecI32 a)
+{
+    static_assert(N >= 0 && N < 32);
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_srli_epi32(a.v, N)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vreinterpretq_s32_u32(
+        vshrq_n_u32(vreinterpretq_u32_s32(a.v), N))};
+#else
+    VecI32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(a.v[i]) >> N);
+    return r;
+#endif
+}
+
+/** Signed (>) lane compare: all-ones lane where a > b. */
+inline VecI32
+cmpGt(VecI32 a, VecI32 b)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_cmpgt_epi32(a.v, b.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vreinterpretq_s32_u32(vcgtq_s32(a.v, b.v))};
+#else
+    VecI32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = a.v[i] > b.v[i] ? -1 : 0;
+    return r;
+#endif
+}
+
+inline VecI32
+cmpEq(VecI32 a, VecI32 b)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_cmpeq_epi32(a.v, b.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vreinterpretq_s32_u32(vceqq_s32(a.v, b.v))};
+#else
+    VecI32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = a.v[i] == b.v[i] ? -1 : 0;
+    return r;
+#endif
+}
+
+/** Per-lane select: mask lane all-ones -> a, zeros -> b. */
+inline VecI32
+select(VecI32 mask, VecI32 a, VecI32 b)
+{
+#if defined(MTIA_SIMD_NEON)
+    return {vbslq_s32(vreinterpretq_u32_s32(mask.v), a.v, b.v)};
+#else
+    return (a & mask) | andnot(mask, b);
+#endif
+}
+
+// --------------------------------------------------------- float ops
+
+inline VecF32
+operator+(VecF32 a, VecF32 b)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_add_ps(a.v, b.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vaddq_f32(a.v, b.v)};
+#else
+    VecF32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = a.v[i] + b.v[i];
+    return r;
+#endif
+}
+
+inline VecF32
+operator-(VecF32 a, VecF32 b)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_sub_ps(a.v, b.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vsubq_f32(a.v, b.v)};
+#else
+    VecF32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = a.v[i] - b.v[i];
+    return r;
+#endif
+}
+
+inline VecF32
+operator*(VecF32 a, VecF32 b)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_mul_ps(a.v, b.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vmulq_f32(a.v, b.v)};
+#else
+    VecF32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = a.v[i] * b.v[i];
+    return r;
+#endif
+}
+
+/** Per-lane min; exact for non-NaN inputs (NaN lanes unspecified). */
+inline VecF32
+vmin(VecF32 a, VecF32 b)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_min_ps(a.v, b.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vminq_f32(a.v, b.v)};
+#else
+    VecF32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = a.v[i] < b.v[i] ? a.v[i] : b.v[i];
+    return r;
+#endif
+}
+
+/** Per-lane max; exact for non-NaN inputs (NaN lanes unspecified). */
+inline VecF32
+vmax(VecF32 a, VecF32 b)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_max_ps(a.v, b.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vmaxq_f32(a.v, b.v)};
+#else
+    VecF32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+    return r;
+#endif
+}
+
+// ------------------------------------------------------- conversions
+
+inline VecI32
+bitcastToI32(VecF32 a)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_castps_si128(a.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vreinterpretq_s32_f32(a.v)};
+#else
+    VecI32 r;
+    std::memcpy(r.v, a.v, sizeof(r.v));
+    return r;
+#endif
+}
+
+inline VecF32
+bitcastToF32(VecI32 a)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_castsi128_ps(a.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vreinterpretq_f32_s32(a.v)};
+#else
+    VecF32 r;
+    std::memcpy(r.v, a.v, sizeof(r.v));
+    return r;
+#endif
+}
+
+/**
+ * Float -> int32 with round-to-nearest-even (the default FP rounding
+ * mode, matching std::nearbyint). @pre every lane is finite and fits
+ * an int32 after rounding.
+ */
+inline VecI32
+toI32Rtne(VecF32 a)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_cvtps_epi32(a.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vcvtnq_s32_f32(a.v)};
+#else
+    VecI32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = static_cast<std::int32_t>(std::nearbyintf(a.v[i]));
+    return r;
+#endif
+}
+
+/** Exact int32 -> float conversion (|lane| < 2^24 stays exact). */
+inline VecF32
+toF32(VecI32 a)
+{
+#if defined(MTIA_SIMD_SSE2)
+    return {_mm_cvtepi32_ps(a.v)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vcvtq_f32_s32(a.v)};
+#else
+    VecF32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = static_cast<float>(a.v[i]);
+    return r;
+#endif
+}
+
+// ------------------------------------------------ narrow/widen stores
+
+/** Zero-extend four uint16 values into int32 lanes. */
+inline VecI32
+loadU16AsI32(const std::uint16_t *p)
+{
+#if defined(MTIA_SIMD_SSE2)
+    const __m128i v =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(p));
+    return {_mm_unpacklo_epi16(v, _mm_setzero_si128())};
+#elif defined(MTIA_SIMD_NEON)
+    return {vreinterpretq_s32_u32(vmovl_u16(vld1_u16(p)))};
+#else
+    VecI32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = static_cast<std::int32_t>(p[i]);
+    return r;
+#endif
+}
+
+/** Sign-extend four int8 values into int32 lanes. */
+inline VecI32
+loadI8AsI32(const std::uint8_t *p)
+{
+#if defined(MTIA_SIMD_SSE2)
+    std::int32_t packed;
+    std::memcpy(&packed, p, 4);
+    __m128i v = _mm_cvtsi32_si128(packed);
+    v = _mm_unpacklo_epi8(v, v);
+    v = _mm_unpacklo_epi16(v, v);
+    return {_mm_srai_epi32(v, 24)};
+#else
+    VecI32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = static_cast<std::int8_t>(p[i]);
+    return r;
+#endif
+}
+
+/** Store the low 16 bits of eight int32 lanes (a then b) as uint16. */
+inline void
+storeLow16(VecI32 a, VecI32 b, std::uint16_t *dst)
+{
+#if defined(MTIA_SIMD_SSE2)
+    // SSE2 lacks an unsigned 32->16 pack; bias into the signed range,
+    // pack with (exact, unsaturated) signed saturation, bias back.
+    const __m128i bias32 = _mm_set1_epi32(0x8000);
+    const __m128i bias16 = _mm_set1_epi16(static_cast<short>(0x8000));
+    __m128i p = _mm_packs_epi32(_mm_sub_epi32(a.v, bias32),
+                                _mm_sub_epi32(b.v, bias32));
+    p = _mm_add_epi16(p, bias16);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(dst), p);
+#elif defined(MTIA_SIMD_NEON)
+    const uint16x4_t lo = vmovn_u32(vreinterpretq_u32_s32(a.v));
+    const uint16x4_t hi = vmovn_u32(vreinterpretq_u32_s32(b.v));
+    vst1q_u16(dst, vcombine_u16(lo, hi));
+#else
+    for (std::size_t i = 0; i < kLanes; ++i) {
+        dst[i] = static_cast<std::uint16_t>(a.v[i]);
+        dst[i + kLanes] = static_cast<std::uint16_t>(b.v[i]);
+    }
+#endif
+}
+
+/** Store sixteen int32 lanes as int8 with signed saturation
+ * (clamp to [-128, 127]), a..d in order. */
+inline void
+storeI8Saturate(VecI32 a, VecI32 b, VecI32 c, VecI32 d, std::uint8_t *dst)
+{
+#if defined(MTIA_SIMD_SSE2)
+    const __m128i s16lo = _mm_packs_epi32(a.v, b.v);
+    const __m128i s16hi = _mm_packs_epi32(c.v, d.v);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(dst),
+                     _mm_packs_epi16(s16lo, s16hi));
+#elif defined(MTIA_SIMD_NEON)
+    const int16x8_t s16lo =
+        vcombine_s16(vqmovn_s32(a.v), vqmovn_s32(b.v));
+    const int16x8_t s16hi =
+        vcombine_s16(vqmovn_s32(c.v), vqmovn_s32(d.v));
+    const int8x16_t s8 =
+        vcombine_s8(vqmovn_s16(s16lo), vqmovn_s16(s16hi));
+    vst1q_s8(reinterpret_cast<std::int8_t *>(dst), s8);
+#else
+    const VecI32 lanes[4] = {a, b, c, d};
+    for (std::size_t g = 0; g < 4; ++g) {
+        for (std::size_t i = 0; i < kLanes; ++i) {
+            std::int32_t x = lanes[g].v[i];
+            x = x < -128 ? -128 : (x > 127 ? 127 : x);
+            dst[g * kLanes + i] = static_cast<std::uint8_t>(
+                static_cast<std::int8_t>(x));
+        }
+    }
+#endif
+}
+
+// ---------------------------------------------------- aligned buffer
+
+/**
+ * Cache-line-aligned uninitialized-then-zeroed array of a trivially
+ * copyable type; move-only. Aligned stores/loads stay on one line and
+ * prefetches cover whole rows.
+ */
+template <typename T> class AlignedBuffer
+{
+  public:
+    AlignedBuffer() = default;
+
+    explicit AlignedBuffer(std::size_t n) : n_(n)
+    {
+        if (n_ == 0)
+            return;
+        ptr_ = static_cast<T *>(::operator new(
+            n_ * sizeof(T), std::align_val_t{kAlignment}));
+        std::memset(static_cast<void *>(ptr_), 0, n_ * sizeof(T));
+    }
+
+    AlignedBuffer(AlignedBuffer &&o) noexcept
+        : ptr_(std::exchange(o.ptr_, nullptr)),
+          n_(std::exchange(o.n_, 0))
+    {
+    }
+
+    AlignedBuffer &
+    operator=(AlignedBuffer &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            ptr_ = std::exchange(o.ptr_, nullptr);
+            n_ = std::exchange(o.n_, 0);
+        }
+        return *this;
+    }
+
+    AlignedBuffer(const AlignedBuffer &) = delete;
+    AlignedBuffer &operator=(const AlignedBuffer &) = delete;
+
+    ~AlignedBuffer() { release(); }
+
+    T *data() { return ptr_; }
+    const T *data() const { return ptr_; }
+    std::size_t size() const { return n_; }
+    T &operator[](std::size_t i) { return ptr_[i]; }
+    const T &operator[](std::size_t i) const { return ptr_[i]; }
+
+  private:
+    void
+    release()
+    {
+        if (ptr_ != nullptr)
+            ::operator delete(ptr_, std::align_val_t{kAlignment});
+        ptr_ = nullptr;
+    }
+
+    T *ptr_ = nullptr;
+    std::size_t n_ = 0;
+};
+
+} // namespace mtia::simd
+
+#endif // MTIA_CORE_SIMD_H_

@@ -15,6 +15,14 @@
  *
  * Both are real encoders/decoders with exact round-trip tests; the
  * benches measure genuine ratios on synthetic weight/input data.
+ *
+ * The rANS container is format-versioned: streams written by the seed
+ * codec (v1, single encoder state) start with their uncompressed
+ * length, while v2 streams (four interleaved encoder states, the
+ * default — the per-symbol decode dependency chain is the bottleneck,
+ * and four states give the CPU four independent chains) start with a
+ * 0xFFFFFFFF sentinel + version byte. decompress() sniffs the header,
+ * so old golden data keeps decoding bit-exactly.
  */
 
 #include <cstdint>
@@ -25,6 +33,12 @@ namespace mtia {
 /** Byte buffer alias used by the codecs. */
 using ByteBuffer = std::vector<std::uint8_t>;
 
+/** rANS container format selector (see file comment). */
+enum class RansFormat : std::uint8_t {
+    V1Scalar = 1,      ///< seed format: one encoder state per block
+    V2Interleaved = 2, ///< four interleaved states per block (default)
+};
+
 /**
  * Order-0 rANS codec with per-block frequency tables (64 KiB blocks,
  * 12-bit probability resolution).
@@ -33,9 +47,11 @@ class RansCodec
 {
   public:
     /** Compress @p input; the result always round-trips. */
-    static ByteBuffer compress(const ByteBuffer &input);
+    static ByteBuffer compress(const ByteBuffer &input,
+                               RansFormat format =
+                                   RansFormat::V2Interleaved);
 
-    /** Decompress a buffer produced by compress(). */
+    /** Decompress a buffer produced by compress() (any format). */
     static ByteBuffer decompress(const ByteBuffer &input);
 
     /** compressed/original size; > 1 means expansion. */
@@ -46,13 +62,18 @@ class RansCodec
 };
 
 /**
- * LZ4-flavoured LZ77 codec: greedy matching against a 64 KiB window
- * with token/extension encoding. Fast-path analog of the GZIP engine.
+ * LZ4-flavoured LZ77 codec matching against a 64 KiB window with
+ * token/extension encoding. Fast-path analog of the GZIP engine.
+ * compress() finds matches with a hash-chain matcher (bounded
+ * candidate walk per position); compressGreedy() is the seed
+ * single-entry-hash greedy matcher kept as the reference. Both emit
+ * the same stream format and decompress() reads either.
  */
 class LzCodec
 {
   public:
     static ByteBuffer compress(const ByteBuffer &input);
+    static ByteBuffer compressGreedy(const ByteBuffer &input);
     static ByteBuffer decompress(const ByteBuffer &input);
     static double ratio(const ByteBuffer &input);
 };

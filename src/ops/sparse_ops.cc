@@ -1,9 +1,13 @@
 #include "ops/sparse_ops.h"
 
 #include <cmath>
+#include <memory>
+#include <unordered_map>
 
 #include "mem/llc.h"
 #include "core/check.h"
+#include "core/numerics_stats.h"
+#include "core/simd.h"
 
 namespace mtia {
 
@@ -21,7 +25,68 @@ mix(std::uint64_t x)
     return x;
 }
 
+/** Cap on materialized embedding rows kept across a TbeOp::run (the
+ * Zipf head; ~8 MB at dim 64). Beyond it rows are synthesized into a
+ * per-group scratch arena. */
+constexpr std::size_t kMaxCachedRows = 1u << 15;
+
 } // namespace
+
+namespace tbe_kernels {
+
+void
+gatherAccumulateScalar(const float *const *rows, const float *weights,
+                       std::size_t count, std::int64_t dim, float *out)
+{
+    for (std::size_t p = 0; p < count; ++p) {
+        const float w = weights[p];
+        const float *row = rows[p];
+        for (std::int64_t d = 0; d < dim; ++d) {
+            // Separate multiply and add statements so no FMA
+            // contraction can change the rounding vs the vector path.
+            const float prod = w * row[d];
+            out[d] = out[d] + prod;
+        }
+    }
+}
+
+void
+gatherAccumulate(const float *const *rows, const float *weights,
+                 std::size_t count, std::int64_t dim, float *out)
+{
+    using simd::VecF32;
+    constexpr std::size_t kLookahead = 4;
+    constexpr std::int64_t kFloatsPerLine = 16;
+    for (std::size_t p = 0; p < count; ++p) {
+        if (p + kLookahead < count) {
+            const float *next = rows[p + kLookahead];
+            for (std::int64_t off = 0; off < dim; off += kFloatsPerLine)
+                simd::prefetch(next + off);
+        }
+        const float *row = rows[p];
+        const VecF32 w = VecF32::broadcast(weights[p]);
+        std::int64_t d = 0;
+        for (; d + 2 * static_cast<std::int64_t>(simd::kLanes) <= dim;
+             d += 2 * static_cast<std::int64_t>(simd::kLanes)) {
+            const auto l = static_cast<std::int64_t>(simd::kLanes);
+            (VecF32::load(out + d) + VecF32::load(row + d) * w)
+                .store(out + d);
+            (VecF32::load(out + d + l) + VecF32::load(row + d + l) * w)
+                .store(out + d + l);
+        }
+        for (; d + static_cast<std::int64_t>(simd::kLanes) <= dim;
+             d += static_cast<std::int64_t>(simd::kLanes)) {
+            (VecF32::load(out + d) + VecF32::load(row + d) * w)
+                .store(out + d);
+        }
+        for (; d < dim; ++d) {
+            const float prod = weights[p] * row[d];
+            out[d] = out[d] + prod;
+        }
+    }
+}
+
+} // namespace tbe_kernels
 
 TbeOp::TbeOp(TbeTableSpec spec, std::int64_t batch, std::int64_t pooling,
              bool weighted, std::uint64_t table_seed)
@@ -58,23 +123,77 @@ TbeOp::run(const std::vector<Tensor> &, OpContext &ctx) const
     ZipfSampler zipf(static_cast<std::uint64_t>(spec_.rows_per_table),
                      spec_.zipf_alpha);
     Tensor out(Shape{batch_, spec_.tables * spec_.dim}, DType::FP32);
+    auto *outf = reinterpret_cast<float *>(out.raw().data());
+
+    const auto udim = static_cast<std::size_t>(spec_.dim);
+    const auto pool = static_cast<std::size_t>(pooling_);
+
+    // Synthesize an embedding row once and gather it by pointer. The
+    // per-element math matches rowValue exactly (the (table, row)
+    // hash terms are merely hoisted out of the column loop), so the
+    // accumulated output is bit-identical to the seed per-element
+    // loop. Zipf reuse makes the cache hit for the popular head.
+    auto synthesize = [&](float *dst, std::int64_t t, std::int64_t row) {
+        const std::uint64_t base = table_seed_ ^
+            mix(static_cast<std::uint64_t>(t) << 40) ^
+            mix(static_cast<std::uint64_t>(row) << 8);
+        for (std::int64_t d = 0; d < spec_.dim; ++d) {
+            const std::uint64_t h =
+                mix(base ^ static_cast<std::uint64_t>(d));
+            const double u =
+                static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+            dst[d] = static_cast<float>(u * 0.17);
+        }
+    };
+
+    std::unordered_map<std::uint64_t, std::size_t> slot_of;
+    std::vector<std::unique_ptr<float[]>> cached;
+    std::vector<float> arena(pool * udim); // cap-overflow scratch
+    std::vector<std::int64_t> rows(pool);
+    std::vector<float> weights(pool);
+    std::vector<const float *> ptrs(pool);
+
+    std::uint64_t gathered = 0;
     for (std::int64_t b = 0; b < batch_; ++b) {
         for (std::int64_t t = 0; t < spec_.tables; ++t) {
-            for (std::int64_t p = 0; p < pooling_; ++p) {
-                const auto row = static_cast<std::int64_t>(
-                    zipf.sample(*ctx.rng));
-                const float w = weighted_
+            // Sample all (row, weight) pairs first, in the exact rng
+            // order of the seed loop.
+            for (std::size_t p = 0; p < pool; ++p) {
+                rows[p] =
+                    static_cast<std::int64_t>(zipf.sample(*ctx.rng));
+                weights[p] = weighted_
                     ? static_cast<float>(ctx.rng->uniform(0.5, 1.5))
                     : 1.0f;
-                for (std::int64_t d = 0; d < spec_.dim; ++d) {
-                    const std::int64_t idx =
-                        b * spec_.tables * spec_.dim + t * spec_.dim + d;
-                    out.set(idx, out.at(idx) +
-                                     w * rowValue(t, row, d));
+            }
+            std::size_t arena_used = 0;
+            for (std::size_t p = 0; p < pool; ++p) {
+                const std::uint64_t key =
+                    static_cast<std::uint64_t>(t) *
+                        static_cast<std::uint64_t>(spec_.rows_per_table) +
+                    static_cast<std::uint64_t>(rows[p]);
+                const auto it = slot_of.find(key);
+                if (it != slot_of.end()) {
+                    ptrs[p] = cached[it->second].get();
+                } else if (cached.size() < kMaxCachedRows) {
+                    cached.emplace_back(new float[udim]);
+                    synthesize(cached.back().get(), t, rows[p]);
+                    slot_of.emplace(key, cached.size() - 1);
+                    ptrs[p] = cached.back().get();
+                } else {
+                    float *dst = arena.data() + arena_used;
+                    synthesize(dst, t, rows[p]);
+                    ptrs[p] = dst;
+                    arena_used += udim;
                 }
             }
+            float *dst =
+                outf + (b * spec_.tables + t) * spec_.dim;
+            tbe_kernels::gatherAccumulate(ptrs.data(), weights.data(),
+                                          pool, spec_.dim, dst);
+            gathered += pool;
         }
     }
+    numerics::noteGatherRows(gathered);
     return out;
 }
 

@@ -17,6 +17,25 @@
 
 namespace mtia {
 
+namespace tbe_kernels {
+
+/**
+ * Accumulate @p count weighted embedding rows into one output row:
+ * out[d] += weights[p] * rows[p][d] for p in order. Blocked over the
+ * embedding dimension with software prefetch of upcoming rows;
+ * bit-identical to gatherAccumulateScalar (separate multiply and add,
+ * accumulation order over p preserved).
+ */
+void gatherAccumulate(const float *const *rows, const float *weights,
+                      std::size_t count, std::int64_t dim, float *out);
+
+/** Element-at-a-time reference for gatherAccumulate. */
+void gatherAccumulateScalar(const float *const *rows,
+                            const float *weights, std::size_t count,
+                            std::int64_t dim, float *out);
+
+} // namespace tbe_kernels
+
 /** Static description of one group of embedding tables. */
 struct TbeTableSpec
 {

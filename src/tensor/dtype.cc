@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/numerics_stats.h"
+#include "core/simd.h"
 
 namespace mtia {
 
@@ -154,5 +156,228 @@ roundTrip(float f, DType t)
     }
     MTIA_UNREACHABLE("roundTrip: unknown dtype");
 }
+
+// ------------------------------------------------------ batch kernels
+
+namespace {
+
+using simd::VecF32;
+using simd::VecI32;
+
+/**
+ * Branch-free fp32 -> fp16 for four lanes of fp32 bit patterns.
+ * Bit-identical to fp32ToFp16Bits (proof sketch per case):
+ *
+ *  - NaN (absx > 0x7f800000): 0x7e00 | (mant >> 13) equals
+ *    0x7c00 | 0x0200 | (mant >> 13) — payload preserved, quiet bit
+ *    set, exactly the scalar path.
+ *  - Inf / overflow (absx >= 0x47800000, i.e. > 65504 + last-ulp
+ *    rounding range): 0x7c00. The scalar path reaches infinity either
+ *    through exp16 >= 0x1f or rounding carry; inputs in
+ *    [0x477ff000, 0x47800000) carry to 0x7c00 inside the normal-path
+ *    integer add below, so the explicit overflow select only needs to
+ *    start at 0x47800000.
+ *  - Subnormal (absx < 0x38800000 = 2^-14): the denormal-magic float
+ *    add. absx reinterpreted as a float lies in [0, 2^-14); adding
+ *    0.5f aligns its mantissa to the fp16-denormal grid with a single
+ *    IEEE RTNE rounding (ulp(0.5) = 2^-24 = one fp16-denormal step),
+ *    and subtracting the bits of 0.5 leaves exactly the 11 result
+ *    bits. Covers ±0, the 2^-25 tie-to-zero, and the exp16 < -10
+ *    flush that the scalar path special-cases.
+ *  - Normal: absx + ((15-127) << 23) + 0xfff + lsb(absx >> 13), then
+ *    >> 13: the +0xfff+lsb add is RTNE on the low 13 bits (carry
+ *    propagates into the exponent field exactly like the scalar
+ *    half == 0x400 fixup).
+ */
+inline VecI32
+fp16FromFp32Vec(VecI32 x)
+{
+    const VecI32 sign = x & VecI32::broadcastBits(0x80000000u);
+    const VecI32 absx = x & VecI32::broadcastBits(0x7fffffffu);
+
+    const VecI32 is_nan =
+        simd::cmpGt(absx, VecI32::broadcastBits(0x7f800000u));
+    const VecI32 nan16 = VecI32::broadcastBits(0x7e00u) |
+        simd::shiftRightLogical<13>(x & VecI32::broadcastBits(0x7fffffu));
+
+    const VecI32 is_ovf =
+        simd::cmpGt(absx, VecI32::broadcastBits(0x477fffffu));
+    const VecI32 is_sub =
+        simd::cmpGt(VecI32::broadcastBits(0x38800000u), absx);
+
+    const VecI32 odd =
+        simd::shiftRightLogical<13>(absx) & VecI32::broadcastBits(1u);
+    const VecI32 norm = simd::shiftRightLogical<13>(
+        absx + VecI32::broadcastBits(0xc8000fffu) + odd);
+
+    const VecF32 magic = simd::bitcastToF32(
+        VecI32::broadcastBits(0x3f000000u)); // 0.5f
+    const VecI32 sub =
+        simd::bitcastToI32(simd::bitcastToF32(absx) + magic) -
+        VecI32::broadcastBits(0x3f000000u);
+
+    VecI32 r = simd::select(is_sub, sub, norm);
+    r = simd::select(is_ovf, VecI32::broadcastBits(0x7c00u), r);
+    r = simd::select(is_nan, nan16, r);
+    return r | simd::shiftRightLogical<16>(sign);
+}
+
+/**
+ * Branch-free fp16 -> fp32 for four lanes of zero-extended fp16 bit
+ * patterns. Shift the exponent+mantissa into fp32 position and
+ * rebias; Inf/NaN lanes get the rest of the exponent rebias (payload
+ * and quietness preserved, matching the scalar mant << 13); zero and
+ * denormal lanes are fixed up with one exact float subtract of 2^-14
+ * (the magic re-normalizes 0..2^10-1 denormal mantissas with no
+ * rounding, reproducing the scalar normalization loop).
+ */
+inline VecI32
+fp32FromFp16Vec(VecI32 h)
+{
+    const VecI32 sign =
+        simd::shiftLeft<16>(h & VecI32::broadcastBits(0x8000u));
+    const VecI32 em =
+        simd::shiftLeft<13>(h & VecI32::broadcastBits(0x7fffu));
+    const VecI32 exp = em & VecI32::broadcastBits(0x0f800000u);
+
+    const VecI32 rebias = VecI32::broadcastBits(
+        static_cast<std::uint32_t>(127 - 15) << 23);
+    const VecI32 o = em + rebias;
+
+    const VecI32 is_infnan =
+        simd::cmpEq(exp, VecI32::broadcastBits(0x0f800000u));
+    const VecI32 o_infnan = o + rebias;
+
+    const VecI32 is_subz = simd::cmpEq(exp, VecI32::broadcastBits(0u));
+    const VecF32 magic = simd::bitcastToF32(
+        VecI32::broadcastBits(0x38800000u)); // 2^-14
+    const VecI32 o_sub = simd::bitcastToI32(
+        simd::bitcastToF32(o + VecI32::broadcastBits(1u << 23)) - magic);
+
+    VecI32 r = simd::select(is_infnan, o_infnan, o);
+    r = simd::select(is_subz, o_sub, r);
+    return r | sign;
+}
+
+/**
+ * Branch-free fp32 -> bf16: RTNE on the truncated 16 bits via the
+ * same +0x7fff+lsb integer add as the scalar path; NaN lanes get the
+ * scalar's truncate-and-quiet treatment instead.
+ */
+inline VecI32
+bf16FromFp32Vec(VecI32 x)
+{
+    const VecI32 absx = x & VecI32::broadcastBits(0x7fffffffu);
+    const VecI32 is_nan =
+        simd::cmpGt(absx, VecI32::broadcastBits(0x7f800000u));
+    const VecI32 nan16 =
+        simd::shiftRightLogical<16>(x) | VecI32::broadcastBits(0x0040u);
+    const VecI32 odd =
+        simd::shiftRightLogical<16>(x) & VecI32::broadcastBits(1u);
+    const VecI32 rne = simd::shiftRightLogical<16>(
+        x + VecI32::broadcastBits(0x7fffu) + odd);
+    return simd::select(is_nan, nan16, rne);
+}
+
+template <VecI32 (&Kernel)(VecI32), std::uint16_t (&Ref)(float)>
+void
+narrowBuffer(const float *src, std::uint16_t *dst, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 2 * simd::kLanes <= n; i += 2 * simd::kLanes) {
+        const VecI32 a =
+            Kernel(simd::bitcastToI32(VecF32::load(src + i)));
+        const VecI32 b = Kernel(
+            simd::bitcastToI32(VecF32::load(src + i + simd::kLanes)));
+        simd::storeLow16(a, b, dst + i);
+    }
+    for (; i < n; ++i)
+        dst[i] = Ref(src[i]);
+}
+
+template <float (&Ref)(std::uint16_t)>
+void
+widenBuffer(const std::uint16_t *src, float *dst, std::size_t n,
+            bool bf16)
+{
+    std::size_t i = 0;
+    if (bf16) {
+        for (; i + simd::kLanes <= n; i += simd::kLanes) {
+            const VecI32 h = simd::loadU16AsI32(src + i);
+            simd::bitcastToF32(simd::shiftLeft<16>(h)).store(dst + i);
+        }
+    } else {
+        for (; i + simd::kLanes <= n; i += simd::kLanes) {
+            const VecI32 h = simd::loadU16AsI32(src + i);
+            simd::bitcastToF32(fp32FromFp16Vec(h)).store(dst + i);
+        }
+    }
+    for (; i < n; ++i)
+        dst[i] = Ref(src[i]);
+}
+
+} // namespace
+
+void
+convertBuffer(const float *src, std::uint16_t *dst, std::size_t n,
+              DType to)
+{
+    MTIA_DCHECK(to == DType::FP16 || to == DType::BF16)
+        << ": convertBuffer target must be a 16-bit float dtype";
+    if (to == DType::FP16)
+        narrowBuffer<fp16FromFp32Vec, fp32ToFp16Bits>(src, dst, n);
+    else
+        narrowBuffer<bf16FromFp32Vec, fp32ToBf16Bits>(src, dst, n);
+    numerics::noteBytesConverted(n * sizeof(float));
+}
+
+void
+convertBuffer(const std::uint16_t *src, float *dst, std::size_t n,
+              DType from)
+{
+    MTIA_DCHECK(from == DType::FP16 || from == DType::BF16)
+        << ": convertBuffer source must be a 16-bit float dtype";
+    if (from == DType::FP16)
+        widenBuffer<fp16BitsToFp32>(src, dst, n, false);
+    else
+        widenBuffer<bf16BitsToFp32>(src, dst, n, true);
+    numerics::noteBytesConverted(n * sizeof(std::uint16_t));
+}
+
+namespace scalar {
+
+void
+convertBuffer(const float *src, std::uint16_t *dst, std::size_t n,
+              DType to)
+{
+    MTIA_DCHECK(to == DType::FP16 || to == DType::BF16)
+        << ": convertBuffer target must be a 16-bit float dtype";
+    if (to == DType::FP16) {
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] = fp32ToFp16Bits(src[i]);
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] = fp32ToBf16Bits(src[i]);
+    }
+    numerics::noteBytesConverted(n * sizeof(float));
+}
+
+void
+convertBuffer(const std::uint16_t *src, float *dst, std::size_t n,
+              DType from)
+{
+    MTIA_DCHECK(from == DType::FP16 || from == DType::BF16)
+        << ": convertBuffer source must be a 16-bit float dtype";
+    if (from == DType::FP16) {
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] = fp16BitsToFp32(src[i]);
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] = bf16BitsToFp32(src[i]);
+    }
+    numerics::noteBytesConverted(n * sizeof(std::uint16_t));
+}
+
+} // namespace scalar
 
 } // namespace mtia

@@ -8,6 +8,22 @@
  * (round-to-nearest-even, denormal and NaN handling) so that numerics
  * experiments — quantization quality, bit-flip injection, A/B parity —
  * measure genuine arithmetic effects.
+ *
+ * Two tiers of API:
+ *
+ *  - per-element fp32ToFp16Bits / fp16BitsToFp32 / fp32ToBf16Bits /
+ *    bf16BitsToFp32 — the branchy scalar reference semantics; fine
+ *    for single values and cold paths;
+ *  - convertBuffer — the batch kernel layer. Branch-free
+ *    (mask/select) round-to-nearest-even over core/simd.h vectors,
+ *    bit-identical to the per-element functions for every input
+ *    including NaN payloads, ±0, denormals, and ties. scalar::
+ *    convertBuffer is the element-at-a-time reference loop the
+ *    equivalence tests and benches compare against.
+ *
+ * Hot loops outside this kernel layer must call convertBuffer, not
+ * the per-element functions (enforced by the scalar-hot-loop rule in
+ * scripts/check_sim_invariants.py).
  */
 
 #include <cstdint>
@@ -40,6 +56,31 @@ float bf16BitsToFp32(std::uint16_t b);
 
 /** Round-trip a float through the given dtype's representation. */
 float roundTrip(float f, DType t);
+
+/**
+ * Bulk fp32 -> half conversion (@p to is FP16 or BF16; anything else
+ * is a contract violation). Bit-identical to calling fp32ToFp16Bits /
+ * fp32ToBf16Bits per element. Buffers must not overlap.
+ */
+void convertBuffer(const float *src, std::uint16_t *dst, std::size_t n,
+                   DType to);
+
+/**
+ * Bulk half -> fp32 widening (@p from is FP16 or BF16). Bit-identical
+ * to the per-element converters. Buffers must not overlap.
+ */
+void convertBuffer(const std::uint16_t *src, float *dst, std::size_t n,
+                   DType from);
+
+namespace scalar {
+
+/** Element-at-a-time reference loops for the batch kernels above. */
+void convertBuffer(const float *src, std::uint16_t *dst, std::size_t n,
+                   DType to);
+void convertBuffer(const std::uint16_t *src, float *dst, std::size_t n,
+                   DType from);
+
+} // namespace scalar
 
 } // namespace mtia
 

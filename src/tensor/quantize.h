@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/check.h"
 #include "tensor/tensor.h"
 
 namespace mtia {
@@ -34,10 +35,15 @@ struct QuantizedTensor
     std::vector<float> scales;   ///< one per row group
     std::int64_t group_rows = 1; ///< rows sharing one scale
 
-    /** Scale applied to row @p r. */
+    /** Scale applied to row @p r (@p r must be a valid row). */
     float scaleFor(std::int64_t r) const
     {
-        return scales[static_cast<std::size_t>(r / group_rows)];
+        MTIA_DCHECK_GE(r, 0) << ": QuantizedTensor::scaleFor row";
+        const auto g = static_cast<std::size_t>(r / group_rows);
+        MTIA_DCHECK_LT(g, scales.size())
+            << ": QuantizedTensor::scaleFor row " << r
+            << " beyond the quantized rows";
+        return scales[g];
     }
 };
 
@@ -74,6 +80,22 @@ double sqnrDb(const Tensor &src, const Tensor &deq);
  * Returns the fraction of L2 norm retained.
  */
 double applyTwoFourSparsity(Tensor &weights);
+
+namespace scalar {
+
+/**
+ * Element-at-a-time reference implementations (the seed code paths)
+ * of dynamic quantization and dequantization. The vectorized
+ * quantizeDynamic / dequantize above are bit-identical to these —
+ * same payload bytes, same scales — which the equivalence tests and
+ * bench/numerics.cc verify.
+ */
+QuantizedTensor quantizeDynamic(const Tensor &src,
+                                QuantGranularity granularity,
+                                std::int64_t group_rows = 1);
+Tensor dequantize(const QuantizedTensor &q);
+
+} // namespace scalar
 
 } // namespace mtia
 

@@ -161,11 +161,36 @@ Tensor::fill(float v)
         set(i, v);
 }
 
+namespace {
+
+inline bool
+isHalfDtype(DType t)
+{
+    return t == DType::FP16 || t == DType::BF16;
+}
+
+} // namespace
+
 Tensor
 Tensor::cast(DType to) const
 {
     Tensor out(shape_, to);
     const std::int64_t n = numel();
+    // fp32 <-> fp16/bf16 casts go through the batch kernels; they are
+    // bit-identical to the per-element at()/set() conversions.
+    if (dtype_ == DType::FP32 && isHalfDtype(to)) {
+        convertBuffer(reinterpret_cast<const float *>(data_.data()),
+                      reinterpret_cast<std::uint16_t *>(out.data_.data()),
+                      static_cast<std::size_t>(n), to);
+        return out;
+    }
+    if (isHalfDtype(dtype_) && to == DType::FP32) {
+        convertBuffer(
+            reinterpret_cast<const std::uint16_t *>(data_.data()),
+            reinterpret_cast<float *>(out.data_.data()),
+            static_cast<std::size_t>(n), dtype_);
+        return out;
+    }
     for (std::int64_t i = 0; i < n; ++i)
         out.set(i, at(i));
     return out;
@@ -176,6 +201,18 @@ Tensor::toFloats() const
 {
     const std::int64_t n = numel();
     std::vector<float> out(static_cast<std::size_t>(n));
+    if (dtype_ == DType::FP32) {
+        if (!out.empty())
+            std::memcpy(out.data(), data_.data(),
+                        out.size() * sizeof(float));
+        return out;
+    }
+    if (isHalfDtype(dtype_)) {
+        convertBuffer(
+            reinterpret_cast<const std::uint16_t *>(data_.data()),
+            out.data(), out.size(), dtype_);
+        return out;
+    }
     for (std::int64_t i = 0; i < n; ++i)
         out[static_cast<std::size_t>(i)] = at(i);
     return out;
@@ -188,6 +225,18 @@ Tensor::fromFloats(const std::vector<float> &vals, Shape shape, DType dtype)
         << ": Tensor::fromFloats value count must match shape "
         << shape.toString();
     Tensor t(std::move(shape), dtype);
+    if (dtype == DType::FP32) {
+        if (!vals.empty())
+            std::memcpy(t.data_.data(), vals.data(),
+                        vals.size() * sizeof(float));
+        return t;
+    }
+    if (isHalfDtype(dtype)) {
+        convertBuffer(vals.data(),
+                      reinterpret_cast<std::uint16_t *>(t.data_.data()),
+                      vals.size(), dtype);
+        return t;
+    }
     for (std::size_t i = 0; i < vals.size(); ++i)
         t.set(static_cast<std::int64_t>(i), vals[i]);
     return t;

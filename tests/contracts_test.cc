@@ -22,6 +22,7 @@
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/stats.h"
+#include "tensor/quantize.h"
 #include "tensor/tensor.h"
 
 namespace mtia {
@@ -132,6 +133,23 @@ TEST(ContractsTensor, FromFloatsRejectsMismatchedShape)
     EXPECT_THROW(
         Tensor::fromFloats({1.0f, 2.0f, 3.0f}, Shape{2, 2}, DType::FP32),
         CheckFailedError);
+}
+
+TEST(ContractsTensor, QuantizedScaleForRejectsOutOfRangeRow)
+{
+#if MTIA_DCHECK_ENABLED
+    ScopedCheckThrow guard;
+    const Tensor act =
+        Tensor::fromFloats({1.0f, -2.0f, 3.0f, -4.0f}, Shape{2, 2},
+                           DType::FP32);
+    const QuantizedTensor q =
+        quantizeDynamic(act, QuantGranularity::PerRow);
+    EXPECT_FLOAT_EQ(q.scaleFor(0), 2.0f / 127.0f);
+    EXPECT_THROW(q.scaleFor(-1), CheckFailedError);
+    EXPECT_THROW(q.scaleFor(2), CheckFailedError);
+#else
+    GTEST_SKIP() << "MTIA_DCHECK compiled out (NDEBUG build)";
+#endif
 }
 
 // ---------------------------------------------------------------- mem
