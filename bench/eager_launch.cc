@@ -10,7 +10,7 @@
 
 #include "bench_report.h"
 #include "bench_util.h"
-#include "core/device.h"
+#include "chip/device.h"
 
 using namespace mtia;
 

@@ -75,8 +75,8 @@ class SeedHeapQueue
     run()
     {
         while (!heap_.empty()) {
-            // sim-lint: allow(heap-top-copy) — this copy-before-pop IS
-            // the baseline behavior under measurement.
+            // This copy-before-pop IS the baseline behavior under
+            // measurement (heap-top-copy only applies to sim core).
             Entry e = heap_.top(); // the deep copy the rewrite removed
             heap_.pop();
             now_ = e.when;

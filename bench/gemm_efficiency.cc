@@ -10,8 +10,8 @@
 
 #include "bench_report.h"
 #include "bench_util.h"
-#include "core/device.h"
-#include "core/kernel_cost_model.h"
+#include "chip/device.h"
+#include "chip/kernel_cost_model.h"
 
 using namespace mtia;
 

@@ -11,7 +11,7 @@
 #include "bench_report.h"
 #include "bench_util.h"
 #include "core/check.h"
-#include "core/kernel_cost_model.h"
+#include "chip/kernel_cost_model.h"
 #include "core/parallel.h"
 #include "fleet/memory_error_study.h"
 #include "graph/fusion.h"

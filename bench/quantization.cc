@@ -11,7 +11,7 @@
 
 #include "bench_report.h"
 #include "bench_util.h"
-#include "core/kernel_cost_model.h"
+#include "chip/kernel_cost_model.h"
 #include "graph/fusion.h"
 #include "graph/graph_cost.h"
 #include "models/model_zoo.h"

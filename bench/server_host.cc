@@ -12,7 +12,7 @@
 #include "autotune/sharding.h"
 #include "bench_report.h"
 #include "bench_util.h"
-#include "core/device.h"
+#include "chip/device.h"
 #include "host/pcie.h"
 
 using namespace mtia;

@@ -10,7 +10,7 @@
 
 #include "bench_report.h"
 #include "bench_util.h"
-#include "core/kernel_cost_model.h"
+#include "chip/kernel_cost_model.h"
 #include "pe/dpe.h"
 #include "tensor/quantize.h"
 

@@ -10,7 +10,7 @@
 
 #include "bench_report.h"
 #include "bench_util.h"
-#include "core/chip_config.h"
+#include "chip/chip_config.h"
 
 using namespace mtia;
 

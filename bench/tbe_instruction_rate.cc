@@ -9,8 +9,8 @@
 
 #include "bench_report.h"
 #include "bench_util.h"
-#include "core/device.h"
-#include "core/kernel_cost_model.h"
+#include "chip/device.h"
+#include "chip/kernel_cost_model.h"
 #include "pe/command_processor.h"
 
 using namespace mtia;

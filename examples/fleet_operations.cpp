@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "core/device.h"
+#include "chip/device.h"
 #include "fleet/firmware.h"
 #include "fleet/memory_error_study.h"
 #include "fleet/overclocking.h"

@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "core/device.h"
+#include "chip/device.h"
 #include "graph/executor.h"
 #include "graph/fusion.h"
 #include "graph/graph_cost.h"

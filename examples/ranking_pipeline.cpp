@@ -10,7 +10,7 @@
 
 #include "autotune/coalescing_tuner.h"
 #include "autotune/sharding.h"
-#include "core/device.h"
+#include "chip/device.h"
 #include "graph/fusion.h"
 #include "graph/graph_cost.h"
 #include "models/model_zoo.h"

@@ -46,8 +46,17 @@ silently break those properties:
                   batch kernels instead of the branchy scalar path
                   once per element.
 
+  bare-allow      a sim-lint suppression comment with nothing after
+                  the closing parenthesis — every allow must carry a
+                  trailing justification so the reason survives next
+                  to the suppression.
+
 Suppress a false positive by appending  // sim-lint: allow(<rule>)
-to the offending line.
+followed by a short justification to the offending line.
+
+The compiled analyzer (tools/mtia-lint) implements these same rules
+at token level plus cross-TU checks; scripts/lint_parity.py holds the
+two tools to identical findings on tests/lint_fixtures/shared/.
 
 Usage:
   scripts/check_sim_invariants.py [--root DIR] [PATH ...]
@@ -120,33 +129,83 @@ SIDE_EFFECT_RE = re.compile(
 )
 
 
-def strip_comments_and_strings(line: str) -> str:
-    """Blank out string/char literals and // comments (keeps length)."""
-    out = []
+def strip_source(text: str) -> list[str]:
+    """Blank out comments and string/char-literal contents, whole file.
+
+    Handles what a per-line pass cannot: multi-line /* */ block
+    comments, raw string literals R"delim(...)delim" spanning lines,
+    and quotes inside comments. Newlines are preserved so the result
+    splits back into the original line structure; quote characters
+    and raw-string brackets are kept so downstream regexes still see
+    "a string was here". This mirrors the token-level view of
+    tools/mtia-lint, which is what keeps the two linters in
+    agreement.
+    """
+    out: list[str] = []
     i = 0
-    n = len(line)
-    quote = None
+    n = len(text)
     while i < n:
-        c = line[i]
-        if quote:
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            out.append(" " if c != quote else c)
-            if c == quote:
-                quote = None
-            i += 1
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
             continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            out.append("  ")
+            i += 2
+            while i < n:
+                if text[i] == "*" and i + 1 < n and text[i + 1] == "/":
+                    out.append("  ")
+                    i += 2
+                    break
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            continue
+        if (c == "R" and i + 1 < n and text[i + 1] == '"'
+                and (i == 0
+                     or not (text[i - 1].isalnum() or text[i - 1] == "_")
+                     or text[i - 1] in "uUL8")):
+            open_paren = text.find("(", i + 2)
+            # The delimiter is at most 16 chars and contains no
+            # whitespace or parens; otherwise this is not a raw
+            # string after all.
+            if (open_paren != -1 and open_paren - (i + 2) <= 16
+                    and "\n" not in text[i + 2:open_paren]
+                    and '"' not in text[i + 2:open_paren]):
+                delim = text[i + 2:open_paren]
+                closer = ")" + delim + '"'
+                end = text.find(closer, open_paren + 1)
+                if end != -1:
+                    out.append('R"' + delim + "(")
+                    for ch in text[open_paren + 1:end]:
+                        out.append("\n" if ch == "\n" else " ")
+                    out.append(closer)
+                    i = end + len(closer)
+                    continue
         if c in "\"'":
             quote = c
             out.append(c)
-        elif c == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        else:
-            out.append(c)
+            i += 1
+            while i < n:
+                ch = text[i]
+                if ch == "\\" and i + 1 < n and text[i + 1] != "\n":
+                    out.append("  ")
+                    i += 2
+                    continue
+                if ch == quote:
+                    out.append(ch)
+                    i += 1
+                    break
+                if ch == "\n":  # unterminated literal: stop at EOL
+                    out.append("\n")
+                    i += 1
+                    break
+                out.append(" ")
+                i += 1
+            continue
+        out.append(c)
         i += 1
-    return "".join(out)
+    return "".join(out).split("\n")
 
 
 class Linter:
@@ -169,27 +228,20 @@ class Linter:
             self.violations.append((path, 0, "io-error", str(err)))
             return
         lines = text.splitlines()
+        stripped = strip_source(text)
 
-        in_block_comment = False
         seen_includes: dict[str, int] = {}
         recent: list[str] = []  # stripped lines, scalar-hot-loop window
         for lineno, raw in enumerate(lines, start=1):
-            line = strip_comments_and_strings(raw)
-            # Crude block-comment tracking; enough for this codebase's
-            # /** ... */ doc style.
-            if in_block_comment:
-                if "*/" in line:
-                    line = line.split("*/", 1)[1]
-                    in_block_comment = False
-                else:
-                    continue
-            if "/*" in line:
-                head, _, tail = line.partition("/*")
-                if "*/" in tail:
-                    line = head + tail.split("*/", 1)[1]
-                else:
-                    line = head
-                    in_block_comment = True
+            line = stripped[lineno - 1] if lineno <= len(stripped) else ""
+
+            allow = ALLOW_RE.search(raw)
+            if allow and not re.search(r"[A-Za-z0-9]",
+                                       raw[allow.end():]):
+                self.report(path, lineno, "bare-allow",
+                            "sim-lint suppression without a "
+                            "justification; append the reason after "
+                            "the closing parenthesis", raw)
 
             if re.match(r"^\s*#\s*include", line):
                 m = INCLUDE_RE.match(raw)
@@ -238,7 +290,7 @@ class Linter:
 
         if path.suffix in HEADER_SUFFIXES:
             self.lint_include_guard(path, lines)
-        self.lint_check_side_effects(path, lines)
+        self.lint_check_side_effects(path, lines, stripped)
 
     def lint_include_guard(self, path: pathlib.Path,
                            lines: list[str]) -> None:
@@ -270,13 +322,14 @@ class Linter:
                         f"#define {define[1]}", "")
 
     def lint_check_side_effects(self, path: pathlib.Path,
-                                lines: list[str]) -> None:
+                                lines: list[str],
+                                stripped: list[str]) -> None:
         """Flag ++/--/assignment inside a MTIA_CHECK condition.
 
         Only the argument list of the macro is scanned (not the
         streamed message after the closing parenthesis).
         """
-        text = "\n".join(strip_comments_and_strings(l) for l in lines)
+        text = "\n".join(stripped)
         for m in CHECK_OPEN_RE.finditer(text):
             depth = 1
             i = m.end()

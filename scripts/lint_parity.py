@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Parity test: mtia-lint and check_sim_invariants.py must agree.
+
+Both linters run over tests/lint_fixtures/shared/ (the fixtures for
+the rules both tools implement) with --treat-as-src, and their
+findings are normalized to (relative path, line, rule) triples. The
+two sets must be identical. Disagreement means one tool's port of a
+rule drifted — the fixture corpus is the contract between them.
+
+On top of the cross-tool diff, every fixture file carries its
+expectation in its name:
+
+  <rule>_bad.*   at least one finding of <rule> (dashes for
+                 underscores) must be reported in that file
+  <rule>_ok.*    the file must be completely clean in both tools
+
+tests/lint_fixtures/mtia_only/ holds fixtures for the token-level
+rules only mtia-lint implements (unordered-iteration,
+pointer-key-ordered, parallel-capture); those are checked against
+mtia-lint alone, and the Python linter is additionally required to
+find nothing there (the rules do not exist on its side, and the
+fixtures must not trip any shared rule by accident).
+
+Usage:
+  lint_parity.py --mtia-lint /path/to/mtia-lint [--root REPO_ROOT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+FINDING_RE = re.compile(r"^(.*?):(\d+): \[([a-z-]+)\] ")
+
+# Rules implemented by BOTH tools; the parity diff is restricted to
+# these (mtia-lint's graph/token-only rules have no Python
+# counterpart by design).
+SHARED_RULES = {
+    "wall-clock",
+    "unseeded-rng",
+    "raw-output",
+    "include-guard",
+    "check-side-effect",
+    "telemetry-wall-clock",
+    "duplicate-include",
+    "heap-top-copy",
+    "scalar-hot-loop",
+    "bare-allow",
+}
+
+# Legacy aggregate fixtures that predate the per-rule naming scheme.
+AGGREGATE_EXPECTATIONS = {
+    "bad_example.cc": None,  # any finding qualifies
+    "bad_header.h": "include-guard",
+    "scalar_hot_loop.cc": "scalar-hot-loop",
+}
+
+
+def run_linter(cmd: list[str], root: pathlib.Path) -> set[tuple]:
+    """Run a linter, returning {(relpath, line, rule)}.
+
+    Exit status 1 (violations found) is expected; anything else
+    beyond 0/1 is a crash and fails the parity test.
+    """
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode not in (0, 1):
+        sys.stderr.write(f"command crashed ({proc.returncode}): "
+                         f"{' '.join(cmd)}\n{proc.stdout}{proc.stderr}")
+        sys.exit(2)
+    findings = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        path = pathlib.Path(m.group(1))
+        try:
+            rel = path.relative_to(root)
+        except ValueError:
+            rel = path
+        findings.add((rel.as_posix(), int(m.group(2)), m.group(3)))
+    return findings
+
+
+def expected_rule(name: str) -> tuple[str, str] | None:
+    """Map fixture file name -> ('bad'|'ok', rule) or None."""
+    stem = pathlib.Path(name).stem
+    for kind in ("bad", "ok"):
+        suffix = f"_{kind}"
+        if stem.endswith(suffix):
+            return kind, stem[: -len(suffix)].replace("_", "-")
+    return None
+
+
+def check_expectations(tool: str, findings: set[tuple],
+                       fixture_dir: pathlib.Path,
+                       root: pathlib.Path) -> list[str]:
+    errors: list[str] = []
+    for f in sorted(fixture_dir.iterdir()):
+        if f.suffix not in {".h", ".hpp", ".cc", ".cpp", ".cxx"}:
+            continue
+        rel = f.relative_to(root).as_posix()
+        mine = {(p, l, r) for (p, l, r) in findings if p == rel}
+        if f.name in AGGREGATE_EXPECTATIONS:
+            want = AGGREGATE_EXPECTATIONS[f.name]
+            if not mine:
+                errors.append(f"{tool}: {rel}: expected findings, "
+                              f"got none")
+            elif want and not any(r == want for (_, _, r) in mine):
+                errors.append(f"{tool}: {rel}: expected a [{want}] "
+                              f"finding, got {sorted(mine)}")
+            continue
+        exp = expected_rule(f.name)
+        if exp is None:
+            errors.append(f"{tool}: {rel}: fixture name must end in "
+                          f"_bad or _ok")
+            continue
+        kind, rule = exp
+        # A variant suffix narrows the scenario, not the rule:
+        # include_guard_mismatch_bad.h still expects [include-guard].
+        matches = {r for (_, _, r) in mine
+                   if rule == r or rule.startswith(r + "-")}
+        if kind == "ok" and mine:
+            errors.append(f"{tool}: {rel}: negative fixture must be "
+                          f"clean, got {sorted(mine)}")
+        elif kind == "bad" and not matches:
+            errors.append(f"{tool}: {rel}: expected a [{rule}] "
+                          f"finding, got {sorted(mine)}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mtia-lint", required=True,
+                        type=pathlib.Path)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent
+                        .parent)
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    shared = root / "tests" / "lint_fixtures" / "shared"
+    mtia_only = root / "tests" / "lint_fixtures" / "mtia_only"
+    py_linter = root / "scripts" / "check_sim_invariants.py"
+
+    py = run_linter([sys.executable, str(py_linter), "--root",
+                     str(root), "--treat-as-src", str(shared)], root)
+    cxx = run_linter([str(args.mtia_lint), "--root", str(root),
+                      "--treat-as-src", "--no-graph", str(shared)],
+                     root)
+
+    errors: list[str] = []
+
+    py_shared = {t for t in py if t[2] in SHARED_RULES}
+    cxx_shared = {t for t in cxx if t[2] in SHARED_RULES}
+    for t in sorted(py_shared - cxx_shared):
+        errors.append(f"python-only finding: {t[0]}:{t[1]} [{t[2]}]")
+    for t in sorted(cxx_shared - py_shared):
+        errors.append(f"mtia-lint-only finding: {t[0]}:{t[1]} [{t[2]}]")
+
+    errors += check_expectations("python", py, shared, root)
+    errors += check_expectations("mtia-lint", cxx, shared, root)
+
+    # mtia-only rules: checked against mtia-lint; the Python linter
+    # must see nothing at all in that directory.
+    py_mo = run_linter([sys.executable, str(py_linter), "--root",
+                        str(root), "--treat-as-src", str(mtia_only)],
+                       root)
+    cxx_mo = run_linter([str(args.mtia_lint), "--root", str(root),
+                         "--treat-as-src", "--no-graph",
+                         str(mtia_only)], root)
+    for t in sorted(py_mo):
+        errors.append(f"python finding in mtia_only fixture (these "
+                      f"must not trip shared rules): "
+                      f"{t[0]}:{t[1]} [{t[2]}]")
+    errors += check_expectations("mtia-lint", cxx_mo, mtia_only, root)
+
+    if errors:
+        for e in errors:
+            print(e)
+        print(f"\nlint parity FAILED: {len(errors)} error(s)")
+        return 1
+    print(f"lint parity ok: {len(py_shared)} shared finding(s) agree; "
+          f"{len(cxx_mo)} mtia-only finding(s) match expectations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "autotune/perf_database.h"
-#include "core/kernel_cost_model.h"
+#include "chip/kernel_cost_model.h"
 
 namespace mtia {
 

@@ -15,7 +15,7 @@
 #include <optional>
 #include <vector>
 
-#include "core/kernel_cost_model.h"
+#include "chip/kernel_cost_model.h"
 
 namespace mtia {
 

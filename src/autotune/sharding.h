@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "core/chip_config.h"
+#include "chip/chip_config.h"
 #include "sim/types.h"
 
 namespace mtia {

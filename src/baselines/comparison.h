@@ -14,8 +14,8 @@
 #include <string>
 
 #include "baselines/gpu_model.h"
-#include "core/device.h"
-#include "core/tco_model.h"
+#include "chip/device.h"
+#include "chip/tco_model.h"
 #include "models/model_zoo.h"
 
 namespace mtia {

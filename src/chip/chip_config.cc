@@ -1,4 +1,4 @@
-#include "core/chip_config.h"
+#include "chip/chip_config.h"
 
 namespace mtia {
 

@@ -1,5 +1,5 @@
-#ifndef MTIA_CORE_CHIP_CONFIG_H_
-#define MTIA_CORE_CHIP_CONFIG_H_
+#ifndef MTIA_CHIP_CHIP_CONFIG_H_
+#define MTIA_CHIP_CHIP_CONFIG_H_
 
 /**
  * @file
@@ -82,4 +82,4 @@ struct ChipConfig
 
 } // namespace mtia
 
-#endif // MTIA_CORE_CHIP_CONFIG_H_
+#endif // MTIA_CHIP_CHIP_CONFIG_H_

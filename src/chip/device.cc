@@ -1,4 +1,4 @@
-#include "core/device.h"
+#include "chip/device.h"
 
 #include <algorithm>
 

@@ -1,5 +1,5 @@
-#ifndef MTIA_CORE_DEVICE_H_
-#define MTIA_CORE_DEVICE_H_
+#ifndef MTIA_CHIP_DEVICE_H_
+#define MTIA_CHIP_DEVICE_H_
 
 /**
  * @file
@@ -14,7 +14,7 @@
 #include <memory>
 #include <string>
 
-#include "core/chip_config.h"
+#include "chip/chip_config.h"
 #include "host/control_core.h"
 #include "mem/lpddr.h"
 #include "mem/sram.h"
@@ -113,4 +113,4 @@ class Device
 
 } // namespace mtia
 
-#endif // MTIA_CORE_DEVICE_H_
+#endif // MTIA_CHIP_DEVICE_H_

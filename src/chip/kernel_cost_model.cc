@@ -1,4 +1,4 @@
-#include "core/kernel_cost_model.h"
+#include "chip/kernel_cost_model.h"
 
 #include <algorithm>
 #include <sstream>

@@ -1,5 +1,5 @@
-#ifndef MTIA_CORE_KERNEL_COST_MODEL_H_
-#define MTIA_CORE_KERNEL_COST_MODEL_H_
+#ifndef MTIA_CHIP_KERNEL_COST_MODEL_H_
+#define MTIA_CHIP_KERNEL_COST_MODEL_H_
 
 /**
  * @file
@@ -22,7 +22,7 @@
 #include <cstdint>
 #include <string>
 
-#include "core/device.h"
+#include "chip/device.h"
 #include "sim/types.h"
 #include "tensor/dtype.h"
 
@@ -181,4 +181,4 @@ class KernelCostModel
 
 } // namespace mtia
 
-#endif // MTIA_CORE_KERNEL_COST_MODEL_H_
+#endif // MTIA_CHIP_KERNEL_COST_MODEL_H_

@@ -1,4 +1,4 @@
-#include "core/tco_model.h"
+#include "chip/tco_model.h"
 
 #include "core/check.h"
 

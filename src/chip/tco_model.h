@@ -1,5 +1,5 @@
-#ifndef MTIA_CORE_TCO_MODEL_H_
-#define MTIA_CORE_TCO_MODEL_H_
+#ifndef MTIA_CHIP_TCO_MODEL_H_
+#define MTIA_CHIP_TCO_MODEL_H_
 
 /**
  * @file
@@ -72,4 +72,4 @@ class TcoModel
 
 } // namespace mtia
 
-#endif // MTIA_CORE_TCO_MODEL_H_
+#endif // MTIA_CHIP_TCO_MODEL_H_

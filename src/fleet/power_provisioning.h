@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/device.h"
+#include "chip/device.h"
 #include "sim/random.h"
 
 namespace mtia {

@@ -15,8 +15,8 @@
 #include <string>
 #include <vector>
 
-#include "core/device.h"
-#include "core/kernel_cost_model.h"
+#include "chip/device.h"
+#include "chip/kernel_cost_model.h"
 #include "graph/graph.h"
 #include "graph/liveness.h"
 

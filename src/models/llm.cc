@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "core/kernel_cost_model.h"
+#include "chip/kernel_cost_model.h"
 
 namespace mtia {
 

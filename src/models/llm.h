@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <string>
 
-#include "core/device.h"
+#include "chip/device.h"
 #include "sim/types.h"
 #include "tensor/dtype.h"
 

@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "core/kernel_cost_model.h"
+#include "chip/kernel_cost_model.h"
 #include "sim/random.h"
 #include "tensor/tensor.h"
 

@@ -12,11 +12,11 @@
 #include <memory>
 #include <utility>
 
-#include "core/chip_config.h"
-#include "core/device.h"
+#include "chip/chip_config.h"
+#include "chip/device.h"
 #include "core/inline_function.h"
-#include "core/kernel_cost_model.h"
-#include "core/tco_model.h"
+#include "chip/kernel_cost_model.h"
+#include "chip/tco_model.h"
 
 namespace mtia {
 namespace {

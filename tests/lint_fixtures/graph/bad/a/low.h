@@ -1,0 +1,15 @@
+// Positive fixture: layer-violation — module `a` is the bottom
+// layer in graph/layers.def, so including upward into `b` is an
+// inverted dependency. Never compiled.
+#ifndef MTIA_TESTS_LINT_FIXTURES_GRAPH_BAD_A_LOW_H_
+#define MTIA_TESTS_LINT_FIXTURES_GRAPH_BAD_A_LOW_H_
+
+#include "b/high.h"
+
+inline int
+low()
+{
+    return high() - 1;
+}
+
+#endif // MTIA_TESTS_LINT_FIXTURES_GRAPH_BAD_A_LOW_H_

@@ -1,0 +1,15 @@
+// Part of the include-cycle fixture: completes the loop back into
+// high.h. Same module, so this is a cycle, not a layer violation.
+// Never compiled.
+#ifndef MTIA_TESTS_LINT_FIXTURES_GRAPH_BAD_B_HELPER_H_
+#define MTIA_TESTS_LINT_FIXTURES_GRAPH_BAD_B_HELPER_H_
+
+#include "b/high.h"
+
+inline int
+helperValue()
+{
+    return 41;
+}
+
+#endif // MTIA_TESTS_LINT_FIXTURES_GRAPH_BAD_B_HELPER_H_

@@ -1,0 +1,14 @@
+// Part of the include-cycle fixture: high.h -> helper.h -> high.h.
+// Never compiled.
+#ifndef MTIA_TESTS_LINT_FIXTURES_GRAPH_BAD_B_HIGH_H_
+#define MTIA_TESTS_LINT_FIXTURES_GRAPH_BAD_B_HIGH_H_
+
+#include "b/helper.h"
+
+inline int
+high()
+{
+    return helperValue() + 1;
+}
+
+#endif // MTIA_TESTS_LINT_FIXTURES_GRAPH_BAD_B_HIGH_H_

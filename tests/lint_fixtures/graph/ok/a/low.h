@@ -1,0 +1,12 @@
+// Negative fixture: the bottom layer includes nothing above it.
+// Never compiled.
+#ifndef MTIA_TESTS_LINT_FIXTURES_GRAPH_OK_A_LOW_H_
+#define MTIA_TESTS_LINT_FIXTURES_GRAPH_OK_A_LOW_H_
+
+inline int
+low()
+{
+    return 40;
+}
+
+#endif // MTIA_TESTS_LINT_FIXTURES_GRAPH_OK_A_LOW_H_

@@ -1,0 +1,14 @@
+// Negative fixture: the upper layer reaching DOWN into `a` is the
+// sanctioned direction. Never compiled.
+#ifndef MTIA_TESTS_LINT_FIXTURES_GRAPH_OK_B_HIGH_H_
+#define MTIA_TESTS_LINT_FIXTURES_GRAPH_OK_B_HIGH_H_
+
+#include "a/low.h"
+
+inline int
+high()
+{
+    return low() + 2;
+}
+
+#endif // MTIA_TESTS_LINT_FIXTURES_GRAPH_OK_B_HIGH_H_

@@ -1,0 +1,29 @@
+// Negative fixture: parallel-capture — the sanctioned idiom: each
+// worker writes only its own index slot, and the reduction happens
+// after the join in index order. Never compiled.
+
+#include <cstddef>
+#include <vector>
+
+namespace mtia
+{
+template <typename Fn>
+void parallelFor(std::size_t n, Fn fn);
+}
+
+std::vector<double>
+fine(std::size_t n, const std::vector<double> &in)
+{
+    std::vector<double> out(n);
+    mtia::parallelFor(n, [&](std::size_t i) {
+        double local = in[i] * 2.0; // lambda-local state is fine
+        local += 1.0;
+        out[i] = local; // indexed slot write: the idiom
+    });
+    // Deterministic reduction after the join, in index order.
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        total += out[i];
+    out[0] = total;
+    return out;
+}

@@ -1,0 +1,32 @@
+// Negative fixture: pointer-key-ordered — stable-id keys, pointer
+// VALUES, and pointer keys under an explicit deterministic
+// comparator all stay clean. Never compiled.
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+struct Node
+{
+    std::uint32_t id;
+};
+
+struct ById
+{
+    bool operator()(const Node *x, const Node *y) const
+    {
+        return x->id < y->id;
+    }
+};
+
+int
+fine(Node *a, std::uint64_t key)
+{
+    std::map<std::uint64_t, int> by_id;    // stable-id key: fine
+    std::set<Node *, ById> with_cmp;       // explicit comparator
+    std::map<int, Node *> ptr_values;      // pointer values: fine
+    by_id[key] = 1;
+    with_cmp.insert(a);
+    ptr_values[2] = a;
+    return by_id.size() + with_cmp.size() + ptr_values.size();
+}

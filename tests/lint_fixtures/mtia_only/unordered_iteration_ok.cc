@@ -1,0 +1,31 @@
+// Negative fixture: unordered-iteration — point lookups into
+// unordered containers are deterministic and stay clean; iterating
+// an ordered std::map is fine. Never compiled.
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+double
+fine(const std::unordered_map<int, double> &weights,
+     const std::map<int, double> &ordered)
+{
+    double sum = 0.0;
+    for (const auto &kv : ordered) // std::map: deterministic order
+        sum += kv.second;
+    auto it = weights.find(3); // lookups are fine
+    if (it != weights.end())   // .end() alone is the find idiom
+        sum += it->second;
+    if (weights.count(4) != 0)
+        sum += 1.0;
+    // The sorted-snapshot idiom: copy keys out, sort, then iterate.
+    std::vector<int> keys;
+    keys.reserve(weights.size());
+    for (const auto &kv : ordered)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end()); // vector .begin() is fine
+    for (int k : keys)
+        sum += static_cast<double>(k);
+    return sum;
+}

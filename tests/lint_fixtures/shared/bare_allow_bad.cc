@@ -1,0 +1,8 @@
+// Positive fixture: bare-allow — a suppression comment with no
+// trailing justification. Never compiled.
+
+int
+violations()
+{
+    return 0; // sim-lint: allow(raw-output)
+}

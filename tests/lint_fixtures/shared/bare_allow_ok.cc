@@ -1,0 +1,12 @@
+// Negative fixture: bare-allow — a justified suppression that also
+// exercises the allow mechanism itself: the printf below would be a
+// raw-output finding under --treat-as-src without it. Never
+// compiled.
+
+#include <cstdio>
+
+void
+fine()
+{
+    printf("ok\n"); // sim-lint: allow(raw-output) — fixture demonstrates a justified suppression
+}

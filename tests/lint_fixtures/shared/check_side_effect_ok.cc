@@ -1,0 +1,18 @@
+// Negative fixture: check-side-effect — pure conditions and
+// mutations outside the macro argument. Never compiled.
+
+#define MTIA_CHECK(x) (void)(x)
+#define MTIA_DCHECK_EQ(a, b) (void)((a) == (b))
+
+int
+fine(int n, int m)
+{
+    MTIA_CHECK(n > 0);
+    MTIA_CHECK(n == m);
+    MTIA_CHECK(n <= m && m != 0);
+    n++; // the mutation happens outside the condition
+    MTIA_DCHECK_EQ(n, m);
+    // MTIA_CHECK(n++) in a comment is not a finding.
+    const char *s = "MTIA_CHECK(n++)";
+    return n + m + static_cast<int>(s[0]);
+}

@@ -1,0 +1,16 @@
+// Positive fixture: duplicate-include — the same header spelled
+// twice in one translation unit. Never compiled.
+
+#include <cstdint>
+#include <vector>
+#include <cstdint>
+
+#include "some/header.h"
+#include "other/header.h"
+#include "some/header.h"
+
+int
+violations()
+{
+    return 0;
+}

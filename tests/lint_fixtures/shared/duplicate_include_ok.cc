@@ -1,0 +1,15 @@
+// Negative fixture: duplicate-include — distinct headers that share
+// a basename, and angle/quote spellings that are different include
+// texts. Never compiled.
+
+#include <cstdint>
+#include "a/util.h"
+#include "b/util.h"
+
+int
+fine()
+{
+    // #include <cstdint> repeated in a comment is not a directive.
+    const char *s = "#include <cstdint>";
+    return static_cast<int>(s[0]);
+}

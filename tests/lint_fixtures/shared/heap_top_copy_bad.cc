@@ -1,0 +1,25 @@
+// Positive fixture: heap-top-copy — copying the top of an event
+// queue instead of binding a reference (linted with --treat-as-src,
+// which applies the sim-core rule). Never compiled.
+
+struct Event
+{
+    long tick;
+};
+
+struct Heap
+{
+    const Event &top() const;
+    void pop();
+};
+
+long
+violations(Heap &heap_, Heap *queue)
+{
+    Event copied = heap_.top();
+    auto by_ptr = queue->top();
+    Event nested;
+    nested = heap_.top();
+    heap_.pop();
+    return copied.tick + by_ptr.tick + nested.tick;
+}

@@ -1,0 +1,27 @@
+// Negative fixture: heap-top-copy — reference binds against the
+// heap top, the sanctioned pattern. Never compiled.
+
+struct Event
+{
+    long tick;
+};
+
+struct Heap
+{
+    const Event &top() const;
+    Event &top();
+    void pop();
+};
+
+long
+fine(Heap &heap_)
+{
+    const Event &e = heap_.top(); // const-ref bind: exempt
+    Event &mut = heap_.top();     // ref bind: exempt
+    long tick = e.tick;           // copying a field is fine
+    mut.tick += 1;
+    heap_.pop();
+    // copied = heap_.top() in a comment is not a finding.
+    const char *s = "= heap_.top()";
+    return tick + static_cast<long>(s[0]);
+}

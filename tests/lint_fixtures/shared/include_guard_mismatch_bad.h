@@ -1,0 +1,12 @@
+// Positive fixture: include-guard — the #define does not match the
+// #ifndef, so the guard is ineffective. Never compiled.
+#ifndef MTIA_TESTS_LINT_FIXTURES_SHARED_MISMATCH_H_
+#define MTIA_TESTS_LINT_FIXTURES_SHARED_WRONG_NAME_H_
+
+inline int
+mismatchedGuard()
+{
+    return 1;
+}
+
+#endif

@@ -1,0 +1,12 @@
+// Negative fixture: include-guard — a conforming guard. Never
+// compiled.
+#ifndef MTIA_TESTS_LINT_FIXTURES_SHARED_INCLUDE_GUARD_OK_H_
+#define MTIA_TESTS_LINT_FIXTURES_SHARED_INCLUDE_GUARD_OK_H_
+
+inline int
+properGuard()
+{
+    return 3;
+}
+
+#endif // MTIA_TESTS_LINT_FIXTURES_SHARED_INCLUDE_GUARD_OK_H_

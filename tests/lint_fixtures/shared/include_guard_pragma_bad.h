@@ -1,0 +1,9 @@
+// Positive fixture: include-guard — #pragma once instead of the
+// project-standard #ifndef guard. Never compiled.
+#pragma once
+
+inline int
+pragmaGuard()
+{
+    return 2;
+}

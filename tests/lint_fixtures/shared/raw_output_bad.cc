@@ -1,0 +1,15 @@
+// Positive fixture: raw-output — direct console output (linted with
+// --treat-as-src, which applies the src/-only rule). Never compiled.
+
+#include <cstdio>
+#include <iostream>
+
+void
+violations(int n)
+{
+    printf("%d\n", n);
+    fprintf(stdout, "%d\n", n);
+    std::cout << n;
+    std::cerr << n;
+    puts("done");
+}

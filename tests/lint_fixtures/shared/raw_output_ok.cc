@@ -1,0 +1,28 @@
+// Negative fixture: raw-output — output spellings that must stay
+// clean even under --treat-as-src. Never compiled.
+
+#include <cstdio>
+
+void
+fine(int n, char *buf, unsigned long cap)
+{
+    fprintf(stderr, "%d\n", n); // stderr is not the flagged stream
+    snprintf(buf, cap, "%d", n); // word-prefixed identifier
+    const auto my_printf = [](const char *) { return 0; };
+    my_printf("x");
+    // printf("%d") and std::cout << x in a comment are invisible.
+    const char *s = "printf(\"%d\") std::cout << std::cerr";
+    // A multi-line raw string: the per-line stripper used to leak
+    // its interior lines into the rule regexes.
+    const char *doc = R"doc(
+        printf("%d\n", n);
+        std::cout << n;
+        puts("inside a raw string");
+    )doc";
+    (void)s;
+    (void)doc;
+}
+/* A multi-line block comment is equally invisible:
+   printf("%d\n", 1);
+   std::cout << 2;
+*/

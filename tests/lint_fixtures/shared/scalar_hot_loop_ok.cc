@@ -1,0 +1,27 @@
+// Negative fixture: scalar-hot-loop — per-element dtype accessors
+// used outside loops, and bulk conversion inside loops. Never
+// compiled.
+
+#include <cstdint>
+
+std::uint16_t fp32ToFp16Bits(float f);
+float fp16BitsToFp32(std::uint16_t bits);
+void convertBufferFp32ToFp16(const float *src, std::uint16_t *dst,
+                             int n);
+
+// A single round-trip far from any loop is fine.
+float
+roundTrip(float f)
+{
+    return fp16BitsToFp32(fp32ToFp16Bits(f));
+}
+
+// The sanctioned pattern: one bulk call, then a loop that does no
+// per-element conversion.
+void
+bulk(const float *src, std::uint16_t *dst, int n)
+{
+    convertBufferFp32ToFp16(src, dst, n);
+    for (int i = 0; i < n; ++i)
+        dst[i] ^= 1;
+}

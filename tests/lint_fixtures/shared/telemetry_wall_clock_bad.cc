@@ -1,0 +1,15 @@
+// Positive fixture: telemetry-wall-clock — host time headers and
+// std::chrono vocabulary in code linted as telemetry (the
+// --treat-as-src mode applies the telemetry rule everywhere). Never
+// compiled.
+
+#include <ctime>
+#include <time.h>
+
+int
+violations()
+{
+    // Durations, not just clocks: any std::chrono token is banned.
+    auto budget = std::chrono::milliseconds(5);
+    return static_cast<int>(budget.count());
+}

@@ -1,0 +1,20 @@
+// Negative fixture: telemetry-wall-clock — tick-derived timestamps
+// and time-like spellings that stay clean. Never compiled.
+
+#include <cstdint>
+
+// Telemetry timestamps derive from the simulated tick counter.
+std::uint64_t
+exportTimestamp(std::uint64_t tick, std::uint64_t ps_per_tick)
+{
+    return tick * ps_per_tick;
+}
+
+int
+fine()
+{
+    // #include <chrono> inside a string literal is invisible.
+    const char *s = "#include <chrono> std::chrono::seconds";
+    // std::chrono::steady_clock in a comment is not a finding.
+    return static_cast<int>(s[0]);
+}

@@ -1,0 +1,17 @@
+// Positive fixture: unseeded-rng — global or default-seeded
+// randomness. Never compiled.
+
+#include <cstdlib>
+#include <random>
+
+int
+violations()
+{
+    int a = rand();
+    srand(42);
+    std::random_device rd;
+    std::mt19937 gen;
+    std::mt19937_64 gen64{};
+    return a + static_cast<int>(rd()) + static_cast<int>(gen()) +
+           static_cast<int>(gen64());
+}

@@ -1,0 +1,25 @@
+// Negative fixture: unseeded-rng — explicitly seeded engines and
+// rand-like spellings that must stay clean. Never compiled.
+
+#include <random>
+
+// (Fixtures are linted, never compiled: Sampler's rand() member is
+// left undeclared because the declaration itself would spell an
+// unqualified `rand(`.)
+struct Sampler
+{
+};
+
+int
+fine(unsigned seed, const Sampler &s)
+{
+    std::mt19937 gen(seed);      // explicitly seeded: allowed
+    std::mt19937_64 gen64{seed}; // explicitly seeded: allowed
+    int v = s.rand();            // member call: qualified, exempt
+    const auto brand = [](int x) { return x + 1; };
+    v += brand(3); // word-prefixed identifier, not rand(
+    // rand() and srand() in a comment are not findings.
+    const char *t = "rand() srand(7) std::random_device";
+    return v + static_cast<int>(gen()) + static_cast<int>(gen64()) +
+           static_cast<int>(t[0]);
+}

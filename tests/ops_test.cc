@@ -11,8 +11,8 @@
 #include <cmath>
 #include <memory>
 
-#include "core/device.h"
-#include "core/kernel_cost_model.h"
+#include "chip/device.h"
+#include "chip/kernel_cost_model.h"
 #include "ops/attention_ops.h"
 #include "ops/dense_ops.h"
 #include "ops/sparse_ops.h"

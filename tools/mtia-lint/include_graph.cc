@@ -1,0 +1,272 @@
+#include "include_graph.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "lexer.h"
+
+namespace fs = std::filesystem;
+
+namespace mtia_lint {
+namespace {
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cc" ||
+           ext == ".cpp" || ext == ".cxx";
+}
+
+std::string
+moduleOf(const std::string &rel)
+{
+    const std::size_t slash = rel.find('/');
+    return slash == std::string::npos ? rel : rel.substr(0, slash);
+}
+
+} // namespace
+
+LayerTable
+loadLayerTable(const std::string &path)
+{
+    LayerTable table;
+    std::ifstream in(path);
+    if (!in) {
+        table.error = "cannot open layer table " + path;
+        return table;
+    }
+    int next_rank = 0;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ss(line);
+        std::string kind;
+        if (!(ss >> kind))
+            continue;
+        if (kind == "layer") {
+            std::string mod;
+            bool any = false;
+            while (ss >> mod) {
+                table.rank[mod] = next_rank;
+                any = true;
+            }
+            if (!any) {
+                table.error = path + ":" + std::to_string(lineno) +
+                              ": empty layer declaration";
+                return table;
+            }
+            table.max_rank = next_rank;
+            ++next_rank;
+        } else if (kind == "omni") {
+            std::string mod, upto;
+            if (!(ss >> mod)) {
+                table.error = path + ":" + std::to_string(lineno) +
+                              ": omni needs a module name";
+                return table;
+            }
+            int max_use = -1; // may include nothing by default
+            if (ss >> upto) {
+                auto it = table.rank.find(upto);
+                if (it == table.rank.end()) {
+                    table.error = path + ":" + std::to_string(lineno) +
+                                  ": omni upper bound '" + upto +
+                                  "' is not a declared module";
+                    return table;
+                }
+                max_use = it->second;
+            }
+            table.omni[mod] = max_use;
+        } else {
+            table.error = path + ":" + std::to_string(lineno) +
+                          ": unknown declaration '" + kind + "'";
+            return table;
+        }
+    }
+    return table;
+}
+
+IncludeGraph
+buildIncludeGraph(const std::string &src_root)
+{
+    IncludeGraph g;
+    std::vector<fs::path> files;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(src_root, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && isSourceFile(it->path()))
+            files.push_back(it->path());
+    }
+    std::sort(files.begin(), files.end());
+
+    for (const fs::path &f : files) {
+        std::ifstream in(f, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const LexedFile lf = lex(buf.str());
+
+        const std::string rel =
+            fs::path(f).lexically_relative(src_root).generic_string();
+        auto &edges = g.edges[rel]; // materialize even leaf files
+        ++g.file_count;
+        for (const Directive &d : lf.directives) {
+            if (d.name != "include" || d.args.empty())
+                continue;
+            const std::string &spelling = d.args[0].text;
+            if (spelling.size() < 2 || spelling.front() != '"')
+                continue; // system include
+            const std::string target =
+                spelling.substr(1, spelling.size() - 2);
+            if (!fs::exists(fs::path(src_root) / target))
+                continue; // not a tree-relative include
+            edges.push_back(target);
+            g.edge_lines[rel].emplace(target, d.line);
+            ++g.edge_count;
+        }
+        std::sort(edges.begin(), edges.end());
+        edges.erase(std::unique(edges.begin(), edges.end()),
+                    edges.end());
+    }
+    return g;
+}
+
+std::vector<Finding>
+checkLayers(const IncludeGraph &g, const LayerTable &layers,
+            const std::string &display_prefix)
+{
+    std::vector<Finding> out;
+    const auto lineOf = [&](const std::string &from,
+                            const std::string &to) {
+        auto fit = g.edge_lines.find(from);
+        if (fit == g.edge_lines.end())
+            return 0;
+        auto eit = fit->second.find(to);
+        return eit == fit->second.end() ? 0 : eit->second;
+    };
+
+    // Layer check on every module-crossing edge.
+    for (const auto &[from, tos] : g.edges) {
+        const std::string from_mod = moduleOf(from);
+        for (const std::string &to : tos) {
+            const std::string to_mod = moduleOf(to);
+            if (from_mod == to_mod)
+                continue;
+            if (layers.omni.count(to_mod))
+                continue; // includable from anywhere
+            int from_rank;
+            if (auto it = layers.omni.find(from_mod);
+                it != layers.omni.end()) {
+                from_rank = it->second; // omni module's own budget
+            } else if (auto it = layers.rank.find(from_mod);
+                       it != layers.rank.end()) {
+                from_rank = it->second;
+            } else {
+                out.push_back(
+                    {display_prefix + from, lineOf(from, to),
+                     "layer-violation",
+                     "module '" + from_mod +
+                         "' is not declared in the layer table"});
+                continue;
+            }
+            const auto to_it = layers.rank.find(to_mod);
+            if (to_it == layers.rank.end()) {
+                out.push_back(
+                    {display_prefix + from, lineOf(from, to),
+                     "layer-violation",
+                     "included module '" + to_mod +
+                         "' is not declared in the layer table"});
+                continue;
+            }
+            if (to_it->second > from_rank)
+                out.push_back(
+                    {display_prefix + from, lineOf(from, to),
+                     "layer-violation",
+                     "upward include: " + from_mod + " (layer " +
+                         std::to_string(from_rank) + ") -> " + to_mod +
+                         " (layer " + std::to_string(to_it->second) +
+                         ") inverts the architecture; see "
+                         "tools/mtia-lint/layers.def"});
+        }
+    }
+
+    // Cycle check on the file-level graph (iterative DFS, colored).
+    enum { White, Grey, Black };
+    std::map<std::string, int> color;
+    std::set<std::string> reported; // one finding per cycle entry file
+    for (const auto &[start, _] : g.edges) {
+        if (color[start] != White)
+            continue;
+        struct Frame
+        {
+            std::string node;
+            std::size_t next = 0;
+        };
+        std::vector<Frame> stack{{start, 0}};
+        color[start] = Grey;
+        while (!stack.empty()) {
+            Frame &f = stack.back();
+            const auto eit = g.edges.find(f.node);
+            if (eit == g.edges.end() || f.next >= eit->second.size()) {
+                color[f.node] = Black;
+                stack.pop_back();
+                continue;
+            }
+            const std::string to = eit->second[f.next++];
+            const int c = color[to];
+            if (c == White) {
+                color[to] = Grey;
+                stack.push_back({to, 0});
+            } else if (c == Grey) {
+                // Back edge: the grey path from `to` back to f.node
+                // plus this edge is a cycle.
+                std::string path = to;
+                bool in_cycle = false;
+                for (const Frame &fr : stack) {
+                    if (fr.node == to)
+                        in_cycle = true;
+                    else if (in_cycle)
+                        path += " -> " + fr.node;
+                }
+                path += " -> " + to;
+                if (reported.insert(to).second)
+                    out.push_back({display_prefix + f.node,
+                                   lineOf(f.node, to), "include-cycle",
+                                   "include cycle: " + path});
+            }
+        }
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return out;
+}
+
+std::vector<std::string>
+moduleEdges(const IncludeGraph &g)
+{
+    std::set<std::string> uniq;
+    for (const auto &[from, tos] : g.edges) {
+        const std::string fm = moduleOf(from);
+        for (const std::string &to : tos) {
+            const std::string tm = moduleOf(to);
+            if (fm != tm)
+                uniq.insert(fm + " -> " + tm);
+        }
+    }
+    return {uniq.begin(), uniq.end()};
+}
+
+} // namespace mtia_lint

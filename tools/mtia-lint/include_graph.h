@@ -1,0 +1,70 @@
+#ifndef MTIA_LINT_INCLUDE_GRAPH_H_
+#define MTIA_LINT_INCLUDE_GRAPH_H_
+
+/**
+ * @file
+ * Cross-TU pass: the full quoted-include graph of a source tree and
+ * the layer DAG it must respect.
+ *
+ * Layer file format (tools/mtia-lint/layers.def), one declaration per
+ * line, '#' comments:
+ *
+ *     layer core                 # rank 0 (bottom)
+ *     layer sim                  # rank 1
+ *     layer tensor mem           # rank 2: modules in one layer
+ *     ...
+ *     omni telemetry sim         # includable from anywhere; may
+ *                                # itself include up to sim's layer
+ *
+ * Rules enforced over every `#include "module/..."` edge:
+ *   layer-violation   an include that points at a strictly higher
+ *                     layer (architecture inversion), or a module
+ *                     missing from the table entirely.
+ *   include-cycle     any cycle in the file-level include graph.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace mtia_lint {
+
+struct LayerTable
+{
+    std::map<std::string, int> rank;  ///< module -> layer rank
+    std::map<std::string, int> omni;  ///< module -> max rank it may use
+    int max_rank = 0;
+    std::string error; ///< non-empty if the file failed to parse
+};
+
+LayerTable loadLayerTable(const std::string &path);
+
+struct IncludeGraph
+{
+    /** src-relative path -> src-relative includes (resolved, sorted). */
+    std::map<std::string, std::vector<std::string>> edges;
+    /** src-relative path -> line number of each include directive. */
+    std::map<std::string, std::map<std::string, int>> edge_lines;
+    int file_count = 0;
+    int edge_count = 0;
+};
+
+/** Scan every C++ source file under @p src_root and build the quoted-
+ *  include graph (includes resolved against @p src_root). */
+IncludeGraph buildIncludeGraph(const std::string &src_root);
+
+/** Layer + cycle checks. Findings use paths prefixed with
+ *  @p display_prefix (e.g. "src/"). */
+std::vector<Finding> checkLayers(const IncludeGraph &g,
+                                 const LayerTable &layers,
+                                 const std::string &display_prefix);
+
+/** Module-level edges ("a -> b"), deduplicated and sorted — the input
+ *  for the dependency diagram in DESIGN.md. */
+std::vector<std::string> moduleEdges(const IncludeGraph &g);
+
+} // namespace mtia_lint
+
+#endif // MTIA_LINT_INCLUDE_GRAPH_H_

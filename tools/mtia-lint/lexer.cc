@@ -1,0 +1,317 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace mtia_lint {
+namespace {
+
+/** Phase one: delete backslash-newline splices, remember the original
+ *  physical line of every surviving character. */
+struct Spliced
+{
+    std::string text;
+    std::vector<int> line; // line[i] = physical line of text[i]
+};
+
+Spliced
+splice(const std::string &src)
+{
+    Spliced out;
+    out.text.reserve(src.size());
+    out.line.reserve(src.size());
+    int line = 1;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        const char c = src[i];
+        if (c == '\\') {
+            std::size_t j = i + 1;
+            if (j < src.size() && src[j] == '\r')
+                ++j;
+            if (j < src.size() && src[j] == '\n') {
+                i = j; // swallow the splice
+                ++line;
+                continue;
+            }
+        }
+        out.text.push_back(c);
+        out.line.push_back(line);
+        if (c == '\n')
+            ++line;
+    }
+    return out;
+}
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators, longest first within a leading char. */
+const char *const kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "##", ".*",
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : s_(splice(src)) {}
+
+    LexedFile run();
+
+  private:
+    int lineAt(std::size_t i) const
+    {
+        if (s_.line.empty())
+            return 1;
+        if (i >= s_.line.size())
+            return s_.line.back();
+        return s_.line[i];
+    }
+    char at(std::size_t i) const
+    {
+        return i < s_.text.size() ? s_.text[i] : '\0';
+    }
+
+    /** Consume a comment starting at i_ (line or block); records any
+     *  sim-lint allow it carries. Returns true if one was consumed. */
+    bool tryComment();
+    /** Consume a string/char literal at i_ (prefix already included in
+     *  [start, i_)); appends the token. Returns true if consumed. */
+    bool tryLiteral(std::size_t start, int line, std::vector<Token> &out);
+    void scanAllow(const std::string &comment, int line);
+    Token lexOne(); // next code token; pre: not ws/comment/EOF
+    void lexDirective();
+
+    Spliced s_;
+    std::size_t i_ = 0;
+    LexedFile file_;
+};
+
+void
+Lexer::scanAllow(const std::string &comment, int line)
+{
+    const std::string key = "sim-lint:";
+    std::size_t k = comment.find(key);
+    if (k == std::string::npos)
+        return;
+    std::size_t p = comment.find("allow(", k);
+    if (p == std::string::npos)
+        return;
+    p += 6;
+    std::size_t close = comment.find(')', p);
+    if (close == std::string::npos)
+        return;
+    Allow &a = file_.allows[line];
+    a.line = line;
+    a.rules.insert(comment.substr(p, close - p));
+    for (std::size_t q = close + 1; q < comment.size(); ++q) {
+        if (std::isalnum(static_cast<unsigned char>(comment[q]))) {
+            a.justified = true;
+            break;
+        }
+    }
+}
+
+bool
+Lexer::tryComment()
+{
+    if (at(i_) != '/' || (at(i_ + 1) != '/' && at(i_ + 1) != '*'))
+        return false;
+    const int line = lineAt(i_);
+    std::size_t start = i_;
+    if (at(i_ + 1) == '/') {
+        while (i_ < s_.text.size() && s_.text[i_] != '\n')
+            ++i_;
+    } else {
+        i_ += 2;
+        while (i_ < s_.text.size() &&
+               !(s_.text[i_] == '*' && at(i_ + 1) == '/'))
+            ++i_;
+        if (i_ < s_.text.size())
+            i_ += 2;
+    }
+    scanAllow(s_.text.substr(start, i_ - start), line);
+    return true;
+}
+
+bool
+Lexer::tryLiteral(std::size_t start, int line, std::vector<Token> &out)
+{
+    const char q = at(i_);
+    if (q != '"' && q != '\'')
+        return false;
+    // Raw string: the character before the quote, within the prefix,
+    // is 'R' (covers R"", u8R"", LR"", ...).
+    const bool raw = q == '"' && i_ > start && s_.text[i_ - 1] == 'R';
+    ++i_;
+    if (raw) {
+        std::string delim;
+        while (i_ < s_.text.size() && s_.text[i_] != '(')
+            delim.push_back(s_.text[i_++]);
+        ++i_; // '('
+        const std::string close = ")" + delim + "\"";
+        std::size_t end = s_.text.find(close, i_);
+        i_ = end == std::string::npos ? s_.text.size()
+                                      : end + close.size();
+    } else {
+        while (i_ < s_.text.size() && s_.text[i_] != q &&
+               s_.text[i_] != '\n') {
+            if (s_.text[i_] == '\\')
+                ++i_;
+            ++i_;
+        }
+        if (at(i_) == q)
+            ++i_;
+    }
+    out.push_back({q == '\'' ? Tok::CharLit : Tok::String,
+                   s_.text.substr(start, i_ - start), line});
+    return true;
+}
+
+Token
+Lexer::lexOne()
+{
+    const std::size_t start = i_;
+    const int line = lineAt(i_);
+    const char c = s_.text[i_];
+
+    if (identStart(c)) {
+        while (i_ < s_.text.size() && identCont(s_.text[i_]))
+            ++i_;
+        // A literal prefix (R, u8, L, ...) glued to a quote makes the
+        // whole thing one literal token.
+        std::vector<Token> lit;
+        if ((at(i_) == '"' || at(i_) == '\'') && i_ - start <= 3 &&
+            tryLiteral(start, line, lit))
+            return lit.back();
+        return {Tok::Ident, s_.text.substr(start, i_ - start), line};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(at(i_ + 1))))) {
+        ++i_; // pp-number: digits, idents, dots, exponent signs
+        while (i_ < s_.text.size()) {
+            const char d = s_.text[i_];
+            if (identCont(d) || d == '.') {
+                ++i_;
+            } else if (d == '\'' && identCont(at(i_ + 1))) {
+                i_ += 2; // digit separator
+            } else if ((d == '+' || d == '-') &&
+                       (s_.text[i_ - 1] == 'e' || s_.text[i_ - 1] == 'E' ||
+                        s_.text[i_ - 1] == 'p' || s_.text[i_ - 1] == 'P')) {
+                ++i_;
+            } else {
+                break;
+            }
+        }
+        return {Tok::Number, s_.text.substr(start, i_ - start), line};
+    }
+    {
+        std::vector<Token> lit;
+        if (tryLiteral(start, line, lit))
+            return lit.back();
+    }
+    for (const char *p : kPuncts) {
+        const std::size_t n = std::char_traits<char>::length(p);
+        if (s_.text.compare(i_, n, p) == 0) {
+            i_ += n;
+            return {Tok::Punct, p, line};
+        }
+    }
+    ++i_;
+    return {Tok::Punct, std::string(1, c), line};
+}
+
+void
+Lexer::lexDirective()
+{
+    Directive d;
+    d.line = lineAt(i_);
+    ++i_; // '#'
+    // Name (possibly separated from '#' by spaces).
+    while (i_ < s_.text.size() &&
+           (s_.text[i_] == ' ' || s_.text[i_] == '\t'))
+        ++i_;
+    while (i_ < s_.text.size() && identCont(s_.text[i_]))
+        d.name.push_back(s_.text[i_++]);
+
+    bool want_header_name = d.name == "include";
+    while (i_ < s_.text.size() && s_.text[i_] != '\n') {
+        const char c = s_.text[i_];
+        if (c == ' ' || c == '\t' || c == '\r') {
+            ++i_;
+            continue;
+        }
+        if (at(i_) == '/' && at(i_ + 1) == '/') {
+            tryComment(); // runs to end of line: directive over
+            break;
+        }
+        if (at(i_) == '/' && at(i_ + 1) == '*') {
+            tryComment();
+            continue;
+        }
+        if (want_header_name && c == '<') {
+            const std::size_t start = i_;
+            const int line = lineAt(i_);
+            while (i_ < s_.text.size() && s_.text[i_] != '>' &&
+                   s_.text[i_] != '\n')
+                ++i_;
+            if (at(i_) == '>')
+                ++i_;
+            d.args.push_back({Tok::String,
+                              s_.text.substr(start, i_ - start), line});
+            want_header_name = false;
+            continue;
+        }
+        d.args.push_back(lexOne());
+    }
+    file_.directives.push_back(std::move(d));
+}
+
+LexedFile
+Lexer::run()
+{
+    bool at_line_start = true;
+    while (i_ < s_.text.size()) {
+        const char c = s_.text[i_];
+        if (c == '\n') {
+            at_line_start = true;
+            ++i_;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\f' ||
+            c == '\v') {
+            ++i_;
+            continue;
+        }
+        if (tryComment())
+            continue;
+        if (c == '#' && at_line_start) {
+            lexDirective();
+            at_line_start = true;
+            continue;
+        }
+        at_line_start = false;
+        file_.tokens.push_back(lexOne());
+    }
+    file_.max_line = s_.line.empty() ? 1 : s_.line.back();
+    return file_;
+}
+
+} // namespace
+
+LexedFile
+lex(const std::string &text)
+{
+    return Lexer(text).run();
+}
+
+} // namespace mtia_lint

@@ -1,0 +1,51 @@
+#ifndef MTIA_LINT_RULES_H_
+#define MTIA_LINT_RULES_H_
+
+/**
+ * @file
+ * The mtia-lint rule engine: token-level ports of every rule in
+ * scripts/check_sim_invariants.py plus the determinism rules that are
+ * only feasible with a real lexer (unordered-iteration,
+ * pointer-key-ordered, parallel-capture) and the suppression-hygiene
+ * rule (bare-allow). Findings carry the same `file:line: [rule]`
+ * shape as the Python linter so the two can be diffed directly — the
+ * lint_parity ctest does exactly that on the shared fixtures.
+ */
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace mtia_lint {
+
+struct Finding
+{
+    std::string file; ///< path as given (relative to --root when under it)
+    int line = 0;
+    std::string rule;
+    std::string detail;
+};
+
+/** Which rule families apply to a file; mirrors the Python linter's
+ *  path-derived context exactly. */
+struct FileContext
+{
+    bool in_src = false;        ///< raw-output + new determinism rules
+    bool logging_exempt = false;///< src/sim/logging may print
+    bool telemetry = false;     ///< telemetry-wall-clock applies
+    bool sim_core = false;      ///< heap-top-copy applies
+    bool dtype_kernel = false;  ///< scalar-hot-loop exempt
+    bool is_header = false;     ///< include-guard applies
+};
+
+/** Run every applicable rule over @p lf. Suppressions
+ *  (`// sim-lint: allow(<rule>)` on the finding's line) are already
+ *  filtered out; a suppression without a trailing justification
+ *  yields a bare-allow finding instead. */
+std::vector<Finding> runRules(const LexedFile &lf, const std::string &file,
+                              const FileContext &ctx);
+
+} // namespace mtia_lint
+
+#endif // MTIA_LINT_RULES_H_
