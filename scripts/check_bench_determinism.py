@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Byte-identity gate for bench reports across MTIA_THREADS counts.
+
+Runs a bench binary several times — once per requested lane count,
+plus a same-lane repeat — each into a fresh temporary report dir, then
+compares the emitted BENCH_<name>.json files after stripping the two
+fields that are wall-clock by nature and documented as excluded from
+byte-identical guarantees (wall_clock_speedup, wall_clock_ratios).
+Any other difference is a determinism regression and fails hard.
+
+Usage:
+  check_bench_determinism.py --bench <binary> --name <bench-name> \
+      [--lanes 1,8]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+STRIP_KEYS = ("wall_clock_speedup", "wall_clock_ratios")
+
+
+def run_bench(bench, name, lanes, workdir):
+    env = dict(os.environ)
+    env["MTIA_THREADS"] = str(lanes)
+    env["MTIA_BENCH_REPORT_DIR"] = workdir
+    proc = subprocess.run(
+        [bench],
+        env=env,
+        cwd=workdir,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout.decode(errors="replace"))
+        raise SystemExit(
+            f"FAIL: {bench} exited {proc.returncode} at "
+            f"MTIA_THREADS={lanes}"
+        )
+    report = os.path.join(workdir, f"BENCH_{name}.json")
+    if not os.path.exists(report):
+        raise SystemExit(f"FAIL: {bench} did not write {report}")
+    with open(report, encoding="utf-8") as f:
+        data = json.load(f)
+    for key in STRIP_KEYS:
+        data.pop(key, None)
+    # Canonical form: the comparison is on simulated content only.
+    return json.dumps(data, sort_keys=True, indent=1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True, help="bench binary path")
+    ap.add_argument("--name", required=True, help="bench report name")
+    ap.add_argument(
+        "--lanes",
+        default="1,8",
+        help="comma-separated MTIA_THREADS values (default 1,8)",
+    )
+    args = ap.parse_args()
+
+    lane_list = [int(x) for x in args.lanes.split(",") if x]
+    # Repeat the widest lane count: same seed, same process env must
+    # reproduce byte-identically run over run, not just across lanes.
+    runs = [(lanes, f"lanes{lanes}") for lanes in lane_list]
+    runs.append((lane_list[-1], f"lanes{lane_list[-1]}-again"))
+
+    results = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for lanes, tag in runs:
+            workdir = os.path.join(tmp, tag)
+            os.mkdir(workdir)
+            results.append(
+                (tag, run_bench(args.bench, args.name, lanes, workdir))
+            )
+
+    base_tag, base = results[0]
+    for tag, content in results[1:]:
+        if content != base:
+            for i, (a, b) in enumerate(
+                zip(base.splitlines(), content.splitlines())
+            ):
+                if a != b:
+                    sys.stderr.write(
+                        f"first differing line {i}:\n"
+                        f"  {base_tag}: {a}\n  {tag}: {b}\n"
+                    )
+                    break
+            raise SystemExit(
+                f"FAIL: BENCH_{args.name}.json differs between "
+                f"{base_tag} and {tag} (after stripping "
+                f"{', '.join(STRIP_KEYS)})"
+            )
+    print(
+        f"OK: BENCH_{args.name}.json byte-identical across "
+        + ", ".join(tag for _, tag in runs)
+    )
+
+
+if __name__ == "__main__":
+    main()

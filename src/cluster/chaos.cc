@@ -1,0 +1,134 @@
+#include "cluster/chaos.h"
+
+#include <algorithm>
+#include <array>
+
+#include "core/check.h"
+#include "fleet/memory_error_study.h"
+
+namespace mtia {
+
+namespace {
+
+/** Regions a live serving error can land in. */
+constexpr std::array<MemRegion, 4> kServingRegions = {
+    MemRegion::DenseWeights,
+    MemRegion::Activations,
+    MemRegion::EmbeddingTable,
+    MemRegion::TbeIndices,
+};
+
+/**
+ * Outcome sampler per region, weighted by the Section 5.1 injection
+ * campaign: a real (seeded) bit-flip campaign runs once per region
+ * and its outcome counts become the storm's consequence distribution.
+ */
+std::vector<DiscreteSampler>
+buildOutcomeSamplers(int trials, Rng &rng)
+{
+    std::vector<DiscreteSampler> samplers;
+    samplers.reserve(kServingRegions.size());
+    const MemoryErrorStudy study(rng.next());
+    for (std::size_t i = 0; i < kServingRegions.size(); ++i) {
+        const InjectionReport report = study.injectRegionSeeded(
+            kServingRegions[i], trials, rng.next());
+        samplers.emplace_back(std::vector<double>{
+            static_cast<double>(report.benign),
+            static_cast<double>(report.corrupted),
+            static_cast<double>(report.nan),
+            static_cast<double>(report.out_of_bounds),
+        });
+    }
+    return samplers;
+}
+
+constexpr std::array<ErrorOutcome, 4> kOutcomeByIndex = {
+    ErrorOutcome::Benign,
+    ErrorOutcome::Corrupted,
+    ErrorOutcome::NaN,
+    ErrorOutcome::OutOfBounds,
+};
+
+} // namespace
+
+std::vector<ChaosEvent>
+buildChaosTimeline(const ChaosParams &params, unsigned replicas,
+                   Tick duration, Rng rng)
+{
+    MTIA_CHECK_GT(replicas, 0u) << ": chaos timeline needs replicas";
+    MTIA_CHECK_GT(duration, 0u) << ": chaos timeline needs a duration";
+    std::vector<ChaosEvent> events;
+    if (!params.enabled)
+        return events;
+    MTIA_CHECK_GT(params.study_trials, 0)
+        << ": chaos outcome mix needs injection trials";
+
+    // Kills: one cluster-wide Poisson process (fork 0).
+    if (params.mean_kill_interval_s > 0.0) {
+        Rng kills = rng.fork(0);
+        const double rate = 1.0 / params.mean_kill_interval_s;
+        Tick t = 0;
+        while (true) {
+            t += fromSeconds(kills.exponential(rate));
+            if (t >= duration)
+                break;
+            ChaosEvent e;
+            e.time = t;
+            e.replica =
+                static_cast<unsigned>(kills.below(replicas));
+            e.kind = ChaosKind::ReplicaKill;
+            events.push_back(e);
+        }
+    }
+
+    // ECC storms: an independent substream per replica (fork 1 + r),
+    // so adding replicas never perturbs the others' storms. The
+    // outcome mix is shared (fork comes off the same base).
+    if (params.mean_storm_interval_s > 0.0 &&
+        params.storm_error_rate_s > 0.0) {
+        Rng mix_rng = rng.fork(replicas + 1);
+        const std::vector<DiscreteSampler> samplers =
+            buildOutcomeSamplers(params.study_trials, mix_rng);
+        const double storm_rate = 1.0 / params.mean_storm_interval_s;
+        for (unsigned r = 0; r < replicas; ++r) {
+            Rng storm = rng.fork(1 + r);
+            Tick t = 0;
+            while (true) {
+                t += fromSeconds(storm.exponential(storm_rate));
+                if (t >= duration)
+                    break;
+                const Tick storm_end = t +
+                    fromSeconds(storm.exponential(
+                        1.0 / params.mean_storm_duration_s));
+                Tick et = t;
+                while (true) {
+                    et += fromSeconds(storm.exponential(
+                        params.storm_error_rate_s));
+                    if (et >= storm_end || et >= duration)
+                        break;
+                    ChaosEvent e;
+                    e.time = et;
+                    e.replica = r;
+                    e.kind = ChaosKind::EccError;
+                    const std::size_t region_idx =
+                        storm.below(kServingRegions.size());
+                    e.region = kServingRegions[region_idx];
+                    e.outcome = kOutcomeByIndex
+                        [samplers[region_idx].sample(storm)];
+                    events.push_back(e);
+                }
+                t = storm_end;
+            }
+        }
+    }
+
+    // Deterministic total order: time, then generation order (kills
+    // were generated before storms, storms by ascending replica).
+    std::stable_sort(events.begin(), events.end(),
+                     [](const ChaosEvent &a, const ChaosEvent &b) {
+                         return a.time < b.time;
+                     });
+    return events;
+}
+
+} // namespace mtia

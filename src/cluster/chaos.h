@@ -1,0 +1,79 @@
+#ifndef MTIA_CLUSTER_CHAOS_H_
+#define MTIA_CLUSTER_CHAOS_H_
+
+/**
+ * @file
+ * Chaos injection for cluster runs: replica kills plus ECC error
+ * storms whose consequence mix comes from the Section 5.1 injection
+ * campaigns (fleet/memory_error_study.h) — the paper's
+ * productionization story is exactly this intersection of serving and
+ * reliability.
+ *
+ * The whole timeline is pre-generated as a pure function of
+ * (params, replica count, duration, rng): kills arrive as a
+ * cluster-wide Poisson process; each replica runs an independent
+ * storm process (Rng::fork substream per replica) during which ECC
+ * error events arrive at an elevated rate; every error picks a model
+ * memory region and draws its serving-visible consequence from that
+ * region's campaign-measured outcome distribution. Pre-generation
+ * keeps chaos replayable and byte-identical at any thread count: the
+ * simulator merely schedules the fixed event list.
+ *
+ * Consequence mapping in the cluster sim:
+ *   Benign      -> counter only
+ *   Corrupted   -> response-quality counter (request still completes)
+ *   NaN         -> retry: the chip re-runs part of the batch (latency)
+ *   OutOfBounds -> crash-equivalent: the replica dies (failover path)
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/error_injector.h"
+#include "sim/random.h"
+#include "sim/types.h"
+
+namespace mtia {
+
+/** What one chaos event does to the cluster. */
+enum class ChaosKind : std::uint8_t { ReplicaKill, EccError };
+
+/** One pre-generated chaos event. */
+struct ChaosEvent
+{
+    Tick time = 0;
+    unsigned replica = 0;
+    ChaosKind kind = ChaosKind::ReplicaKill;
+    /** ECC events only: region hit and classified consequence. */
+    MemRegion region = MemRegion::DenseWeights;
+    ErrorOutcome outcome = ErrorOutcome::Benign;
+};
+
+/** Chaos-mode knobs. */
+struct ChaosParams
+{
+    bool enabled = false;
+    /** Mean seconds between replica kills, cluster-wide. 0 = none. */
+    double mean_kill_interval_s = 5.0;
+    /** Mean seconds between ECC storms, per replica. 0 = none. */
+    double mean_storm_interval_s = 2.0;
+    /** Mean storm length in seconds (exponential). */
+    double mean_storm_duration_s = 0.5;
+    /** ECC error events per second while a storm is active. */
+    double storm_error_rate_s = 200.0;
+    /** Injection-campaign trials per region feeding the outcome mix. */
+    int study_trials = 120;
+};
+
+/**
+ * Build the deterministic chaos timeline for one run, sorted by
+ * (time, generation order). @p rng is taken by value: the caller's
+ * stream is not advanced, mirroring the Rng::fork discipline.
+ */
+std::vector<ChaosEvent> buildChaosTimeline(const ChaosParams &params,
+                                           unsigned replicas,
+                                           Tick duration, Rng rng);
+
+} // namespace mtia
+
+#endif // MTIA_CLUSTER_CHAOS_H_

@@ -1,0 +1,607 @@
+#include "cluster/cluster_sim.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "core/check.h"
+#include "core/parallel.h"
+#include "sim/event_queue.h"
+#include "telemetry/telemetry.h"
+
+namespace mtia {
+
+namespace {
+
+/** Completion callback of one chip job (move-only, inline-sized). */
+using JobDone = InlineFunction<void(Tick)>;
+
+/** One FIFO chip executing gather / merge / retry jobs. */
+struct SimChip
+{
+    std::deque<Tick> durations;
+    std::deque<JobDone> queue;
+    /** Parked completion of the executing job (one at a time), so
+     * scheduled events capture only indices and stay inline. */
+    JobDone inflight;
+    bool busy = false;
+    Tick busy_accum = 0;
+};
+
+/** Join counter: a batch's gathers across chips, then one merge. */
+struct BatchJoin
+{
+    unsigned remaining = 0;
+    std::uint64_t id = 0;
+    std::int64_t rows = 0;
+};
+
+/** One server replica: M chips + a deadline-aware batcher. */
+struct SimReplica
+{
+    bool alive = true;
+    /** Bumped on every kill; scheduled chip events carry the epoch
+     * they were issued under and no-op on mismatch. */
+    std::uint64_t epoch = 0;
+    /** Service-time multiplier (warmup_slowdown while warming up). */
+    double slowdown = 1.0;
+    std::int64_t outstanding_rows = 0;
+    std::unique_ptr<DynamicBatcher> batcher;
+    std::vector<SimChip> chips;
+    /** Dispatched-but-unmerged batches, for failover re-routing.
+     * Ordered by batch id so drains re-admit deterministically. */
+    std::map<std::uint64_t, std::vector<ClusterRequest>> inflight;
+};
+
+/** Latency range for the bounded histograms: 1 us to ~100 s, in ms. */
+telemetry::LogHistogram::Config
+latencyHistogramConfig()
+{
+    telemetry::LogHistogram::Config cfg;
+    cfg.min_value = 1e-3;
+    cfg.max_value = 1e5;
+    return cfg;
+}
+
+/** One simulation run: all mutable state behind simulateImpl. */
+class RunState
+{
+  public:
+    RunState(const ClusterConfig &cfg, double qps, Tick duration,
+             std::uint64_t seed, telemetry::Telemetry *tel)
+        : cfg_(cfg), qps_(qps), duration_(duration), tel_(tel),
+          controller_(cfg.replicas, cfg.health,
+                      makeRoutingPolicy(cfg.routing, cfg.replicas)),
+          hist_total_(latencyHistogramConfig())
+    {
+        Rng base(seed);
+        Rng trace_rng = base.fork(0);
+        ClusterTraceParams tp = cfg_.trace;
+        tp.traffic.qps = qps;
+        tp.traffic.duration = duration;
+        tp.embedding_shards = cfg_.embedding_shards;
+        trace_ = generateClusterTrace(trace_rng, tp);
+        chaos_ = buildChaosTimeline(cfg_.chaos, cfg_.replicas,
+                                    duration, base.fork(1));
+
+        BatcherConfig bcfg = cfg_.batcher;
+        bcfg.service_base =
+            cfg_.service.merge_base + cfg_.service.gather_base;
+        bcfg.service_per_row =
+            cfg_.service.gather_per_row + cfg_.service.merge_per_row;
+        replicas_.reserve(cfg_.replicas);
+        for (unsigned r = 0; r < cfg_.replicas; ++r) {
+            auto rep = std::make_unique<SimReplica>();
+            rep->chips.resize(cfg_.chips_per_replica);
+            rep->batcher = std::make_unique<DynamicBatcher>(
+                eq_, bcfg, [this, r](ClusterBatch &&batch) {
+                    dispatchBatch(r, std::move(batch));
+                });
+            replicas_.push_back(std::move(rep));
+        }
+        shard_rows_.assign(cfg_.embedding_shards, 0);
+
+        reg_total_ = nullptr;
+        if (tel_ != nullptr)
+            reg_total_ = &tel_->metrics.histogram(
+                "cluster.latency_ms", {{"class", "total"}},
+                latencyHistogramConfig());
+    }
+
+    ClusterResult run();
+
+  private:
+    void recordLatency(double ms)
+    {
+        hist_total_.add(ms);
+        if (reg_total_ != nullptr)
+            reg_total_->add(ms);
+    }
+
+    std::vector<std::int64_t> outstandingRows() const
+    {
+        std::vector<std::int64_t> rows(replicas_.size());
+        for (std::size_t r = 0; r < replicas_.size(); ++r)
+            rows[r] = replicas_[r]->outstanding_rows;
+        return rows;
+    }
+
+    void admit(const ClusterRequest &req)
+    {
+        const unsigned idx = controller_.route(req, outstandingRows());
+        if (idx >= controller_.replicas()) {
+            ++dropped_; // total outage: nothing routable
+            return;
+        }
+        SimReplica &rep = *replicas_[idx];
+        rep.outstanding_rows += req.candidates;
+        rep.batcher->add(req);
+    }
+
+    void enqueueChipJob(unsigned rep_idx, unsigned chip_idx, Tick dur,
+                        JobDone done)
+    {
+        SimChip &chip = replicas_[rep_idx]->chips[chip_idx];
+        chip.durations.push_back(dur);
+        chip.queue.push_back(std::move(done));
+        pump(rep_idx, chip_idx);
+    }
+
+    void pump(unsigned rep_idx, unsigned chip_idx)
+    {
+        SimReplica &rep = *replicas_[rep_idx];
+        if (!rep.alive)
+            return;
+        SimChip &chip = rep.chips[chip_idx];
+        if (chip.busy || chip.durations.empty())
+            return;
+        chip.busy = true;
+        // Warm-up slows the job at its start time.
+        const Tick dur = static_cast<Tick>(
+            static_cast<double>(chip.durations.front()) * rep.slowdown);
+        chip.durations.pop_front();
+        chip.inflight = std::move(chip.queue.front());
+        chip.queue.pop_front();
+        chip.busy_accum += dur;
+        const std::uint64_t epoch = rep.epoch;
+        eq_.scheduleAfter(dur, [this, rep_idx, chip_idx, epoch]() {
+            SimReplica &r = *replicas_[rep_idx];
+            if (!r.alive || r.epoch != epoch)
+                return;
+            JobDone fire = std::move(r.chips[chip_idx].inflight);
+            fire(eq_.now());
+        });
+        eq_.scheduleAfter(
+            dur + cfg_.service.dispatch_gap,
+            [this, rep_idx, chip_idx, epoch]() {
+                SimReplica &r = *replicas_[rep_idx];
+                if (!r.alive || r.epoch != epoch)
+                    return;
+                r.chips[chip_idx].busy = false;
+                pump(rep_idx, chip_idx);
+            });
+    }
+
+    void dispatchBatch(unsigned rep_idx, ClusterBatch &&batch)
+    {
+        SimReplica &rep = *replicas_[rep_idx];
+        const std::uint64_t id = batch.id;
+        const std::int64_t rows = batch.rows;
+        // Per-shard row footprint of this batch.
+        std::vector<std::int64_t> rows_per_shard(cfg_.embedding_shards,
+                                                 0);
+        for (const ClusterRequest &r : batch.requests)
+            rows_per_shard[r.home_shard] += r.candidates;
+        rep.inflight.emplace(id, std::move(batch.requests));
+        if (!rep.alive)
+            return; // lost until the controller detects and re-routes
+
+        // Executed load lands on the shard map (re-executions after a
+        // failover count again: that re-work is real).
+        for (unsigned s = 0; s < cfg_.embedding_shards; ++s)
+            shard_rows_[s] += rows_per_shard[s];
+
+        // Gather on every chip owning a shard this batch touches...
+        joins_.push_back(std::make_unique<BatchJoin>());
+        BatchJoin *join = joins_.back().get();
+        join->id = id;
+        join->rows = rows;
+        std::vector<Tick> chip_gather(cfg_.chips_per_replica, 0);
+        for (unsigned s = 0; s < cfg_.embedding_shards; ++s) {
+            if (rows_per_shard[s] == 0)
+                continue;
+            const unsigned chip = s % cfg_.chips_per_replica;
+            chip_gather[chip] += cfg_.service.gather_per_row *
+                static_cast<Tick>(rows_per_shard[s]);
+        }
+        for (unsigned c = 0; c < cfg_.chips_per_replica; ++c)
+            if (chip_gather[c] > 0)
+                ++join->remaining;
+        MTIA_DCHECK_GT(join->remaining, 0u)
+            << ": dispatched a batch with no gather work";
+        for (unsigned c = 0; c < cfg_.chips_per_replica; ++c) {
+            if (chip_gather[c] == 0)
+                continue;
+            const Tick dur = cfg_.service.gather_base + chip_gather[c];
+            enqueueChipJob(rep_idx, c, dur,
+                           [this, rep_idx, join](Tick) {
+                               if (--join->remaining == 0)
+                                   scheduleMerge(rep_idx, join);
+                           });
+        }
+    }
+
+    void scheduleMerge(unsigned rep_idx, BatchJoin *join)
+    {
+        // ...then one merge on the batch's home chip.
+        const unsigned chip = static_cast<unsigned>(
+            join->id % cfg_.chips_per_replica);
+        const Tick dur = cfg_.service.merge_base +
+            cfg_.service.merge_per_row * static_cast<Tick>(join->rows);
+        enqueueChipJob(
+            rep_idx, chip, dur,
+            [this, rep_idx, id = join->id, rows = join->rows](Tick end) {
+                completeBatch(rep_idx, id, rows, end);
+            });
+    }
+
+    void completeBatch(unsigned rep_idx, std::uint64_t id,
+                       std::int64_t rows, Tick end)
+    {
+        SimReplica &rep = *replicas_[rep_idx];
+        auto it = rep.inflight.find(id);
+        if (it == rep.inflight.end())
+            return; // drained by a failover before the merge landed
+        for (const ClusterRequest &r : it->second) {
+            const Tick latency = end - r.arrival;
+            recordLatency(toMillis(latency));
+            ++completed_;
+            if (latency <= cfg_.batcher.slo)
+                ++completed_in_slo_;
+            if (end <= duration_)
+                ++completed_in_window_;
+        }
+        rep.outstanding_rows -= rows;
+        MTIA_DCHECK_GE(rep.outstanding_rows, 0)
+            << ": batch completion over-credited a replica";
+        rep.inflight.erase(it);
+    }
+
+    void killReplica(unsigned r, Tick now)
+    {
+        SimReplica &rep = *replicas_[r];
+        if (!rep.alive)
+            return; // already dead: chaos double-kill is a no-op
+        rep.alive = false;
+        ++rep.epoch;
+        for (SimChip &chip : rep.chips) {
+            chip.durations.clear();
+            chip.queue.clear();
+            chip.inflight = JobDone();
+            chip.busy = false;
+        }
+        controller_.noteDeath(r, now);
+        ++kills_;
+    }
+
+    /** Heartbeat-timeout path: drain -> re-route -> schedule restart. */
+    void handleDetectedDown(unsigned r, Tick now)
+    {
+        SimReplica &rep = *replicas_[r];
+        std::vector<ClusterRequest> pending = rep.batcher->drain();
+        for (auto &[id, reqs] : rep.inflight)
+            for (ClusterRequest &req : reqs)
+                pending.push_back(req);
+        rep.inflight.clear();
+        rep.outstanding_rows = 0;
+        rerouted_ += pending.size();
+        for (const ClusterRequest &req : pending)
+            admit(req);
+        const std::uint64_t epoch = rep.epoch;
+        eq_.schedule(now + cfg_.health.restart_delay,
+                     [this, r, epoch]() { restartReplica(r, epoch); });
+    }
+
+    void restartReplica(unsigned r, std::uint64_t epoch)
+    {
+        SimReplica &rep = *replicas_[r];
+        if (rep.epoch != epoch)
+            return; // superseded by a later kill cycle
+        rep.alive = true;
+        rep.slowdown = cfg_.health.warmup_slowdown;
+        controller_.markWarmingUp(r, eq_.now());
+        eq_.scheduleAfter(cfg_.health.warmup, [this, r, epoch]() {
+            SimReplica &warmed = *replicas_[r];
+            if (warmed.epoch != epoch || !warmed.alive)
+                return; // killed again mid-warm-up
+            warmed.slowdown = 1.0;
+            controller_.markHealthy(r, eq_.now());
+        });
+    }
+
+    void handleChaos(const ChaosEvent &e)
+    {
+        SimReplica &rep = *replicas_[e.replica];
+        if (e.kind == ChaosKind::ReplicaKill) {
+            killReplica(e.replica, eq_.now());
+            return;
+        }
+        if (!rep.alive)
+            return; // a dead replica takes no new errors
+        ++ecc_errors_;
+        switch (e.outcome) {
+        case ErrorOutcome::Benign:
+            ++ecc_benign_;
+            break;
+        case ErrorOutcome::Corrupted:
+            // Wrong-but-finite outputs: the response completes and the
+            // quality counter records the blast radius.
+            ++ecc_corrupted_;
+            break;
+        case ErrorOutcome::NaN: {
+            // NaN consequence: the runtime re-executes the affected
+            // slice, costing chip time on the replica.
+            ++ecc_retries_;
+            const unsigned chip = static_cast<unsigned>(
+                e.time % cfg_.chips_per_replica);
+            enqueueChipJob(e.replica, chip, cfg_.service.retry_penalty,
+                           JobDone([](Tick) {}));
+            break;
+        }
+        case ErrorOutcome::OutOfBounds:
+            // Crash-equivalent index fault: the replica dies and the
+            // failover machinery takes over.
+            ++ecc_crashes_;
+            killReplica(e.replica, eq_.now());
+            break;
+        }
+    }
+
+    void scheduleHeartbeat(unsigned r, Tick t)
+    {
+        if (t >= duration_)
+            return;
+        eq_.schedule(t, [this, r, t]() {
+            if (replicas_[r]->alive)
+                controller_.heartbeat(r, eq_.now());
+            scheduleHeartbeat(r, t + cfg_.health.heartbeat_interval);
+        });
+    }
+
+    void scheduleHealthSweep(Tick t)
+    {
+        if (t >= duration_)
+            return;
+        eq_.schedule(t, [this, t]() {
+            const std::vector<unsigned> down =
+                controller_.checkHealth(eq_.now());
+            for (const unsigned r : down)
+                handleDetectedDown(r, eq_.now());
+            scheduleHealthSweep(t + cfg_.health.heartbeat_interval);
+        });
+    }
+
+    const ClusterConfig &cfg_;
+    double qps_;
+    Tick duration_;
+    telemetry::Telemetry *tel_;
+
+    EventQueue eq_;
+    ClusterController controller_;
+    std::vector<std::unique_ptr<SimReplica>> replicas_;
+    std::vector<std::unique_ptr<BatchJoin>> joins_;
+    std::vector<ClusterRequest> trace_;
+    std::vector<ChaosEvent> chaos_;
+    std::vector<std::int64_t> shard_rows_;
+
+    telemetry::LogHistogram hist_total_;
+    telemetry::LogHistogram *reg_total_ = nullptr;
+
+    std::uint64_t completed_ = 0;
+    std::uint64_t completed_in_slo_ = 0;
+    std::uint64_t completed_in_window_ = 0;
+    std::uint64_t rerouted_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t ecc_errors_ = 0;
+    std::uint64_t ecc_benign_ = 0;
+    std::uint64_t ecc_corrupted_ = 0;
+    std::uint64_t ecc_retries_ = 0;
+    std::uint64_t ecc_crashes_ = 0;
+    unsigned kills_ = 0;
+};
+
+ClusterResult
+RunState::run()
+{
+    // Arrivals replay the fixed trace; chaos replays its fixed
+    // timeline; heartbeats and health sweeps tick until the trace
+    // ends (sweeps offset half an interval so acks land first).
+    for (std::size_t i = 0; i < trace_.size(); ++i)
+        eq_.schedule(trace_[i].arrival,
+                     [this, i]() { admit(trace_[i]); });
+    for (std::size_t i = 0; i < chaos_.size(); ++i)
+        eq_.schedule(chaos_[i].time,
+                     [this, i]() { handleChaos(chaos_[i]); });
+    for (unsigned r = 0; r < cfg_.replicas; ++r)
+        scheduleHeartbeat(r, cfg_.health.heartbeat_interval);
+    scheduleHealthSweep(cfg_.health.heartbeat_interval +
+                        cfg_.health.heartbeat_interval / 2);
+
+    eq_.run();
+
+    ClusterResult out;
+    out.policy = routingPolicyKindName(cfg_.routing);
+    out.offered_qps = qps_;
+    out.arrivals = trace_.size();
+    out.completed = completed_;
+    out.completed_in_slo = completed_in_slo_;
+    out.completed_qps = static_cast<double>(completed_in_window_) /
+        toSeconds(duration_);
+    out.rerouted = rerouted_;
+    out.dropped = dropped_;
+    if (!hist_total_.empty()) {
+        out.p50_ms = hist_total_.percentile(50);
+        out.p99_ms = hist_total_.percentile(99);
+    }
+    out.slo_attainment = out.arrivals == 0
+        ? 0.0
+        : static_cast<double>(completed_in_slo_) /
+            static_cast<double>(out.arrivals);
+    out.shard_rows = shard_rows_;
+    out.shard_skew = shardSkew(shard_rows_);
+    for (const auto &rep : replicas_) {
+        const BatcherStats &bs = rep->batcher->stats();
+        out.batches += bs.batches;
+        out.batches_full += bs.closed_full;
+        out.batches_deadline += bs.closed_deadline;
+        out.batches_window += bs.closed_window;
+    }
+    out.kills = kills_;
+    const std::vector<FailoverRecord> &fo = controller_.failovers();
+    out.failovers = static_cast<unsigned>(fo.size());
+    double detect_sum = 0.0;
+    double recover_sum = 0.0;
+    std::uint64_t recovered = 0;
+    for (const FailoverRecord &rec : fo) {
+        detect_sum += toMillis(rec.detected - rec.died);
+        if (rec.restored != 0) {
+            const double rec_ms = toMillis(rec.restored - rec.died);
+            recover_sum += rec_ms;
+            out.max_recovery_ms = std::max(out.max_recovery_ms, rec_ms);
+            ++recovered;
+        }
+    }
+    if (!fo.empty())
+        out.mean_detection_ms =
+            detect_sum / static_cast<double>(fo.size());
+    if (recovered != 0)
+        out.mean_recovery_ms =
+            recover_sum / static_cast<double>(recovered);
+    out.ecc_errors = ecc_errors_;
+    out.ecc_benign = ecc_benign_;
+    out.ecc_corrupted = ecc_corrupted_;
+    out.ecc_retries = ecc_retries_;
+    out.ecc_crashes = ecc_crashes_;
+
+    if (tel_ != nullptr) {
+        auto &m = tel_->metrics;
+        m.counter("cluster.requests", {{"event", "arrived"}})
+            .inc(out.arrivals);
+        m.counter("cluster.requests", {{"event", "completed"}})
+            .inc(completed_);
+        m.counter("cluster.requests", {{"event", "rerouted"}})
+            .inc(rerouted_);
+        m.counter("cluster.requests", {{"event", "dropped"}})
+            .inc(dropped_);
+        m.counter("cluster.ecc", {{"outcome", "benign"}})
+            .inc(ecc_benign_);
+        m.counter("cluster.ecc", {{"outcome", "corrupted"}})
+            .inc(ecc_corrupted_);
+        m.counter("cluster.ecc", {{"outcome", "retry"}})
+            .inc(ecc_retries_);
+        m.counter("cluster.ecc", {{"outcome", "crash"}})
+            .inc(ecc_crashes_);
+        m.counter("cluster.failovers").inc(out.failovers);
+        m.counter("sim.events_executed").inc(eq_.executed());
+        eq_.publishMetrics(m);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+ClusterResult::summary() const
+{
+    char line[192];
+    std::string out;
+    const auto add = [&out, &line](int n) {
+        MTIA_DCHECK_GT(n, 0) << ": summary formatting failed";
+        out.append(line, static_cast<std::size_t>(n));
+    };
+    add(std::snprintf(line, sizeof line, "policy=%s\n", policy.c_str()));
+    add(std::snprintf(line, sizeof line,
+                      "offered_qps=%.6f completed_qps=%.6f\n",
+                      offered_qps, completed_qps));
+    add(std::snprintf(
+        line, sizeof line,
+        "arrivals=%" PRIu64 " completed=%" PRIu64
+        " completed_in_slo=%" PRIu64 " rerouted=%" PRIu64
+        " dropped=%" PRIu64 "\n",
+        arrivals, completed, completed_in_slo, rerouted, dropped));
+    add(std::snprintf(line, sizeof line,
+                      "p50_ms=%.6f p99_ms=%.6f slo_attainment=%.6f\n",
+                      p50_ms, p99_ms, slo_attainment));
+    out += "shard_rows=[";
+    for (std::size_t s = 0; s < shard_rows.size(); ++s) {
+        add(std::snprintf(line, sizeof line, "%s%" PRId64,
+                          s == 0 ? "" : ",", shard_rows[s]));
+    }
+    add(std::snprintf(line, sizeof line, "] shard_skew=%.6f\n",
+                      shard_skew));
+    add(std::snprintf(
+        line, sizeof line,
+        "batches=%" PRIu64 " full=%" PRIu64 " deadline=%" PRIu64
+        " window=%" PRIu64 "\n",
+        batches, batches_full, batches_deadline, batches_window));
+    add(std::snprintf(line, sizeof line,
+                      "kills=%u failovers=%u detection_ms=%.6f "
+                      "recovery_ms=%.6f max_recovery_ms=%.6f\n",
+                      kills, failovers, mean_detection_ms,
+                      mean_recovery_ms, max_recovery_ms));
+    add(std::snprintf(
+        line, sizeof line,
+        "ecc=%" PRIu64 " benign=%" PRIu64 " corrupted=%" PRIu64
+        " retries=%" PRIu64 " crashes=%" PRIu64 "\n",
+        ecc_errors, ecc_benign, ecc_corrupted, ecc_retries,
+        ecc_crashes));
+    return out;
+}
+
+ClusterSimulator::ClusterSimulator(ClusterConfig cfg) : cfg_(std::move(cfg))
+{
+    MTIA_CHECK_GT(cfg_.replicas, 0u)
+        << ": cluster needs at least one replica";
+    MTIA_CHECK_GT(cfg_.chips_per_replica, 0u)
+        << ": replicas need at least one chip";
+    MTIA_CHECK_GT(cfg_.embedding_shards, 0u)
+        << ": cluster needs at least one embedding shard";
+    MTIA_CHECK_GT(cfg_.batcher.slo, 0u) << ": cluster needs an SLO";
+}
+
+ClusterResult
+ClusterSimulator::simulate(double qps, Tick duration,
+                           std::uint64_t seed) const
+{
+    return simulateImpl(qps, duration, seed, telemetry_);
+}
+
+ClusterResult
+ClusterSimulator::simulateImpl(double qps, Tick duration,
+                               std::uint64_t seed,
+                               telemetry::Telemetry *tel) const
+{
+    MTIA_CHECK_GT(qps, 0.0) << ": cluster offered load";
+    MTIA_CHECK_GT(duration, 0u) << ": cluster sim duration";
+    RunState state(cfg_, qps, duration, seed, tel);
+    return state.run();
+}
+
+std::vector<ClusterResult>
+ClusterSimulator::sweep(const std::vector<double> &qps, Tick duration,
+                        std::uint64_t seed) const
+{
+    const Rng base(seed);
+    // One fork substream per load point; telemetry-detached because
+    // the registry is shared mutable state across lanes.
+    return parallelMap(qps.size(), [&](std::size_t i) {
+        return simulateImpl(qps[i], duration, base.fork(i).next(),
+                            nullptr);
+    });
+}
+
+} // namespace mtia

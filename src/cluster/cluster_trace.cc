@@ -1,0 +1,69 @@
+#include "cluster/cluster_trace.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace mtia {
+
+std::vector<ClusterRequest>
+generateClusterTrace(Rng &rng, const ClusterTraceParams &p)
+{
+    MTIA_CHECK_GT(p.users, 0u) << ": cluster trace needs users";
+    MTIA_CHECK_GT(p.embedding_shards, 0u)
+        << ": cluster trace needs at least one embedding shard";
+    const std::vector<Request> arrivals = generateTrace(rng, p.traffic);
+    const ZipfSampler user_sampler(p.users, p.user_zipf_alpha);
+
+    std::vector<ClusterRequest> trace;
+    trace.reserve(arrivals.size());
+    for (const Request &r : arrivals) {
+        ClusterRequest c;
+        c.id = r.id;
+        c.arrival = r.arrival;
+        c.candidates = r.candidates;
+        c.user = user_sampler.sample(rng);
+        // Range partition: user id space split into equal shard
+        // ranges, so the Zipf head (low user ids) lands on shard 0.
+        c.home_shard = static_cast<unsigned>(
+            (c.user * p.embedding_shards) / p.users);
+        MTIA_DCHECK_LT(c.home_shard, p.embedding_shards);
+        trace.push_back(c);
+    }
+    // generateTrace returns arrival-sorted requests; user sampling
+    // preserves the order.
+    return trace;
+}
+
+std::vector<std::int64_t>
+shardRowLoad(const std::vector<ClusterRequest> &trace, unsigned shards)
+{
+    MTIA_CHECK_GT(shards, 0u) << ": shardRowLoad over zero shards";
+    std::vector<std::int64_t> rows(shards, 0);
+    for (const ClusterRequest &r : trace) {
+        MTIA_CHECK_LT(r.home_shard, shards)
+            << ": request shard outside the cluster's shard count";
+        rows[r.home_shard] += r.candidates;
+    }
+    return rows;
+}
+
+double
+shardSkew(const std::vector<std::int64_t> &rows_per_shard)
+{
+    if (rows_per_shard.empty())
+        return 0.0;
+    std::int64_t peak = 0;
+    std::int64_t total = 0;
+    for (const std::int64_t rows : rows_per_shard) {
+        peak = std::max(peak, rows);
+        total += rows;
+    }
+    if (total == 0)
+        return 0.0;
+    const double mean = static_cast<double>(total) /
+        static_cast<double>(rows_per_shard.size());
+    return static_cast<double>(peak) / mean;
+}
+
+} // namespace mtia

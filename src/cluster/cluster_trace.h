@@ -1,0 +1,70 @@
+#ifndef MTIA_CLUSTER_CLUSTER_TRACE_H_
+#define MTIA_CLUSTER_CLUSTER_TRACE_H_
+
+/**
+ * @file
+ * Million-user replayable cluster traffic (Sections 3.4 and 6). One
+ * trace is the fixed input a whole experiment replays: Poisson
+ * arrivals with diurnal modulation and bursts come from the existing
+ * traffic layer (models/workload.h), and every request is attributed
+ * to a Zipf-distributed user whose embedding rows live on one primary
+ * shard. Range-partitioning users onto shards puts the Zipf head on
+ * the low shards, which is what produces the per-shard load skew the
+ * cluster layer has to route around.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "models/workload.h"
+#include "sim/random.h"
+#include "sim/types.h"
+
+namespace mtia {
+
+/** One request as the cluster controller sees it. */
+struct ClusterRequest
+{
+    std::uint64_t id = 0;
+    /** Originating user (Zipf-distributed over the user population). */
+    std::uint64_t user = 0;
+    Tick arrival = 0;
+    /** Candidate items to score = embedding rows to gather. */
+    std::int64_t candidates = 0;
+    /** Primary embedding shard holding this user's rows. */
+    unsigned home_shard = 0;
+};
+
+/** Cluster-trace shape: arrival process x user population x sharding. */
+struct ClusterTraceParams
+{
+    /** Arrival process (qps, duration, diurnal depth, bursts). */
+    TrafficParams traffic;
+    /** User population size (millions in the production scenarios). */
+    std::uint64_t users = 1'000'000;
+    /** Zipf exponent of per-user request frequency. != 1. */
+    double user_zipf_alpha = 1.1;
+    /** Embedding shards the user id space is range-partitioned over. */
+    unsigned embedding_shards = 8;
+};
+
+/**
+ * Generate a replayable cluster trace: arrivals from generateTrace,
+ * users sampled Zipf, home shard by range partition of the user id
+ * space (shard = user * shards / users), so the Zipf head concentrates
+ * on shard 0 and skew is a property of the trace, not the router.
+ * Deterministic for a given (rng state, params); sorted by arrival.
+ */
+std::vector<ClusterRequest>
+generateClusterTrace(Rng &rng, const ClusterTraceParams &p);
+
+/** Total candidate rows a trace gathers from each shard. */
+std::vector<std::int64_t>
+shardRowLoad(const std::vector<ClusterRequest> &trace, unsigned shards);
+
+/** Max/mean ratio of a per-shard load vector (1.0 = perfectly even). */
+double shardSkew(const std::vector<std::int64_t> &rows_per_shard);
+
+} // namespace mtia
+
+#endif // MTIA_CLUSTER_CLUSTER_TRACE_H_

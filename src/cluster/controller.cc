@@ -1,0 +1,153 @@
+#include "cluster/controller.h"
+
+#include <utility>
+
+#include "core/check.h"
+
+namespace mtia {
+
+const char *
+replicaHealthName(ReplicaHealth h)
+{
+    switch (h) {
+    case ReplicaHealth::Healthy:
+        return "healthy";
+    case ReplicaHealth::Suspect:
+        return "suspect";
+    case ReplicaHealth::Down:
+        return "down";
+    case ReplicaHealth::WarmingUp:
+        return "warming_up";
+    }
+    MTIA_UNREACHABLE("unknown ReplicaHealth");
+}
+
+ClusterController::ClusterController(unsigned replicas, HealthConfig cfg,
+                                     std::unique_ptr<RoutingPolicy> policy)
+    : cfg_(cfg), policy_(std::move(policy)), state_(replicas)
+{
+    MTIA_CHECK_GT(replicas, 0u) << ": cluster needs replicas";
+    MTIA_CHECK_GT(cfg_.heartbeat_interval, 0u)
+        << ": heartbeat interval";
+    MTIA_CHECK_GT(cfg_.miss_threshold, 0u) << ": miss threshold";
+    MTIA_CHECK_GE(cfg_.warmup_slowdown, 1.0)
+        << ": warm-up cannot be faster than steady state";
+    MTIA_CHECK(policy_) << ": cluster controller needs a routing policy";
+}
+
+unsigned
+ClusterController::route(const ClusterRequest &req,
+                         const std::vector<std::int64_t> &outstanding_rows)
+{
+    MTIA_CHECK_EQ(outstanding_rows.size(), state_.size())
+        << ": load vector does not match the replica count";
+    std::vector<ReplicaLoadView> view(state_.size());
+    bool any = false;
+    for (std::size_t r = 0; r < state_.size(); ++r) {
+        view[r].routable = state_[r].health != ReplicaHealth::Down;
+        view[r].outstanding_rows = outstanding_rows[r];
+        any = any || view[r].routable;
+    }
+    if (!any)
+        return replicas(); // total outage: the caller drops
+    return policy_->route(req, view);
+}
+
+void
+ClusterController::heartbeat(unsigned r, Tick now)
+{
+    MTIA_CHECK_LT(r, state_.size()) << ": heartbeat from unknown replica";
+    ReplicaState &s = state_[r];
+    s.last_ack = now;
+    // An ack proves liveness: a Suspect replica that was merely slow
+    // recovers without a failover.
+    if (s.health == ReplicaHealth::Suspect)
+        s.health = ReplicaHealth::Healthy;
+}
+
+std::vector<unsigned>
+ClusterController::checkHealth(Tick now)
+{
+    std::vector<unsigned> newly_down;
+    const Tick suspect_after = cfg_.heartbeat_interval;
+    const Tick down_after = cfg_.heartbeat_interval * cfg_.miss_threshold;
+    for (unsigned r = 0; r < state_.size(); ++r) {
+        ReplicaState &s = state_[r];
+        // WarmingUp replicas heartbeat like live ones, so staleness
+        // detection covers a replica killed again mid-warm-up.
+        if (s.health == ReplicaHealth::Down)
+            continue;
+        const Tick silence = now - s.last_ack;
+        if (silence > down_after) {
+            s.health = ReplicaHealth::Down;
+            FailoverRecord rec;
+            rec.replica = r;
+            rec.died = s.died != 0 ? s.died : s.last_ack;
+            rec.detected = now;
+            // A failover that never completed (killed mid-warm-up)
+            // stays open with restored == 0; a fresh record tracks
+            // the new cycle.
+            s.open_failover =
+                static_cast<std::int64_t>(failovers_.size());
+            failovers_.push_back(rec);
+            newly_down.push_back(r);
+        } else if (silence > suspect_after &&
+                   s.health == ReplicaHealth::Healthy) {
+            s.health = ReplicaHealth::Suspect;
+        }
+    }
+    return newly_down;
+}
+
+void
+ClusterController::noteDeath(unsigned r, Tick now)
+{
+    MTIA_CHECK_LT(r, state_.size()) << ": death of unknown replica";
+    state_[r].died = now;
+}
+
+void
+ClusterController::markWarmingUp(unsigned r, Tick now)
+{
+    MTIA_CHECK_LT(r, state_.size()) << ": restart of unknown replica";
+    ReplicaState &s = state_[r];
+    MTIA_CHECK(s.health == ReplicaHealth::Down)
+        << ": only a Down replica can restart";
+    s.health = ReplicaHealth::WarmingUp;
+    s.last_ack = now; // heartbeats resume with the process
+}
+
+void
+ClusterController::markHealthy(unsigned r, Tick now)
+{
+    MTIA_CHECK_LT(r, state_.size()) << ": warm-up of unknown replica";
+    ReplicaState &s = state_[r];
+    MTIA_CHECK(s.health == ReplicaHealth::WarmingUp)
+        << ": only a WarmingUp replica can finish warm-up";
+    s.health = ReplicaHealth::Healthy;
+    s.last_ack = now;
+    s.died = 0;
+    if (s.open_failover >= 0) {
+        failovers_[static_cast<std::size_t>(s.open_failover)].restored =
+            now;
+        s.open_failover = -1;
+    }
+}
+
+ReplicaHealth
+ClusterController::health(unsigned r) const
+{
+    MTIA_CHECK_LT(r, state_.size()) << ": health of unknown replica";
+    return state_[r].health;
+}
+
+bool
+ClusterController::anyRoutable() const
+{
+    for (const ReplicaState &s : state_)
+        if (s.health != ReplicaHealth::Down)
+            return true;
+    return false;
+}
+
+} // namespace mtia

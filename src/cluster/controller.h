@@ -1,0 +1,135 @@
+#ifndef MTIA_CLUSTER_CONTROLLER_H_
+#define MTIA_CLUSTER_CONTROLLER_H_
+
+/**
+ * @file
+ * The cluster controller: routing facade plus replica health
+ * tracking. Health is heartbeat-driven and purely sim-clocked:
+ *
+ *   Healthy --(>=1 missed heartbeat)--> Suspect
+ *   Suspect --(miss_threshold missed)--> Down     (drain + re-route)
+ *   Down    --(restart_delay elapsed)--> WarmingUp (serves, slowed)
+ *   WarmingUp --(warmup elapsed)------> Healthy
+ *
+ * The controller never sees wall-clock time: the simulator feeds it
+ * heartbeat acks and periodic checkHealth(now) sweeps, and reads back
+ * which replicas newly crossed into Down so it can drain and re-route
+ * their pending work. Detection latency and full recovery time per
+ * failover are recorded for the cluster report.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/routing.h"
+#include "sim/types.h"
+
+namespace mtia {
+
+/** Replica health as the controller sees it. */
+enum class ReplicaHealth : std::uint8_t {
+    Healthy,
+    Suspect,   ///< missed >= 1 heartbeat, still routable
+    Down,      ///< detected dead; drained and unroutable
+    WarmingUp, ///< restarted; routable but serving slowed
+};
+
+/** Human-readable health-state name. */
+const char *replicaHealthName(ReplicaHealth h);
+
+/** Health-tracking knobs. */
+struct HealthConfig
+{
+    Tick heartbeat_interval = fromMillis(5.0);
+    /** Missed heartbeats before a replica is declared Down. */
+    unsigned miss_threshold = 3;
+    /** Down -> WarmingUp delay (process restart + model reload). */
+    Tick restart_delay = fromMillis(200.0);
+    /** WarmingUp -> Healthy delay (cache warm-up). */
+    Tick warmup = fromMillis(100.0);
+    /** Service-time multiplier while WarmingUp (cold caches). */
+    double warmup_slowdown = 1.5;
+};
+
+/** One completed failover, for the cluster report. */
+struct FailoverRecord
+{
+    unsigned replica = 0;
+    Tick died = 0;     ///< when the replica actually stopped
+    Tick detected = 0; ///< when the controller declared it Down
+    Tick restored = 0; ///< when it re-entered Healthy (0 = not yet)
+};
+
+/** Routing facade + health book-keeping for one cluster. */
+class ClusterController
+{
+  public:
+    ClusterController(unsigned replicas, HealthConfig cfg,
+                      std::unique_ptr<RoutingPolicy> policy);
+
+    unsigned replicas() const
+    {
+        return static_cast<unsigned>(state_.size());
+    }
+    const HealthConfig &healthConfig() const { return cfg_; }
+    RoutingPolicy &policy() { return *policy_; }
+
+    /**
+     * Route @p req given per-replica outstanding rows. Returns the
+     * replica index, or replicas() when nothing is routable (caller
+     * counts a drop).
+     */
+    unsigned route(const ClusterRequest &req,
+                   const std::vector<std::int64_t> &outstanding_rows);
+
+    /** Replica @p r acked a heartbeat at @p now. */
+    void heartbeat(unsigned r, Tick now);
+
+    /**
+     * Periodic sweep: demote replicas whose last ack is stale.
+     * Returns the replicas that newly crossed into Down this sweep
+     * (ascending index) — the caller drains and re-routes their work.
+     * @p died_at(r) gives the true death time for the failover record.
+     */
+    std::vector<unsigned> checkHealth(Tick now);
+
+    /** The simulator observed replica @p r die at @p now (chaos). */
+    void noteDeath(unsigned r, Tick now);
+
+    /** Replica restarted into WarmingUp at @p now. */
+    void markWarmingUp(unsigned r, Tick now);
+
+    /** Warm-up finished: replica Healthy again at @p now. */
+    void markHealthy(unsigned r, Tick now);
+
+    ReplicaHealth health(unsigned r) const;
+
+    /** True if any replica can accept traffic. */
+    bool anyRoutable() const;
+
+    /** Completed and in-progress failovers, in detection order. */
+    const std::vector<FailoverRecord> &failovers() const
+    {
+        return failovers_;
+    }
+
+  private:
+    struct ReplicaState
+    {
+        ReplicaHealth health = ReplicaHealth::Healthy;
+        Tick last_ack = 0;
+        Tick died = 0;
+        /** Index into failovers_ of the open record; -1 if none. */
+        std::int64_t open_failover = -1;
+    };
+
+    HealthConfig cfg_;
+    std::unique_ptr<RoutingPolicy> policy_;
+    std::vector<ReplicaState> state_;
+    std::vector<FailoverRecord> failovers_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_CLUSTER_CONTROLLER_H_

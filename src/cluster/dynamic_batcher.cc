@@ -1,0 +1,127 @@
+#include "cluster/dynamic_batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/check.h"
+
+namespace mtia {
+
+const char *
+batchCloseName(BatchClose reason)
+{
+    switch (reason) {
+    case BatchClose::Full:
+        return "full";
+    case BatchClose::Deadline:
+        return "deadline";
+    case BatchClose::Window:
+        return "window";
+    }
+    MTIA_UNREACHABLE("unknown BatchClose");
+}
+
+DynamicBatcher::DynamicBatcher(EventQueue &eq, BatcherConfig cfg,
+                               Dispatch on_dispatch)
+    : eq_(eq), cfg_(cfg), on_dispatch_(std::move(on_dispatch))
+{
+    MTIA_CHECK_GT(cfg_.capacity, 0) << ": batcher capacity";
+    MTIA_CHECK_GT(cfg_.window, 0u) << ": batcher window";
+    MTIA_CHECK_GT(cfg_.slo, 0u) << ": batcher SLO";
+    MTIA_CHECK(on_dispatch_) << ": batcher needs a dispatch callback";
+}
+
+Tick
+DynamicBatcher::estimatedService(std::int64_t rows) const
+{
+    return cfg_.service_base +
+        cfg_.service_per_row * static_cast<Tick>(rows);
+}
+
+void
+DynamicBatcher::add(const ClusterRequest &req)
+{
+    MTIA_CHECK_GT(req.candidates, 0)
+        << ": batched request with no candidate rows";
+    if (!open_batch_) {
+        open_ = ClusterBatch{};
+        open_.id = next_id_++;
+        open_.open_time = eq_.now();
+        open_batch_ = true;
+    }
+    open_.requests.push_back(req);
+    open_.rows += req.candidates;
+    if (open_.rows >= cfg_.capacity) {
+        close(BatchClose::Full);
+        return;
+    }
+    scheduleClose();
+}
+
+std::vector<ClusterRequest>
+DynamicBatcher::drain()
+{
+    ++close_generation_; // orphan any pending close timer
+    std::vector<ClusterRequest> out = std::move(open_.requests);
+    open_ = ClusterBatch{};
+    open_batch_ = false;
+    return out;
+}
+
+void
+DynamicBatcher::scheduleClose()
+{
+    // Oldest member bounds the batch's deadline; the service estimate
+    // grows with every add, so recompute and invalidate stale timers.
+    const Tick now = eq_.now();
+    const Tick window_close = open_.open_time + cfg_.window;
+    const std::int64_t target = static_cast<std::int64_t>(
+        open_.requests.front().arrival + cfg_.slo);
+    const std::int64_t hold = static_cast<std::int64_t>(
+        estimatedService(open_.rows) + cfg_.close_slack);
+    const std::int64_t deadline_close_signed = target - hold;
+    const Tick deadline_close = deadline_close_signed <= 0
+        ? 0
+        : static_cast<Tick>(deadline_close_signed);
+    const BatchClose reason = deadline_close <= window_close
+        ? BatchClose::Deadline
+        : BatchClose::Window;
+    const Tick close_at =
+        std::max(now, std::min(window_close, deadline_close));
+
+    const std::uint64_t gen = ++close_generation_;
+    eq_.schedule(close_at, [this, gen, reason]() {
+        if (gen != close_generation_ || !open_batch_)
+            return; // superseded by a later add, Full close, or drain
+        close(reason);
+    });
+}
+
+void
+DynamicBatcher::close(BatchClose reason)
+{
+    MTIA_DCHECK(open_batch_) << ": closing with no open batch";
+    ++close_generation_; // orphan the pending timer, if any
+    ClusterBatch batch = std::move(open_);
+    open_ = ClusterBatch{};
+    open_batch_ = false;
+
+    batch.dispatch_time = eq_.now();
+    batch.reason = reason;
+    ++stats_.batches;
+    stats_.requests += batch.requests.size();
+    switch (reason) {
+    case BatchClose::Full:
+        ++stats_.closed_full;
+        break;
+    case BatchClose::Deadline:
+        ++stats_.closed_deadline;
+        break;
+    case BatchClose::Window:
+        ++stats_.closed_window;
+        break;
+    }
+    on_dispatch_(std::move(batch));
+}
+
+} // namespace mtia

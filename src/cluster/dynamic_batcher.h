@@ -1,0 +1,131 @@
+#ifndef MTIA_CLUSTER_DYNAMIC_BATCHER_H_
+#define MTIA_CLUSTER_DYNAMIC_BATCHER_H_
+
+/**
+ * @file
+ * Deadline-aware dynamic batching: the event-driven, online sibling of
+ * the offline serving/coalescer.h (which gained the same deadline
+ * close rule). One batch is open at a time per batcher; it closes —
+ * and the dispatch callback fires — on the first of:
+ *
+ *   Full:     accumulated rows reach capacity (closed synchronously
+ *             inside add()).
+ *   Deadline: the OLDEST member's SLO slack crosses the close
+ *             threshold. Slack at time t is
+ *               (arrival + slo) - t - estimatedService(rows),
+ *             so the close time moves EARLIER as members join and the
+ *             service estimate grows; stale timers are invalidated by
+ *             a generation counter.
+ *   Window:   the batch has been open for the max window (bounds
+ *             latency when the queue is slack-rich).
+ *
+ * State machine: Idle -> Open (first add) -> {Full|Deadline|Window}
+ * close -> dispatch -> Idle. drain() (failover re-route) empties an
+ * Open batch without dispatching.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_trace.h"
+#include "core/inline_function.h"
+#include "sim/event_queue.h"
+#include "sim/types.h"
+
+namespace mtia {
+
+/** Why a batch closed. */
+enum class BatchClose : std::uint8_t { Full, Deadline, Window };
+
+/** Human-readable close-reason name. */
+const char *batchCloseName(BatchClose reason);
+
+/** One dispatched cluster batch. */
+struct ClusterBatch
+{
+    std::uint64_t id = 0;
+    Tick open_time = 0;
+    Tick dispatch_time = 0;
+    BatchClose reason = BatchClose::Full;
+    std::vector<ClusterRequest> requests;
+    std::int64_t rows = 0;
+};
+
+/** Batcher policy. */
+struct BatcherConfig
+{
+    std::int64_t capacity = 512;      ///< rows per batch
+    Tick window = fromMillis(2.0);    ///< max time a batch stays open
+    Tick slo = fromMillis(50.0);      ///< per-request latency budget
+    Tick close_slack = fromMillis(5.0); ///< close when slack <= this
+    /** Batch service estimate: base + per_row * rows (used for slack). */
+    Tick service_base = fromMillis(1.0);
+    Tick service_per_row = fromMicros(4.0);
+};
+
+/** Close-reason counters for reports. */
+struct BatcherStats
+{
+    std::uint64_t batches = 0;
+    std::uint64_t closed_full = 0;
+    std::uint64_t closed_deadline = 0;
+    std::uint64_t closed_window = 0;
+    std::uint64_t requests = 0;
+};
+
+/**
+ * The online batcher. Lives on an EventQueue (close timers are
+ * events); add() is called at the request's routing time, and the
+ * dispatch callback fires at most once per batch, in event order.
+ * The batcher must outlive the queue's pending close timers — in the
+ * cluster sim both are torn down together after run().
+ */
+class DynamicBatcher
+{
+  public:
+    using Dispatch = InlineFunction<void(ClusterBatch &&)>;
+
+    /** @p on_dispatch is invoked synchronously at close time. */
+    DynamicBatcher(EventQueue &eq, BatcherConfig cfg,
+                   Dispatch on_dispatch);
+
+    /** Route one request into the open batch (opens one if idle). */
+    void add(const ClusterRequest &req);
+
+    /**
+     * Failover: return the open batch's requests (arrival order)
+     * without dispatching, leaving the batcher Idle. Pending close
+     * timers become no-ops.
+     */
+    std::vector<ClusterRequest> drain();
+
+    /** Rows in the currently open batch. */
+    std::int64_t pendingRows() const { return open_.rows; }
+
+    /** True if a batch is open. */
+    bool hasOpenBatch() const { return open_batch_; }
+
+    const BatcherStats &stats() const { return stats_; }
+    const BatcherConfig &config() const { return cfg_; }
+
+    /** Service-time estimate for a batch of @p rows rows. */
+    Tick estimatedService(std::int64_t rows) const;
+
+  private:
+    void scheduleClose();
+    void close(BatchClose reason);
+
+    EventQueue &eq_;
+    BatcherConfig cfg_;
+    Dispatch on_dispatch_;
+    ClusterBatch open_;
+    bool open_batch_ = false;
+    std::uint64_t next_id_ = 0;
+    /** Invalidates stale close timers: fire only if generations match. */
+    std::uint64_t close_generation_ = 0;
+    BatcherStats stats_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_CLUSTER_DYNAMIC_BATCHER_H_

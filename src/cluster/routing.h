@@ -1,0 +1,96 @@
+#ifndef MTIA_CLUSTER_ROUTING_H_
+#define MTIA_CLUSTER_ROUTING_H_
+
+/**
+ * @file
+ * Request routing across server replicas. Two policies behind one
+ * interface: least-loaded (route to the replica with the fewest
+ * outstanding rows — best load balance, worst embedding-cache
+ * affinity) and consistent-hash-on-embedding-shard (requests for one
+ * shard stick to one replica via a virtual-node hash ring — best
+ * affinity, inherits the trace's shard skew). Both are deterministic:
+ * ties break toward the lowest replica index, and the hash ring is a
+ * pure function of (replica count, vnodes).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_trace.h"
+
+namespace mtia {
+
+/** What the router may observe about one replica. */
+struct ReplicaLoadView
+{
+    /** Routable: healthy, suspect, or warming up — not detected down. */
+    bool routable = true;
+    /** Rows queued or executing on the replica (batcher + chips). */
+    std::int64_t outstanding_rows = 0;
+};
+
+/** Routing-policy interface. */
+class RoutingPolicy
+{
+  public:
+    virtual ~RoutingPolicy() = default;
+
+    /** Policy name for reports ("least_loaded" / "shard_hash"). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Pick a replica for @p req. @p view has one entry per replica;
+     * at least one must be routable. Deterministic: identical inputs
+     * give identical picks.
+     */
+    virtual unsigned route(const ClusterRequest &req,
+                           const std::vector<ReplicaLoadView> &view) = 0;
+};
+
+/** Route to the routable replica with the fewest outstanding rows. */
+class LeastLoadedPolicy final : public RoutingPolicy
+{
+  public:
+    const char *name() const override { return "least_loaded"; }
+    unsigned route(const ClusterRequest &req,
+                   const std::vector<ReplicaLoadView> &view) override;
+};
+
+/**
+ * Consistent hash on the request's home embedding shard. Each replica
+ * contributes @p vnodes virtual nodes to a ring; a request walks
+ * clockwise from hash(home_shard) to the first routable replica, so a
+ * replica failure only remaps the keys that hashed to it.
+ */
+class ShardHashPolicy final : public RoutingPolicy
+{
+  public:
+    explicit ShardHashPolicy(unsigned replicas, unsigned vnodes = 32);
+
+    const char *name() const override { return "shard_hash"; }
+    unsigned route(const ClusterRequest &req,
+                   const std::vector<ReplicaLoadView> &view) override;
+
+  private:
+    struct VNode
+    {
+        std::uint64_t hash;
+        unsigned replica;
+    };
+    std::vector<VNode> ring_; ///< sorted by (hash, replica)
+};
+
+/** Selector for ClusterConfig. */
+enum class RoutingPolicyKind : std::uint8_t { LeastLoaded, ShardHash };
+
+/** Human-readable policy-kind name (matches RoutingPolicy::name). */
+const char *routingPolicyKindName(RoutingPolicyKind kind);
+
+/** Factory: build the policy @p kind for an @p replicas-wide cluster. */
+std::unique_ptr<RoutingPolicy> makeRoutingPolicy(RoutingPolicyKind kind,
+                                                 unsigned replicas);
+
+} // namespace mtia
+
+#endif // MTIA_CLUSTER_ROUTING_H_

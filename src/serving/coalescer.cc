@@ -29,11 +29,25 @@ Coalescer::coalesce(const std::vector<Request> &trace) const
         return o;
     };
 
+    // A batch closes at its window expiry or — with a deadline set —
+    // when its oldest member's SLO slack runs out, whichever is
+    // earlier. The oldest member is always requests.front(): batches
+    // open with their first request and the trace is arrival-sorted.
+    auto close_time = [&](const Open &o) {
+        const Tick by_window = o.opened + cfg_.window;
+        if (cfg_.deadline == 0)
+            return by_window;
+        MTIA_DCHECK(!o.batch.requests.empty())
+            << ": open batch with no members";
+        const Tick by_deadline =
+            o.batch.requests.front().arrival + cfg_.deadline;
+        return std::min(by_window, by_deadline);
+    };
+
     auto flush_expired = [&](Tick now) {
-        while (!open.empty() &&
-               open.front().opened + cfg_.window <= now) {
+        while (!open.empty() && close_time(open.front()) <= now) {
             Open &o = open.front();
-            o.batch.dispatch_time = o.opened + cfg_.window;
+            o.batch.dispatch_time = close_time(o);
             done.push_back(std::move(o.batch));
             open.pop_front();
         }
@@ -84,7 +98,7 @@ Coalescer::coalesce(const std::vector<Request> &trace) const
         }
     }
     for (Open &o : open) {
-        o.batch.dispatch_time = o.opened + cfg_.window;
+        o.batch.dispatch_time = close_time(o);
         done.push_back(std::move(o.batch));
     }
     for (const CoalescedBatch &b : done) {

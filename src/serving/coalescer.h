@@ -23,6 +23,13 @@ struct CoalescerConfig
     Tick window = fromMillis(2.0);   ///< max wait before dispatch
     unsigned parallel_windows = 2;   ///< concurrently filling batches
     std::int64_t batch_capacity = 512; ///< candidate rows per batch
+    /**
+     * Deadline-aware close: a batch dispatches no later than its
+     * oldest member's arrival + deadline, so a near-deadline request
+     * forces an early close while a slack-rich queue keeps filling to
+     * capacity or the window. 0 disables the deadline.
+     */
+    Tick deadline = 0;
 };
 
 /**

@@ -74,24 +74,33 @@ ServingSimulator::simulate(double qps, Tick duration,
 
     // Latency accounting uses the bounded log-bucketed histogram, so
     // multi-million-request runs hold a few KiB per series instead of
-    // every sample. With telemetry attached the series live in the
-    // registry (labeled by request class) and survive into the
-    // exported snapshot; otherwise they are locals.
+    // every sample. The per-call locals are the only source of the
+    // returned percentiles: registry series (labeled by request class)
+    // accumulate across simulate() calls by design, so computing
+    // ServingResult from them would smear every earlier load point
+    // into this one's p50/p99. With telemetry attached each sample is
+    // double-recorded into the registry for the exported snapshot.
     const auto hist_cfg = latencyHistogramConfig();
     telemetry::LogHistogram local_total(hist_cfg);
     telemetry::LogHistogram local_merge(hist_cfg);
     telemetry::LogHistogram local_remote(hist_cfg);
-    telemetry::LogHistogram *latency = &local_total;
-    telemetry::LogHistogram *merge_latency = &local_merge;
-    telemetry::LogHistogram *remote_latency = &local_remote;
+    telemetry::LogHistogram *reg_total = nullptr;
+    telemetry::LogHistogram *reg_merge = nullptr;
+    telemetry::LogHistogram *reg_remote = nullptr;
     if (tel) {
-        latency = &tel->metrics.histogram(
+        reg_total = &tel->metrics.histogram(
             "serving.latency_ms", {{"class", "total"}}, hist_cfg);
-        merge_latency = &tel->metrics.histogram(
+        reg_merge = &tel->metrics.histogram(
             "serving.latency_ms", {{"class", "merge"}}, hist_cfg);
-        remote_latency = &tel->metrics.histogram(
+        reg_remote = &tel->metrics.histogram(
             "serving.latency_ms", {{"class", "remote"}}, hist_cfg);
     }
+    const auto record = [](telemetry::LogHistogram &local,
+                           telemetry::LogHistogram *reg, double ms) {
+        local.add(ms);
+        if (reg != nullptr)
+            reg->add(ms);
+    };
     std::uint64_t completed = 0;
 
     // Per-shard trace tracks: job spans on one row, queue depth on a
@@ -177,16 +186,17 @@ ServingSimulator::simulate(double qps, Tick duration,
                         if (--r->remotes_pending != 0)
                             return;
                         r->remote_done = now;
-                        remote_latency->add(
-                            toMillis(now - r->arrival));
+                        record(local_remote, reg_remote,
+                               toMillis(now - r->arrival));
                         // Merge runs on the request's home shard 0.
                         r->merge_enqueued = now;
                         enqueue(0, params_.merge_time, "merge",
                                 [&, r, duration](Tick end) {
-                                    latency->add(toMillis(
-                                        end - r->arrival));
-                                    merge_latency->add(toMillis(
-                                        end - r->remote_done));
+                                    record(local_total, reg_total,
+                                           toMillis(end - r->arrival));
+                                    record(local_merge, reg_merge,
+                                           toMillis(
+                                               end - r->remote_done));
                                     // Sustainable throughput counts
                                     // only in-window completions.
                                     if (end <= duration)
@@ -204,19 +214,19 @@ ServingSimulator::simulate(double qps, Tick duration,
     out.offered_qps = qps;
     const double secs = toSeconds(duration);
     out.completed_qps = static_cast<double>(completed) / secs;
-    if (!latency->empty()) {
-        out.p50_ms = latency->percentile(50);
-        out.p99_ms = latency->percentile(99);
-        out.merge_p99_ms = merge_latency->percentile(99);
-        out.remote_p99_ms = remote_latency->percentile(99);
+    if (!local_total.empty()) {
+        out.p50_ms = local_total.percentile(50);
+        out.p99_ms = local_total.percentile(99);
+        out.merge_p99_ms = local_merge.percentile(99);
+        out.remote_p99_ms = local_remote.percentile(99);
     }
     Tick busy_total = 0;
     for (const auto &dev : devices)
         busy_total += dev.busy_accum;
     out.device_utilization = static_cast<double>(busy_total) /
         (static_cast<double>(duration) * params_.shards);
-    out.meets_slo =
-        !latency->empty() && out.p99_ms <= toMillis(params_.latency_slo);
+    out.meets_slo = !local_total.empty() &&
+        out.p99_ms <= toMillis(params_.latency_slo);
 
     if (tel) {
         auto &m = tel->metrics;

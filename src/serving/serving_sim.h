@@ -84,9 +84,11 @@ class ServingSimulator
      * attached, simulate() records per-shard job spans and queue-depth
      * counters into the trace, and latency histograms (labeled by
      * request class: total / remote / merge), throughput counters, and
-     * per-shard utilization gauges into the metric registry. Metrics
-     * accumulate across simulate() calls; callers that bisect (e.g.
-     * maxQpsAtSlo) normally run detached.
+     * per-shard utilization gauges into the metric registry. Registry
+     * metrics accumulate across simulate() calls; the percentiles in
+     * each ServingResult always come from histograms scoped to that
+     * call, so a sweep's per-point p99 never smears earlier load
+     * points even with telemetry attached.
      */
     void setTelemetry(telemetry::Telemetry *telemetry)
     {

@@ -1,0 +1,11 @@
+// Target of the serving -> cluster inverted include. Never compiled.
+#ifndef MTIA_TESTS_LINT_FIXTURES_GRAPH_CLUSTER_BAD_CLUSTER_CONTROLLER_H_
+#define MTIA_TESTS_LINT_FIXTURES_GRAPH_CLUSTER_BAD_CLUSTER_CONTROLLER_H_
+
+inline int
+controllerEpoch()
+{
+    return 7;
+}
+
+#endif // MTIA_TESTS_LINT_FIXTURES_GRAPH_CLUSTER_BAD_CLUSTER_CONTROLLER_H_

@@ -1,0 +1,16 @@
+// Positive fixture: layer-violation — `serving` sits below `cluster`
+// in cluster/layers.def (as in the real tools/mtia-lint/layers.def),
+// so a serving header reaching up into the cluster layer is an
+// inverted dependency mtia-lint must flag. Never compiled.
+#ifndef MTIA_TESTS_LINT_FIXTURES_GRAPH_CLUSTER_BAD_SERVING_PUMP_H_
+#define MTIA_TESTS_LINT_FIXTURES_GRAPH_CLUSTER_BAD_SERVING_PUMP_H_
+
+#include "cluster/controller.h"
+
+inline int
+pump()
+{
+    return controllerEpoch() - 1;
+}
+
+#endif // MTIA_TESTS_LINT_FIXTURES_GRAPH_CLUSTER_BAD_SERVING_PUMP_H_

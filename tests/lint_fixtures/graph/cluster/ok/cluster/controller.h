@@ -1,0 +1,15 @@
+// Negative fixture: the cluster layer reaching DOWN into serving is
+// the sanctioned direction (cluster is the top rank in layers.def;
+// every layer below it is fair game). Never compiled.
+#ifndef MTIA_TESTS_LINT_FIXTURES_GRAPH_CLUSTER_OK_CLUSTER_CONTROLLER_H_
+#define MTIA_TESTS_LINT_FIXTURES_GRAPH_CLUSTER_OK_CLUSTER_CONTROLLER_H_
+
+#include "serving/pump.h"
+
+inline int
+controllerEpoch()
+{
+    return pump() + 1;
+}
+
+#endif // MTIA_TESTS_LINT_FIXTURES_GRAPH_CLUSTER_OK_CLUSTER_CONTROLLER_H_

@@ -1,0 +1,12 @@
+// Negative fixture: the serving layer includes nothing above it.
+// Never compiled.
+#ifndef MTIA_TESTS_LINT_FIXTURES_GRAPH_CLUSTER_OK_SERVING_PUMP_H_
+#define MTIA_TESTS_LINT_FIXTURES_GRAPH_CLUSTER_OK_SERVING_PUMP_H_
+
+inline int
+pump()
+{
+    return 6;
+}
+
+#endif // MTIA_TESTS_LINT_FIXTURES_GRAPH_CLUSTER_OK_SERVING_PUMP_H_

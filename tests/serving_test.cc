@@ -16,6 +16,7 @@
 #include "serving/ab_testing.h"
 #include "serving/coalescer.h"
 #include "serving/serving_sim.h"
+#include "telemetry/telemetry.h"
 
 namespace mtia {
 namespace {
@@ -62,6 +63,58 @@ TEST(CoalescerTest, LargerWindowsFillBetter)
     const auto l = Coalescer::stats(Coalescer(large).coalesce(trace));
     EXPECT_GT(l.mean_fill, s.mean_fill);
     EXPECT_GT(l.mean_requests_per_batch, s.mean_requests_per_batch);
+}
+
+TEST(CoalescerTest, DeadlineForcesEarlyClose)
+{
+    // Two small requests, then silence. Without a deadline the batch
+    // waits out the full 10 ms window; with a 3 ms deadline the
+    // oldest member's slack forces dispatch at its arrival + 3 ms
+    // even though the batch has plenty of room left.
+    Request a;
+    a.id = 0;
+    a.arrival = fromMillis(1.0);
+    a.candidates = 4;
+    Request b = a;
+    b.id = 1;
+    b.arrival = fromMillis(2.0);
+    const std::vector<Request> trace = {a, b};
+
+    CoalescerConfig cfg{fromMillis(10.0), 2, 512};
+    const auto lazy = Coalescer(cfg).coalesce(trace);
+    ASSERT_EQ(lazy.size(), 1u);
+    EXPECT_EQ(lazy[0].dispatch_time, fromMillis(11.0));
+
+    cfg.deadline = fromMillis(3.0);
+    const auto eager = Coalescer(cfg).coalesce(trace);
+    ASSERT_EQ(eager.size(), 1u);
+    EXPECT_EQ(eager[0].requests.size(), 2u);
+    EXPECT_EQ(eager[0].dispatch_time, fromMillis(4.0));
+}
+
+TEST(CoalescerTest, SlackRichQueueStillFillsToCapacity)
+{
+    // A hot queue with an SLO-sized deadline closes batches full (or
+    // at the window) before any deadline binds: the deadline is a
+    // backstop, not the operating point. The schedule is identical to
+    // the no-deadline run, and every member's wait stays within the
+    // deadline bound regardless.
+    const auto trace = makeTrace(8000.0, 2.0);
+    CoalescerConfig cfg{fromMillis(4.0), 2, 256};
+    const auto no_deadline = Coalescer(cfg).coalesce(trace);
+    cfg.deadline = fromMillis(50.0);
+    const auto with_deadline = Coalescer(cfg).coalesce(trace);
+
+    ASSERT_EQ(with_deadline.size(), no_deadline.size());
+    for (std::size_t i = 0; i < with_deadline.size(); ++i) {
+        EXPECT_EQ(with_deadline[i].dispatch_time,
+                  no_deadline[i].dispatch_time);
+        EXPECT_EQ(with_deadline[i].rows, no_deadline[i].rows);
+        for (const Request &r : with_deadline[i].requests)
+            EXPECT_LE(with_deadline[i].dispatch_time - r.arrival,
+                      cfg.deadline);
+    }
+    EXPECT_GT(Coalescer::stats(with_deadline).mean_fill, 0.9);
 }
 
 TEST(CoalescerTest, BatchesRecordTheirOwnCapacity)
@@ -114,6 +167,41 @@ TEST(ServingSimTest, OverloadViolatesSlo)
     const ServingResult r = sim.simulate(120.0, fromSeconds(20.0));
     EXPECT_FALSE(r.meets_slo);
     EXPECT_LT(r.completed_qps, 100.0);
+}
+
+TEST(ServingSimTest, SweepPercentilesAreScopedPerLoadPoint)
+{
+    // Regression: with telemetry attached, simulate() used to compute
+    // ServingResult percentiles straight from the registry histograms,
+    // which accumulate across calls — so in a sweep every later load
+    // point's p99 smeared in all earlier points' samples. Per-point
+    // results must match a detached run exactly; the registry series
+    // still accumulates every sample across the sweep.
+    ServingModelParams p;
+    ServingSimulator sim(p);
+    const Tick dur = fromSeconds(10.0);
+    const ServingResult detached = sim.simulate(10.0, dur);
+
+    telemetry::Telemetry tel;
+    sim.setTelemetry(&tel);
+    const ServingResult hot = sim.simulate(120.0, dur); // pollutes
+    const ServingResult low = sim.simulate(10.0, dur);
+    sim.setTelemetry(nullptr);
+
+    EXPECT_GT(hot.p99_ms, detached.p99_ms); // distinct load points
+    EXPECT_EQ(low.p50_ms, detached.p50_ms); // same seed, same scope
+    EXPECT_EQ(low.p99_ms, detached.p99_ms);
+    EXPECT_EQ(low.merge_p99_ms, detached.merge_p99_ms);
+    EXPECT_EQ(low.remote_p99_ms, detached.remote_p99_ms);
+
+    // The exported series keeps its cross-call accumulation contract.
+    const auto &reg = tel.metrics.histogram(
+        "serving.latency_ms", {{"class", "total"}},
+        telemetry::LogHistogram::Config{1e-3, 1e5, 32});
+    const double secs = toSeconds(dur);
+    const auto completions = static_cast<std::uint64_t>(
+        (hot.completed_qps + low.completed_qps) * secs + 0.5);
+    EXPECT_GE(reg.count(), completions);
 }
 
 TEST(ServingSimTest, ConsolidationRaisesThroughputAtSlo)
