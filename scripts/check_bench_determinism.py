@@ -27,13 +27,22 @@ def run_bench(bench, name, lanes, workdir):
     env = dict(os.environ)
     env["MTIA_THREADS"] = str(lanes)
     env["MTIA_BENCH_REPORT_DIR"] = workdir
-    proc = subprocess.run(
-        [bench],
-        env=env,
-        cwd=workdir,
-        stdout=subprocess.PIPE,
-        stderr=subprocess.STDOUT,
-    )
+    try:
+        proc = subprocess.run(
+            [bench],
+            env=env,
+            cwd=workdir,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+    except (FileNotFoundError, NotADirectoryError, PermissionError) as e:
+        # A missing/unbuilt bench binary is an input error, not a
+        # determinism verdict: fail with a clear message, no traceback.
+        raise SystemExit(
+            f"FAIL: cannot run bench binary {bench!r}: {e}. "
+            "Build the bench target first (it is an input to this "
+            "check, not produced by it)."
+        )
     if proc.returncode != 0:
         sys.stderr.write(proc.stdout.decode(errors="replace"))
         raise SystemExit(
@@ -44,7 +53,13 @@ def run_bench(bench, name, lanes, workdir):
     if not os.path.exists(report):
         raise SystemExit(f"FAIL: {bench} did not write {report}")
     with open(report, encoding="utf-8") as f:
-        data = json.load(f)
+        try:
+            data = json.load(f)
+        except json.JSONDecodeError as e:
+            raise SystemExit(
+                f"FAIL: {report} is not valid JSON ({e}); the bench "
+                "emitted a corrupt report"
+            )
     for key in STRIP_KEYS:
         data.pop(key, None)
     # Canonical form: the comparison is on simulated content only.

@@ -11,6 +11,7 @@
 #include "core/check.h"
 #include "core/parallel.h"
 #include "sim/event_queue.h"
+#include "sim/parallel_des.h"
 #include "telemetry/telemetry.h"
 
 namespace mtia {
@@ -40,23 +41,6 @@ struct BatchJoin
     std::int64_t rows = 0;
 };
 
-/** One server replica: M chips + a deadline-aware batcher. */
-struct SimReplica
-{
-    bool alive = true;
-    /** Bumped on every kill; scheduled chip events carry the epoch
-     * they were issued under and no-op on mismatch. */
-    std::uint64_t epoch = 0;
-    /** Service-time multiplier (warmup_slowdown while warming up). */
-    double slowdown = 1.0;
-    std::int64_t outstanding_rows = 0;
-    std::unique_ptr<DynamicBatcher> batcher;
-    std::vector<SimChip> chips;
-    /** Dispatched-but-unmerged batches, for failover re-routing.
-     * Ordered by batch id so drains re-admit deterministically. */
-    std::map<std::uint64_t, std::vector<ClusterRequest>> inflight;
-};
-
 /** Latency range for the bounded histograms: 1 us to ~100 s, in ms. */
 telemetry::LogHistogram::Config
 latencyHistogramConfig()
@@ -67,13 +51,70 @@ latencyHistogramConfig()
     return cfg;
 }
 
-/** One simulation run: all mutable state behind simulateImpl. */
+/**
+ * One server replica: M chips + a deadline-aware batcher, plus every
+ * counter its requests touch. A replica IS a ParallelDes partition:
+ * all of this state is mutated only by events on the replica's own
+ * queue, so replicas run concurrently with no sharing. The local
+ * counters and histogram are merged (in replica index order) into the
+ * ClusterResult after the run.
+ */
+struct SimReplica
+{
+    bool alive = true;
+    /** Bumped on every kill; scheduled chip events carry the epoch
+     * they were issued under and no-op on mismatch. */
+    std::uint64_t epoch = 0;
+    /** Service-time multiplier (warmup_slowdown while warming up). */
+    double slowdown = 1.0;
+    std::unique_ptr<DynamicBatcher> batcher;
+    std::vector<SimChip> chips;
+    /** Dispatched-but-unmerged batches, for failover re-routing.
+     * Ordered by batch id so drains re-admit deterministically. */
+    std::map<std::uint64_t, std::vector<ClusterRequest>> inflight;
+    std::vector<std::unique_ptr<BatchJoin>> joins;
+
+    // Replica-local results, merged after the run.
+    telemetry::LogHistogram hist{latencyHistogramConfig()};
+    std::vector<std::int64_t> shard_rows;
+    std::uint64_t completed = 0;
+    std::uint64_t completed_in_slo = 0;
+    std::uint64_t completed_in_window = 0;
+    std::uint64_t ecc_errors = 0;
+    std::uint64_t ecc_benign = 0;
+    std::uint64_t ecc_corrupted = 0;
+    std::uint64_t ecc_retries = 0;
+    std::uint64_t ecc_crashes = 0;
+    unsigned kills = 0;
+};
+
+/**
+ * One simulation run, partitioned over a ParallelDes: partition 0 is
+ * the controller plane (trace admission, routing, health sweeps,
+ * failover orchestration) and partition 1 + r is replica r. The two
+ * sides interact ONLY through des_.post() messages carrying the
+ * fabric's one-way latency, which equals the epoch width:
+ *
+ *   controller -> replica: request admission, drain command after a
+ *                          detected failover, restart command
+ *   replica -> controller: heartbeat acks, death notices (true death
+ *                          tick), batch-completion row credits, drain
+ *                          responses (requests to re-route), warm-up
+ *                          completion acks
+ *
+ * The controller routes on its OWN view of per-replica outstanding
+ * rows (incremented at route time, decremented when completion / drain
+ * credits arrive a latency later) — the usual stale-view routing of a
+ * real distributed serving tier, and the property that keeps every
+ * partition's state single-writer.
+ */
 class RunState
 {
   public:
     RunState(const ClusterConfig &cfg, double qps, Tick duration,
              std::uint64_t seed, telemetry::Telemetry *tel)
         : cfg_(cfg), qps_(qps), duration_(duration), tel_(tel),
+          net_(cfg.fabric.latency()), des_(1 + cfg.replicas, net_),
           controller_(cfg.replicas, cfg.health,
                       makeRoutingPolicy(cfg.routing, cfg.replicas)),
           hist_total_(latencyHistogramConfig())
@@ -97,13 +138,26 @@ class RunState
         for (unsigned r = 0; r < cfg_.replicas; ++r) {
             auto rep = std::make_unique<SimReplica>();
             rep->chips.resize(cfg_.chips_per_replica);
+            rep->shard_rows.assign(cfg_.embedding_shards, 0);
             rep->batcher = std::make_unique<DynamicBatcher>(
-                eq_, bcfg, [this, r](ClusterBatch &&batch) {
+                repq(r), bcfg, [this, r](ClusterBatch &&batch) {
                     dispatchBatch(r, std::move(batch));
                 });
             replicas_.push_back(std::move(rep));
         }
+        ctrl_outstanding_.assign(cfg_.replicas, 0);
+        ctrl_cycle_.assign(cfg_.replicas, 0);
         shard_rows_.assign(cfg_.embedding_shards, 0);
+
+        // Heartbeats and health sweeps outlive the trace by the worst
+        // case detect-drain-reroute span, so a replica killed just
+        // before the end is still detected and its pending requests
+        // still complete (conservation) — while live replicas keep
+        // acking and are never spuriously declared Down.
+        hb_until_ = duration_ +
+            cfg_.health.heartbeat_interval *
+                (cfg_.health.miss_threshold + 2) +
+            2 * net_;
 
         reg_total_ = nullptr;
         if (tel_ != nullptr)
@@ -115,32 +169,66 @@ class RunState
     ClusterResult run();
 
   private:
-    void recordLatency(double ms)
-    {
-        hist_total_.add(ms);
-        if (reg_total_ != nullptr)
-            reg_total_->add(ms);
-    }
+    /** The controller plane is partition 0... */
+    static constexpr unsigned kCtrl = 0;
+    /** ...and replica @p r is partition 1 + r. */
+    static unsigned pid(unsigned r) { return 1 + r; }
 
-    std::vector<std::int64_t> outstandingRows() const
-    {
-        std::vector<std::int64_t> rows(replicas_.size());
-        for (std::size_t r = 0; r < replicas_.size(); ++r)
-            rows[r] = replicas_[r]->outstanding_rows;
-        return rows;
-    }
+    EventQueue &ctrlq() { return des_.queue(kCtrl); }
+    EventQueue &repq(unsigned r) { return des_.queue(pid(r)); }
 
+    // ------------------------------------------- controller partition
+
+    /** Route one request (fresh arrival or failover re-admission). */
     void admit(const ClusterRequest &req)
     {
-        const unsigned idx = controller_.route(req, outstandingRows());
+        const unsigned idx = controller_.route(req, ctrl_outstanding_);
         if (idx >= controller_.replicas()) {
             ++dropped_; // total outage: nothing routable
             return;
         }
-        SimReplica &rep = *replicas_[idx];
-        rep.outstanding_rows += req.candidates;
-        rep.batcher->add(req);
+        ctrl_outstanding_[idx] += req.candidates;
+        des_.post(kCtrl, pid(idx), ctrlq().now() + net_,
+                  [this, idx, req]() {
+                      replicas_[idx]->batcher->add(req);
+                  });
     }
+
+    /** A sweep declared @p r Down: drain it, schedule its restart. */
+    void handleDetectedDown(unsigned r, Tick now)
+    {
+        const std::uint64_t cycle = ++ctrl_cycle_[r];
+        des_.post(kCtrl, pid(r), now + net_,
+                  [this, r]() { drainReplica(r); });
+        ctrlq().schedule(now + cfg_.health.restart_delay,
+                         [this, r, cycle]() { beginRestart(r, cycle); });
+    }
+
+    void beginRestart(unsigned r, std::uint64_t cycle)
+    {
+        if (ctrl_cycle_[r] != cycle)
+            return; // superseded by a later detection cycle
+        // Cycle match means no later detection ran, so the replica is
+        // still Down on the controller and markWarmingUp is legal.
+        controller_.markWarmingUp(r, ctrlq().now());
+        des_.post(kCtrl, pid(r), ctrlq().now() + net_,
+                  [this, r, cycle]() { restartReplica(r, cycle); });
+    }
+
+    void scheduleHealthSweep(Tick t)
+    {
+        if (t >= hb_until_)
+            return;
+        ctrlq().schedule(t, [this, t]() {
+            const std::vector<unsigned> down =
+                controller_.checkHealth(ctrlq().now());
+            for (const unsigned r : down)
+                handleDetectedDown(r, ctrlq().now());
+            scheduleHealthSweep(t + cfg_.health.heartbeat_interval);
+        });
+    }
+
+    // ---------------------------------------------- replica partition
 
     void enqueueChipJob(unsigned rep_idx, unsigned chip_idx, Tick dur,
                         JobDone done)
@@ -168,14 +256,15 @@ class RunState
         chip.queue.pop_front();
         chip.busy_accum += dur;
         const std::uint64_t epoch = rep.epoch;
-        eq_.scheduleAfter(dur, [this, rep_idx, chip_idx, epoch]() {
+        EventQueue &eq = repq(rep_idx);
+        eq.scheduleAfter(dur, [this, rep_idx, chip_idx, epoch]() {
             SimReplica &r = *replicas_[rep_idx];
             if (!r.alive || r.epoch != epoch)
                 return;
             JobDone fire = std::move(r.chips[chip_idx].inflight);
-            fire(eq_.now());
+            fire(repq(rep_idx).now());
         });
-        eq_.scheduleAfter(
+        eq.scheduleAfter(
             dur + cfg_.service.dispatch_gap,
             [this, rep_idx, chip_idx, epoch]() {
                 SimReplica &r = *replicas_[rep_idx];
@@ -203,11 +292,11 @@ class RunState
         // Executed load lands on the shard map (re-executions after a
         // failover count again: that re-work is real).
         for (unsigned s = 0; s < cfg_.embedding_shards; ++s)
-            shard_rows_[s] += rows_per_shard[s];
+            rep.shard_rows[s] += rows_per_shard[s];
 
         // Gather on every chip owning a shard this batch touches...
-        joins_.push_back(std::make_unique<BatchJoin>());
-        BatchJoin *join = joins_.back().get();
+        rep.joins.push_back(std::make_unique<BatchJoin>());
+        BatchJoin *join = rep.joins.back().get();
         join->id = id;
         join->rows = rows;
         std::vector<Tick> chip_gather(cfg_.chips_per_replica, 0);
@@ -258,17 +347,21 @@ class RunState
             return; // drained by a failover before the merge landed
         for (const ClusterRequest &r : it->second) {
             const Tick latency = end - r.arrival;
-            recordLatency(toMillis(latency));
-            ++completed_;
+            rep.hist.add(toMillis(latency));
+            ++rep.completed;
             if (latency <= cfg_.batcher.slo)
-                ++completed_in_slo_;
+                ++rep.completed_in_slo;
             if (end <= duration_)
-                ++completed_in_window_;
+                ++rep.completed_in_window;
         }
-        rep.outstanding_rows -= rows;
-        MTIA_DCHECK_GE(rep.outstanding_rows, 0)
-            << ": batch completion over-credited a replica";
         rep.inflight.erase(it);
+        // Credit the controller's load view a network latency later.
+        des_.post(pid(rep_idx), kCtrl, end + net_,
+                  [this, rep_idx, rows]() {
+                      ctrl_outstanding_[rep_idx] -= rows;
+                      MTIA_DCHECK_GE(ctrl_outstanding_[rep_idx], 0)
+                          << ": completion over-credited a replica";
+                  });
     }
 
     void killReplica(unsigned r, Tick now)
@@ -284,12 +377,16 @@ class RunState
             chip.inflight = JobDone();
             chip.busy = false;
         }
-        controller_.noteDeath(r, now);
-        ++kills_;
+        ++rep.kills;
+        // The controller learns the TRUE death tick (for the failover
+        // detection-latency stats) one network latency later.
+        des_.post(pid(r), kCtrl, now + net_, [this, r, now]() {
+            controller_.noteDeath(r, now);
+        });
     }
 
-    /** Heartbeat-timeout path: drain -> re-route -> schedule restart. */
-    void handleDetectedDown(unsigned r, Tick now)
+    /** DrainCmd landed: hand every pending request back for re-route. */
+    void drainReplica(unsigned r)
     {
         SimReplica &rep = *replicas_[r];
         std::vector<ClusterRequest> pending = rep.batcher->drain();
@@ -297,55 +394,75 @@ class RunState
             for (ClusterRequest &req : reqs)
                 pending.push_back(req);
         rep.inflight.clear();
-        rep.outstanding_rows = 0;
-        rerouted_ += pending.size();
-        for (const ClusterRequest &req : pending)
-            admit(req);
-        const std::uint64_t epoch = rep.epoch;
-        eq_.schedule(now + cfg_.health.restart_delay,
-                     [this, r, epoch]() { restartReplica(r, epoch); });
+        // Mailbox FIFO order guarantees every admission the controller
+        // sent before the drain command has already landed in the
+        // batcher, so this response returns ALL unfinished requests.
+        des_.post(pid(r), kCtrl, repq(r).now() + net_,
+                  [this, r, pending = std::move(pending)]() {
+                      std::int64_t rows = 0;
+                      for (const ClusterRequest &req : pending)
+                          rows += req.candidates;
+                      ctrl_outstanding_[r] -= rows;
+                      MTIA_DCHECK_GE(ctrl_outstanding_[r], 0)
+                          << ": drain over-credited a replica";
+                      rerouted_ += pending.size();
+                      for (const ClusterRequest &req : pending)
+                          admit(req);
+                  });
     }
 
-    void restartReplica(unsigned r, std::uint64_t epoch)
+    void restartReplica(unsigned r, std::uint64_t cycle)
     {
         SimReplica &rep = *replicas_[r];
-        if (rep.epoch != epoch)
-            return; // superseded by a later kill cycle
+        MTIA_DCHECK(!rep.alive) << ": restarting a live replica";
         rep.alive = true;
         rep.slowdown = cfg_.health.warmup_slowdown;
-        controller_.markWarmingUp(r, eq_.now());
-        eq_.scheduleAfter(cfg_.health.warmup, [this, r, epoch]() {
-            SimReplica &warmed = *replicas_[r];
-            if (warmed.epoch != epoch || !warmed.alive)
-                return; // killed again mid-warm-up
-            warmed.slowdown = 1.0;
-            controller_.markHealthy(r, eq_.now());
-        });
+        const std::uint64_t epoch = rep.epoch;
+        repq(r).scheduleAfter(
+            cfg_.health.warmup, [this, r, epoch, cycle]() {
+                SimReplica &warmed = *replicas_[r];
+                if (!warmed.alive || warmed.epoch != epoch)
+                    return; // killed again mid-warm-up
+                warmed.slowdown = 1.0;
+                des_.post(pid(r), kCtrl, repq(r).now() + net_,
+                          [this, r, cycle]() {
+                              // Stale acks (superseded cycle, or the
+                              // replica already re-detected Down) are
+                              // ignored; staleness re-detection owns
+                              // the killed-mid-warm-up path.
+                              if (ctrl_cycle_[r] != cycle)
+                                  return;
+                              if (controller_.health(r) ==
+                                  ReplicaHealth::WarmingUp)
+                                  controller_.markHealthy(
+                                      r, ctrlq().now());
+                          });
+            });
     }
 
     void handleChaos(const ChaosEvent &e)
     {
         SimReplica &rep = *replicas_[e.replica];
         if (e.kind == ChaosKind::ReplicaKill) {
-            killReplica(e.replica, eq_.now());
+            killReplica(e.replica, repq(e.replica).now());
             return;
         }
         if (!rep.alive)
             return; // a dead replica takes no new errors
-        ++ecc_errors_;
+        ++rep.ecc_errors;
         switch (e.outcome) {
         case ErrorOutcome::Benign:
-            ++ecc_benign_;
+            ++rep.ecc_benign;
             break;
         case ErrorOutcome::Corrupted:
             // Wrong-but-finite outputs: the response completes and the
             // quality counter records the blast radius.
-            ++ecc_corrupted_;
+            ++rep.ecc_corrupted;
             break;
         case ErrorOutcome::NaN: {
             // NaN consequence: the runtime re-executes the affected
             // slice, costing chip time on the replica.
-            ++ecc_retries_;
+            ++rep.ecc_retries;
             const unsigned chip = static_cast<unsigned>(
                 e.time % cfg_.chips_per_replica);
             enqueueChipJob(e.replica, chip, cfg_.service.retry_penalty,
@@ -355,33 +472,22 @@ class RunState
         case ErrorOutcome::OutOfBounds:
             // Crash-equivalent index fault: the replica dies and the
             // failover machinery takes over.
-            ++ecc_crashes_;
-            killReplica(e.replica, eq_.now());
+            ++rep.ecc_crashes;
+            killReplica(e.replica, repq(e.replica).now());
             break;
         }
     }
 
     void scheduleHeartbeat(unsigned r, Tick t)
     {
-        if (t >= duration_)
+        if (t >= hb_until_)
             return;
-        eq_.schedule(t, [this, r, t]() {
+        repq(r).schedule(t, [this, r, t]() {
             if (replicas_[r]->alive)
-                controller_.heartbeat(r, eq_.now());
+                des_.post(pid(r), kCtrl, t + net_, [this, r]() {
+                    controller_.heartbeat(r, ctrlq().now());
+                });
             scheduleHeartbeat(r, t + cfg_.health.heartbeat_interval);
-        });
-    }
-
-    void scheduleHealthSweep(Tick t)
-    {
-        if (t >= duration_)
-            return;
-        eq_.schedule(t, [this, t]() {
-            const std::vector<unsigned> down =
-                controller_.checkHealth(eq_.now());
-            for (const unsigned r : down)
-                handleDetectedDown(r, eq_.now());
-            scheduleHealthSweep(t + cfg_.health.heartbeat_interval);
         });
     }
 
@@ -390,77 +496,93 @@ class RunState
     Tick duration_;
     telemetry::Telemetry *tel_;
 
-    EventQueue eq_;
+    /** One-way controller<->replica latency; also the epoch width. */
+    Tick net_;
+    ParallelDes des_;
     ClusterController controller_;
     std::vector<std::unique_ptr<SimReplica>> replicas_;
-    std::vector<std::unique_ptr<BatchJoin>> joins_;
     std::vector<ClusterRequest> trace_;
     std::vector<ChaosEvent> chaos_;
-    std::vector<std::int64_t> shard_rows_;
+    /** Last tick heartbeat / sweep chains stay live (trace + grace). */
+    Tick hb_until_ = 0;
 
-    telemetry::LogHistogram hist_total_;
-    telemetry::LogHistogram *reg_total_ = nullptr;
-
-    std::uint64_t completed_ = 0;
-    std::uint64_t completed_in_slo_ = 0;
-    std::uint64_t completed_in_window_ = 0;
+    // Controller-partition state: the control plane's LAGGED view of
+    // per-replica outstanding rows, and the per-replica failover cycle
+    // counter that fences stale restart / warm-up messages.
+    std::vector<std::int64_t> ctrl_outstanding_;
+    std::vector<std::uint64_t> ctrl_cycle_;
     std::uint64_t rerouted_ = 0;
     std::uint64_t dropped_ = 0;
-    std::uint64_t ecc_errors_ = 0;
-    std::uint64_t ecc_benign_ = 0;
-    std::uint64_t ecc_corrupted_ = 0;
-    std::uint64_t ecc_retries_ = 0;
-    std::uint64_t ecc_crashes_ = 0;
-    unsigned kills_ = 0;
+
+    // Merged from the replica partitions after the run.
+    std::vector<std::int64_t> shard_rows_;
+    telemetry::LogHistogram hist_total_;
+    telemetry::LogHistogram *reg_total_ = nullptr;
 };
 
 ClusterResult
 RunState::run()
 {
-    // Arrivals replay the fixed trace; chaos replays its fixed
-    // timeline; heartbeats and health sweeps tick until the trace
-    // ends (sweeps offset half an interval so acks land first).
+    // Arrivals replay the fixed trace on the controller partition;
+    // chaos replays its fixed timeline on the replica it strikes;
+    // heartbeats and health sweeps tick until the trace ends plus a
+    // grace window (sweeps offset half an interval past the ack
+    // arrivals so acks land first).
     for (std::size_t i = 0; i < trace_.size(); ++i)
-        eq_.schedule(trace_[i].arrival,
-                     [this, i]() { admit(trace_[i]); });
+        ctrlq().schedule(trace_[i].arrival,
+                         [this, i]() { admit(trace_[i]); });
     for (std::size_t i = 0; i < chaos_.size(); ++i)
-        eq_.schedule(chaos_[i].time,
-                     [this, i]() { handleChaos(chaos_[i]); });
+        repq(chaos_[i].replica)
+            .schedule(chaos_[i].time,
+                      [this, i]() { handleChaos(chaos_[i]); });
     for (unsigned r = 0; r < cfg_.replicas; ++r)
         scheduleHeartbeat(r, cfg_.health.heartbeat_interval);
     scheduleHealthSweep(cfg_.health.heartbeat_interval +
-                        cfg_.health.heartbeat_interval / 2);
+                        cfg_.health.heartbeat_interval / 2 + net_);
 
-    eq_.run();
+    des_.run();
 
     ClusterResult out;
     out.policy = routingPolicyKindName(cfg_.routing);
     out.offered_qps = qps_;
     out.arrivals = trace_.size();
-    out.completed = completed_;
-    out.completed_in_slo = completed_in_slo_;
-    out.completed_qps = static_cast<double>(completed_in_window_) /
-        toSeconds(duration_);
     out.rerouted = rerouted_;
     out.dropped = dropped_;
-    if (!hist_total_.empty()) {
-        out.p50_ms = hist_total_.percentile(50);
-        out.p99_ms = hist_total_.percentile(99);
-    }
-    out.slo_attainment = out.arrivals == 0
-        ? 0.0
-        : static_cast<double>(completed_in_slo_) /
-            static_cast<double>(out.arrivals);
-    out.shard_rows = shard_rows_;
-    out.shard_skew = shardSkew(shard_rows_);
+
+    // Replica-local results merge in replica index order — a fixed
+    // order, so the merged bytes are lane-count independent.
+    std::uint64_t completed_in_window = 0;
     for (const auto &rep : replicas_) {
+        hist_total_.merge(rep->hist);
+        out.completed += rep->completed;
+        out.completed_in_slo += rep->completed_in_slo;
+        completed_in_window += rep->completed_in_window;
+        for (unsigned s = 0; s < cfg_.embedding_shards; ++s)
+            shard_rows_[s] += rep->shard_rows[s];
+        out.kills += rep->kills;
+        out.ecc_errors += rep->ecc_errors;
+        out.ecc_benign += rep->ecc_benign;
+        out.ecc_corrupted += rep->ecc_corrupted;
+        out.ecc_retries += rep->ecc_retries;
+        out.ecc_crashes += rep->ecc_crashes;
         const BatcherStats &bs = rep->batcher->stats();
         out.batches += bs.batches;
         out.batches_full += bs.closed_full;
         out.batches_deadline += bs.closed_deadline;
         out.batches_window += bs.closed_window;
     }
-    out.kills = kills_;
+    out.completed_qps = static_cast<double>(completed_in_window) /
+        toSeconds(duration_);
+    if (!hist_total_.empty()) {
+        out.p50_ms = hist_total_.percentile(50);
+        out.p99_ms = hist_total_.percentile(99);
+    }
+    out.slo_attainment = out.arrivals == 0
+        ? 0.0
+        : static_cast<double>(out.completed_in_slo) /
+            static_cast<double>(out.arrivals);
+    out.shard_rows = shard_rows_;
+    out.shard_skew = shardSkew(shard_rows_);
     const std::vector<FailoverRecord> &fo = controller_.failovers();
     out.failovers = static_cast<unsigned>(fo.size());
     double detect_sum = 0.0;
@@ -481,33 +603,37 @@ RunState::run()
     if (recovered != 0)
         out.mean_recovery_ms =
             recover_sum / static_cast<double>(recovered);
-    out.ecc_errors = ecc_errors_;
-    out.ecc_benign = ecc_benign_;
-    out.ecc_corrupted = ecc_corrupted_;
-    out.ecc_retries = ecc_retries_;
-    out.ecc_crashes = ecc_crashes_;
 
     if (tel_ != nullptr) {
+        // Telemetry flushes strictly after the parallel phase ends:
+        // the registry is shared across the process and must only be
+        // touched from the caller thread.
+        if (reg_total_ != nullptr)
+            reg_total_->merge(hist_total_);
         auto &m = tel_->metrics;
         m.counter("cluster.requests", {{"event", "arrived"}})
             .inc(out.arrivals);
         m.counter("cluster.requests", {{"event", "completed"}})
-            .inc(completed_);
+            .inc(out.completed);
         m.counter("cluster.requests", {{"event", "rerouted"}})
             .inc(rerouted_);
         m.counter("cluster.requests", {{"event", "dropped"}})
             .inc(dropped_);
         m.counter("cluster.ecc", {{"outcome", "benign"}})
-            .inc(ecc_benign_);
+            .inc(out.ecc_benign);
         m.counter("cluster.ecc", {{"outcome", "corrupted"}})
-            .inc(ecc_corrupted_);
+            .inc(out.ecc_corrupted);
         m.counter("cluster.ecc", {{"outcome", "retry"}})
-            .inc(ecc_retries_);
+            .inc(out.ecc_retries);
         m.counter("cluster.ecc", {{"outcome", "crash"}})
-            .inc(ecc_crashes_);
+            .inc(out.ecc_crashes);
         m.counter("cluster.failovers").inc(out.failovers);
-        m.counter("sim.events_executed").inc(eq_.executed());
-        eq_.publishMetrics(m);
+        m.counter("sim.events_executed").inc(des_.executed());
+        m.counter("cluster.des_epochs").inc(des_.epochsRun());
+        m.counter("cluster.des_messages").inc(des_.messagesDelivered());
+        // The controller queue carries the cluster-wide control plane;
+        // it stands in for the run in the queue-shape metrics.
+        ctrlq().publishMetrics(m);
     }
     return out;
 }
@@ -571,6 +697,18 @@ ClusterSimulator::ClusterSimulator(ClusterConfig cfg) : cfg_(std::move(cfg))
     MTIA_CHECK_GT(cfg_.embedding_shards, 0u)
         << ": cluster needs at least one embedding shard";
     MTIA_CHECK_GT(cfg_.batcher.slo, 0u) << ": cluster needs an SLO";
+
+    // The fabric latency is the parallel DES epoch width, and the
+    // control-plane protocol leans on it being small against the
+    // health timers: a heartbeat must cross the fabric within one
+    // interval (else freshly-booted replicas look silent), and a
+    // drain round trip must finish before the restart command lands.
+    const Tick net = cfg_.fabric.latency();
+    MTIA_CHECK_GE(net, 1u) << ": fabric latency must be at least one tick";
+    MTIA_CHECK_LT(net, cfg_.health.heartbeat_interval)
+        << ": fabric latency must undercut the heartbeat interval";
+    MTIA_CHECK_GT(cfg_.health.restart_delay, 2 * net)
+        << ": restart delay must cover a drain round trip";
 }
 
 ClusterResult
@@ -597,7 +735,9 @@ ClusterSimulator::sweep(const std::vector<double> &qps, Tick duration,
 {
     const Rng base(seed);
     // One fork substream per load point; telemetry-detached because
-    // the registry is shared mutable state across lanes.
+    // the registry is shared mutable state across lanes. Each point's
+    // own partition phase then runs inline (nested region), so the
+    // bytes match a serial sweep exactly.
     return parallelMap(qps.size(), [&](std::size_t i) {
         return simulateImpl(qps[i], duration, base.fork(i).next(),
                             nullptr);

@@ -15,11 +15,25 @@
  * chaos mode (replica kills + ECC storms from the Section 5.1
  * campaigns) exercise the paper's productionization story.
  *
+ * Parallel execution: the simulation is partitioned by chip owner —
+ * partition 0 is the controller/host plane (trace admission, routing,
+ * health sweeps, failover orchestration) and partition 1 + r is
+ * replica r (batcher, chips, in-flight batches, local counters). Each
+ * partition owns a bucketed EventQueue on a lane of the PR-3
+ * deterministic pool, and partitions talk ONLY through
+ * sim/parallel_des.h mailboxes: every controller<->replica message
+ * (admission, heartbeat ack, death/completion notice, drain
+ * command/response, restart, warm-up completion) rides the modeled
+ * host/network boundary with latency ClusterFabric::latency(), which
+ * is also the conservative epoch width — so cross-partition events
+ * always land strictly after the epoch barrier that exchanges them.
+ *
  * Determinism: one seeded Rng per run (trace and chaos take fork
- * substreams), a single event queue, and pre-generated chaos
- * timelines make every run byte-identical; sweep() fans load points
- * out over the PR-3 parallel harness and stays byte-identical at any
- * MTIA_THREADS lane count.
+ * substreams), pre-generated chaos timelines, and the ParallelDes
+ * index-ordered mailbox drain make every run byte-identical at any
+ * MTIA_THREADS lane count — simulate() over partitions, and sweep()
+ * over load points (whose nested simulate() partitions then run
+ * inline), both meet the repo's standing determinism bar.
  */
 
 #include <cstdint>
@@ -31,6 +45,7 @@
 #include "cluster/controller.h"
 #include "cluster/dynamic_batcher.h"
 #include "cluster/routing.h"
+#include "host/pcie.h"
 #include "sim/types.h"
 
 namespace mtia::telemetry {
@@ -56,6 +71,31 @@ struct ClusterServiceModel
     Tick retry_penalty = fromMillis(1.0);
 };
 
+/**
+ * The controller<->replica boundary: every cross-partition message
+ * (request admission, heartbeat ack, drain traffic, restart commands)
+ * crosses the host PCIe link plus a switched network hop. latency()
+ * is the one-way cost — and, being the minimum cross-partition
+ * latency, the epoch width of the conservative parallel DES: larger
+ * switch latency = wider epochs = fewer barriers, at the price of
+ * coarser control-plane reactivity.
+ */
+struct ClusterFabric
+{
+    /** Host-side ingress/egress link (src/host boundary model). */
+    PcieConfig pcie;
+    /** Marshalled size of one control/request message on that link. */
+    Bytes message_bytes = 32 * 1024;
+    /** Network hop beyond the host link (ToR switch + host stack). */
+    Tick switch_latency = fromMillis(2.0);
+
+    /** One-way controller<->replica latency; also the epoch width. */
+    Tick latency() const
+    {
+        return switch_latency + PcieLink(pcie).transferTime(message_bytes);
+    }
+};
+
 /** Full cluster scenario. */
 struct ClusterConfig
 {
@@ -63,6 +103,8 @@ struct ClusterConfig
     unsigned chips_per_replica = 2;
     unsigned embedding_shards = 8;
     RoutingPolicyKind routing = RoutingPolicyKind::LeastLoaded;
+    /** Cross-partition boundary model (also the DES epoch width). */
+    ClusterFabric fabric;
     /** Batch close policy; batcher.slo is THE request SLO. The
      * service estimate fields are derived from `service` at run time
      * so slack tracking and execution always agree. */

@@ -47,10 +47,14 @@ DynamicBatcher::add(const ClusterRequest &req)
         open_ = ClusterBatch{};
         open_.id = next_id_++;
         open_.open_time = eq_.now();
+        open_.oldest_arrival = req.arrival;
         open_batch_ = true;
     }
     open_.requests.push_back(req);
     open_.rows += req.candidates;
+    // Failover re-admission can add an OLDER request to a younger open
+    // batch; the deadline close keys off the minimum arrival.
+    open_.oldest_arrival = std::min(open_.oldest_arrival, req.arrival);
     if (open_.rows >= cfg_.capacity) {
         close(BatchClose::Full);
         return;
@@ -73,10 +77,12 @@ DynamicBatcher::scheduleClose()
 {
     // Oldest member bounds the batch's deadline; the service estimate
     // grows with every add, so recompute and invalidate stale timers.
+    // oldest_arrival, not requests.front().arrival: after a failover
+    // re-admission the oldest member need not be the first added.
     const Tick now = eq_.now();
     const Tick window_close = open_.open_time + cfg_.window;
     const std::int64_t target = static_cast<std::int64_t>(
-        open_.requests.front().arrival + cfg_.slo);
+        open_.oldest_arrival + cfg_.slo);
     const std::int64_t hold = static_cast<std::int64_t>(
         estimatedService(open_.rows) + cfg_.close_slack);
     const std::int64_t deadline_close_signed = target - hold;

@@ -49,6 +49,14 @@ struct ClusterBatch
     BatchClose reason = BatchClose::Full;
     std::vector<ClusterRequest> requests;
     std::int64_t rows = 0;
+    /**
+     * Earliest arrival among the members. NOT the same as
+     * requests.front().arrival: a request re-routed after a failover
+     * joins a younger open batch carrying its ORIGINAL arrival, so the
+     * oldest member can be added last. The deadline close must track
+     * this minimum or the re-routed member blows its SLO slack.
+     */
+    Tick oldest_arrival = 0;
 };
 
 /** Batcher policy. */

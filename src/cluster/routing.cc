@@ -73,16 +73,27 @@ ShardHashPolicy::route(const ClusterRequest &req,
     MTIA_CHECK(!view.empty()) << ": routing over an empty cluster";
     const std::uint64_t key = mix64(kShardKeySalt ^ req.home_shard);
     // First vnode at or clockwise of the key...
-    std::size_t start = std::lower_bound(
-                            ring_.begin(), ring_.end(), key,
-                            [](const VNode &v, std::uint64_t k) {
-                                return v.hash < k;
-                            }) -
-        ring_.begin();
+    std::size_t pos = static_cast<std::size_t>(
+        std::lower_bound(ring_.begin(), ring_.end(), key,
+                         [](const VNode &v, std::uint64_t k) {
+                             return v.hash < k;
+                         }) -
+        ring_.begin());
+    // A key hashing past the last vnode wraps to the ring's first
+    // vnode — lower_bound returning end() (pos == ring_.size()) is
+    // the normal clockwise wrap, not a miss.
+    if (pos == ring_.size())
+        pos = 0;
     // ...then walk the ring until the owner is routable, so a dead
-    // replica only sheds the keys that hashed to it.
+    // replica only sheds the keys that hashed to it. The walk visits
+    // every vnode exactly once (explicit wrap, bounded by the ring
+    // size), so with all-but-one replicas Down it always reaches the
+    // survivor's vnodes — including the first vnode of the ring when
+    // the walk started past it.
     for (std::size_t step = 0; step < ring_.size(); ++step) {
-        const VNode &v = ring_[(start + step) % ring_.size()];
+        const VNode &v = ring_[pos];
+        if (++pos == ring_.size())
+            pos = 0;
         MTIA_DCHECK_LT(v.replica, view.size())
             << ": ring built for a different cluster size";
         if (view[v.replica].routable)

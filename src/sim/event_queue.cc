@@ -82,10 +82,27 @@ EventQueue::runUntil(Tick limit)
         ring_base_ = t;
         drainCurrentSlot();
     }
-    // No events remain at or before the limit: time advances to it.
+    // Whether the queue drained or the earliest remaining event sits
+    // past the limit, time advances to the limit itself: parallel
+    // partitions calling runUntil(epoch_end) in lockstep all agree on
+    // now() afterwards, which is what makes barrier-delivered events
+    // at epoch_end + 1 schedulable on every partition.
     if (now_ < limit)
         now_ = limit;
     return now_;
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    MTIA_CHECK_GT(pending(), 0u)
+        << ": nextEventTick on an empty queue";
+    if (ring_count_ == 0)
+        return far_.front().when;
+    Tick t = nextRingTick();
+    if (!far_.empty() && far_.front().when < t)
+        t = far_.front().when;
+    return t;
 }
 
 void

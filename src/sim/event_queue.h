@@ -96,10 +96,24 @@ class EventQueue
     Tick run();
 
     /**
-     * Run events with timestamp <= @p limit; afterwards now() == limit
-     * if the queue drained early, else the time of the last event run.
+     * Run every event with timestamp <= @p limit — the limit tick is
+     * INCLUSIVE — then set now() to max(now(), limit) whether the
+     * queue drained or later events remain pending. Epoch-barrier
+     * callers rely on both halves of that contract: events landing
+     * exactly on an epoch's last tick run inside that epoch, and
+     * after the call every partition clock reads exactly the epoch
+     * end, so a message scheduled at limit + 1 is never "in the
+     * past" on any partition.
      */
     Tick runUntil(Tick limit);
+
+    /**
+     * Timestamp of the earliest pending event (ring scan or overflow
+     * front, whichever is sooner). @pre pending() > 0. Used by
+     * epoch-barrier drivers to pick the next synchronization window
+     * without dispatching anything.
+     */
+    Tick nextEventTick() const;
 
     /**
      * Drop all pending events (simulation teardown). Constant-time

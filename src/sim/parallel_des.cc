@@ -1,0 +1,129 @@
+#include "sim/parallel_des.h"
+
+#include <utility>
+
+#include "core/check.h"
+#include "core/parallel.h"
+
+namespace mtia {
+
+ParallelDes::ParallelDes(unsigned partitions, Tick epoch_width)
+    : epoch_width_(epoch_width)
+{
+    MTIA_CHECK_GT(partitions, 0u)
+        << ": partitioned DES needs at least one partition";
+    MTIA_CHECK_GT(epoch_width_, 0u)
+        << ": epoch width must be at least one tick";
+    queues_.reserve(partitions);
+    for (unsigned p = 0; p < partitions; ++p)
+        queues_.push_back(std::make_unique<EventQueue>());
+    mailboxes_.resize(static_cast<std::size_t>(partitions) * partitions);
+}
+
+EventQueue &
+ParallelDes::queue(unsigned p)
+{
+    MTIA_CHECK_LT(p, queues_.size()) << ": partition index out of range";
+    return *queues_[p];
+}
+
+const EventQueue &
+ParallelDes::queue(unsigned p) const
+{
+    MTIA_CHECK_LT(p, queues_.size()) << ": partition index out of range";
+    return *queues_[p];
+}
+
+void
+ParallelDes::post(unsigned src, unsigned dst, Tick when,
+                  EventQueue::Callback fn)
+{
+    MTIA_CHECK_LT(src, queues_.size()) << ": post from unknown partition";
+    MTIA_CHECK_LT(dst, queues_.size()) << ": post to unknown partition";
+    MTIA_CHECK(fn != nullptr) << ": post with a null callback";
+    // The conservative guarantee: a message buffered during epoch k
+    // must deliver after the barrier at the epoch's end, or partition
+    // dst — whose clock already passed epoch_end_ — would receive an
+    // event in its past. Callers uphold it by making every cross-
+    // partition latency >= epochWidth().
+    if (running_)
+        MTIA_CHECK_GT(when, epoch_end_)
+            << ": cross-partition message lands inside the current "
+               "epoch (latency below the epoch width)";
+    // Single writer: during a phase only partition src's lane touches
+    // the (src, *) mailboxes, so this append needs no synchronization
+    // and its order is the sender's deterministic program order.
+    mailboxes_[static_cast<std::size_t>(src) * queues_.size() + dst]
+        .push_back(Message{when, std::move(fn)});
+}
+
+bool
+ParallelDes::advanceEpoch()
+{
+    // Serial barrier, on the caller thread. Delivery walks dst-major,
+    // src-minor, FIFO within a mailbox: destination sequence numbers
+    // are assigned in this fixed index order, so same-tick dispatch
+    // ties resolve identically at every lane count.
+    const std::size_t n = queues_.size();
+    for (std::size_t dst = 0; dst < n; ++dst) {
+        for (std::size_t src = 0; src < n; ++src) {
+            std::vector<Message> &box = mailboxes_[src * n + dst];
+            for (Message &m : box) {
+                queues_[dst]->schedule(m.when, std::move(m.fn));
+                ++delivered_;
+            }
+            box.clear(); // capacity kept: steady state re-uses it
+        }
+    }
+
+    bool any = false;
+    Tick earliest = 0;
+    for (const auto &q : queues_) {
+        if (q->pending() == 0)
+            continue;
+        const Tick t = q->nextEventTick();
+        if (!any || t < earliest)
+            earliest = t;
+        any = true;
+    }
+    if (!any)
+        return false; // mailboxes just drained, queues empty: done
+    // Fixed grid B_k = k * W, anchored at the window holding the
+    // earliest pending event — idle gaps are skipped in one hop, and
+    // the grid (unlike an earliest+W-1 window) is identical however
+    // the preceding epochs interleaved.
+    epoch_end_ = (earliest / epoch_width_ + 1) * epoch_width_ - 1;
+    ++epochs_;
+    return true;
+}
+
+void
+ParallelDes::run()
+{
+    MTIA_CHECK(!running_) << ": ParallelDes::run is not reentrant";
+    running_ = true;
+    // First barrier delivers setup-time post()s and anchors epoch 0;
+    // then each phase runs every partition up to the epoch end in
+    // parallel and the between-phase barrier exchanges messages.
+    // runUntil leaves every partition clock exactly at epoch_end_
+    // (see its contract), so delivery at epoch_end_ + 1 is always
+    // schedulable.
+    if (advanceEpoch()) {
+        parallelPhases(
+            queues_.size(),
+            [this](std::size_t p) { queues_[p]->runUntil(epoch_end_); },
+            [this] { return advanceEpoch(); });
+    }
+    running_ = false;
+}
+
+std::uint64_t
+ParallelDes::executed() const
+{
+    std::uint64_t total = 0;
+    for (const auto &q : queues_)
+        total += q->executed();
+    return total;
+}
+
+} // namespace mtia

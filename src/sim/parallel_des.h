@@ -1,0 +1,134 @@
+#ifndef MTIA_SIM_PARALLEL_DES_H_
+#define MTIA_SIM_PARALLEL_DES_H_
+
+/**
+ * @file
+ * Deterministic parallel discrete-event simulation by conservative
+ * time-windowed synchronization (see DESIGN.md "Parallel multi-chip
+ * DES").
+ *
+ * The model is partitioned: every partition owns a private bucketed
+ * EventQueue and all of the simulated state its events touch, so
+ * partitions can run concurrently with no locks. Partitions interact
+ * ONLY through post(): a cross-partition message that is buffered in
+ * a per-(source, dest) ordered mailbox and delivered at the next
+ * epoch barrier.
+ *
+ * Timeline of one epoch of width W on the fixed grid B_k = k * W:
+ *
+ *     partition 0  |== runUntil(B_{k+1} - 1) ==|
+ *     partition 1  |== runUntil(B_{k+1} - 1) ==|   barrier: drain
+ *     partition 2  |== runUntil(B_{k+1} - 1) ==|   mailboxes in
+ *         ...                                      (dst, src, FIFO)
+ *                                                  index order
+ *
+ * Conservative synchronization: post() requires the delivery time to
+ * land strictly after the epoch being executed, which is guaranteed
+ * by construction when every cross-partition latency is >= W (pick W
+ * = the minimum such latency). No partition can therefore receive an
+ * event in its past, and no rollback machinery is needed.
+ *
+ * Determinism at any MTIA_THREADS count: within an epoch each
+ * partition's execution is sequential and touches only its own state,
+ * so it cannot depend on the schedule; senders append to their own
+ * (src, dst) mailbox in program order (single writer per mailbox, no
+ * synchronization needed); and the barrier drain walks mailboxes in
+ * fixed (dst-major, src-minor, FIFO) index order on the caller
+ * thread, so destination-queue sequence numbers — and with them all
+ * (when, seq) tie-breaks — are a pure function of the simulation, not
+ * the lane count. Running with one lane executes the exact same
+ * protocol inline and produces the same bytes.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/types.h"
+
+namespace mtia {
+
+/** A partitioned DES run on the deterministic parallel harness. */
+class ParallelDes
+{
+  public:
+    /**
+     * @p partitions private event queues, synchronized on the fixed
+     * epoch grid of width @p epoch_width ticks. @pre partitions >= 1,
+     * epoch_width >= 1. epoch_width must not exceed the smallest
+     * cross-partition latency any post() will use.
+     */
+    ParallelDes(unsigned partitions, Tick epoch_width);
+
+    ParallelDes(const ParallelDes &) = delete;
+    ParallelDes &operator=(const ParallelDes &) = delete;
+
+    unsigned partitions() const
+    {
+        return static_cast<unsigned>(queues_.size());
+    }
+    Tick epochWidth() const { return epoch_width_; }
+
+    /** Partition @p p's private queue (setup and intra-partition use). */
+    EventQueue &queue(unsigned p);
+    const EventQueue &queue(unsigned p) const;
+
+    /**
+     * Send a cross-partition message: @p fn is scheduled on partition
+     * @p dst's queue at absolute time @p when, delivered at the next
+     * epoch barrier. During run() this must be called from partition
+     * @p src's currently-executing epoch (it appends to the private
+     * (src, dst) mailbox, so the send order within one epoch is the
+     * sender's program order), and @p when must land strictly after
+     * the epoch end — guaranteed when when >= send time + epochWidth().
+     * Before run() it may be called from setup code with any src.
+     */
+    void post(unsigned src, unsigned dst, Tick when,
+              EventQueue::Callback fn);
+
+    /**
+     * Run all partitions to global quiescence (every queue drained,
+     * every mailbox empty), epoch by epoch over the PR-3 parallel
+     * harness. Idle stretches are skipped: each epoch is anchored at
+     * the grid window holding the globally earliest pending event.
+     */
+    void run();
+
+    /** Barriers executed by run() (telemetry / tests). */
+    std::uint64_t epochsRun() const { return epochs_; }
+    /** Cross-partition messages delivered (telemetry / tests). */
+    std::uint64_t messagesDelivered() const { return delivered_; }
+    /** Events dispatched, summed over every partition queue. */
+    std::uint64_t executed() const;
+
+  private:
+    struct Message
+    {
+        Tick when;
+        EventQueue::Callback fn;
+    };
+
+    /**
+     * Barrier body: deliver every buffered message in (dst, src,
+     * FIFO) order, then anchor the next epoch at the earliest pending
+     * event. Returns false when the simulation is quiescent.
+     */
+    bool advanceEpoch();
+
+    Tick epoch_width_;
+    /** Last tick (inclusive) of the epoch being executed. */
+    Tick epoch_end_ = 0;
+    bool running_ = false;
+    std::uint64_t epochs_ = 0;
+    std::uint64_t delivered_ = 0;
+    /** unique_ptr keeps queue addresses stable and cheaply spaced. */
+    std::vector<std::unique_ptr<EventQueue>> queues_;
+    /** Mailbox (src, dst) lives at index src * partitions + dst. */
+    std::vector<std::vector<Message>> mailboxes_;
+};
+
+} // namespace mtia
+
+#endif // MTIA_SIM_PARALLEL_DES_H_

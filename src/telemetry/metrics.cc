@@ -140,6 +140,28 @@ LogHistogram::add(double v)
 }
 
 void
+LogHistogram::merge(const LogHistogram &other)
+{
+    MTIA_CHECK(cfg_.min_value == other.cfg_.min_value &&
+               cfg_.max_value == other.cfg_.max_value &&
+               cfg_.sub_buckets == other.cfg_.sub_buckets)
+        << ": LogHistogram::merge across different bucket layouts";
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+}
+
+void
 LogHistogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);

@@ -89,6 +89,15 @@ class LogHistogram
     /** Record one sample. @pre v is finite and >= 0. */
     void add(double v);
 
+    /**
+     * Fold @p other into this histogram: bucket counts, count, sum,
+     * min and max all combine as if every sample of @p other had been
+     * add()ed here. @pre identical Config. Deterministic when callers
+     * merge partial histograms in a fixed order — how the partitioned
+     * cluster sim folds per-replica latency histograms after a run.
+     */
+    void merge(const LogHistogram &other);
+
     void reset();
 
     std::uint64_t count() const { return count_; }

@@ -162,6 +162,74 @@ TEST(DynamicBatcherTest, ClosesFullDeadlineAndWindow)
     EXPECT_EQ(batcher.stats().requests, 4u);
 }
 
+TEST(RoutingTest, ShardHashWrapsPastLastVnodeToSoleSurvivor)
+{
+    // Regression guard for the ring wrap-around: keys hashing past the
+    // last vnode must wrap to position 0 (that is the normal clockwise
+    // step, not a miss), and the failover walk must be able to reach
+    // EVERY vnode — including the ring's first — when all but one
+    // replica are Down. A wrap bug here either drops routable keys or
+    // never terminates; with thousands of keys some are guaranteed to
+    // hash into the wrap gap above the highest vnode.
+    const unsigned replicas = 4;
+    ShardHashPolicy policy(replicas);
+    for (unsigned survivor = 0; survivor < replicas; ++survivor) {
+        std::vector<ReplicaLoadView> view(replicas);
+        for (unsigned r = 0; r < replicas; ++r)
+            view[r].routable = (r == survivor);
+        for (unsigned s = 0; s < 10000; ++s) {
+            ClusterRequest req;
+            req.home_shard = s;
+            ASSERT_EQ(policy.route(req, view), survivor)
+                << "shard " << s << " missed survivor " << survivor;
+        }
+    }
+}
+
+TEST(DynamicBatcherTest, FailoverReroutedOldRequestTightensDeadline)
+{
+    // Regression: the deadline close used requests.front().arrival as
+    // the batch's oldest member. After a failover re-route, an OLD
+    // request (original arrival preserved) joins a YOUNGER open batch
+    // as a later member, so front() understated the deadline pressure
+    // and the old request could blow its SLO budget while the batch
+    // idled toward the window close.
+    EventQueue eq;
+    BatcherConfig cfg;
+    cfg.capacity = 1000;
+    cfg.window = fromMillis(100.0); // window close out of the picture
+    cfg.slo = fromMillis(50.0);
+    cfg.close_slack = fromMillis(5.0);
+    std::vector<ClusterBatch> dispatched;
+    DynamicBatcher batcher(eq, cfg, [&](ClusterBatch &&b) {
+        dispatched.push_back(std::move(b));
+    });
+
+    ClusterRequest young;
+    young.candidates = 5;
+    young.arrival = fromMillis(100.0);
+    eq.schedule(young.arrival, [&]() { batcher.add(young); });
+
+    // Re-routed survivor of a dead replica: admitted at 101 ms but
+    // carrying its original 60 ms arrival, with 9 ms of SLO left.
+    ClusterRequest old_req;
+    old_req.candidates = 5;
+    old_req.arrival = fromMillis(60.0);
+    eq.schedule(fromMillis(101.0), [&]() { batcher.add(old_req); });
+    eq.run();
+
+    ASSERT_EQ(dispatched.size(), 1u);
+    EXPECT_EQ(dispatched[0].reason, BatchClose::Deadline);
+    EXPECT_EQ(dispatched[0].oldest_arrival, old_req.arrival);
+    // The close keys off the OLDEST member: arrival + slo minus the
+    // service estimate and slack — ~104 ms, not ~144 ms (front()) and
+    // not 200 ms (window).
+    const Tick estimated = cfg.service_base + cfg.service_per_row * 10;
+    EXPECT_EQ(dispatched[0].dispatch_time,
+              old_req.arrival + cfg.slo - estimated - cfg.close_slack);
+    EXPECT_LT(dispatched[0].dispatch_time, old_req.arrival + cfg.slo);
+}
+
 TEST(DynamicBatcherTest, DrainEmptiesWithoutDispatch)
 {
     EventQueue eq;
@@ -413,6 +481,46 @@ TEST(ClusterSimTest, ChaosRunByteIdenticalAcrossLaneCountsAndRuns)
             reseeded += r.summary();
     }
     EXPECT_NE(lane1, reseeded);
+}
+
+TEST(ClusterSimTest, PartitionedChaosByteIdenticalAcrossLanes)
+{
+    // The tentpole determinism bar: ONE simulate() call is itself a
+    // parallel program now (controller + one partition per replica on
+    // the lane pool), and a full-chaos run — kills AND an ECC storm,
+    // exercising failover drains, re-routes, restarts, retries, and
+    // crash-kills across the epoch-barrier mailboxes — must render a
+    // byte-identical summary at every lane count and across same-seed
+    // repeats.
+    ClusterConfig cfg = testClusterConfig();
+    cfg.replicas = 8; // more partitions than some lane counts
+    cfg.chaos.enabled = true;
+    cfg.chaos.mean_kill_interval_s = 1.0;
+    cfg.chaos.mean_storm_interval_s = 0.5;
+    const ClusterSimulator sim(cfg);
+    const Tick dur = fromSeconds(3.0);
+
+    std::string base;
+    {
+        ScopedParallelism serial(1);
+        base = sim.simulate(400.0, dur).summary();
+    }
+    ASSERT_NE(base.find("kills="), std::string::npos);
+    EXPECT_EQ(base.find("kills=0 "), std::string::npos)
+        << "chaos scenario produced no kills; the property is vacuous";
+    for (const unsigned lanes : {2u, 8u}) {
+        ScopedParallelism scope(lanes);
+        EXPECT_EQ(sim.simulate(400.0, dur).summary(), base)
+            << "summary changed at " << lanes << " lanes";
+    }
+    {
+        ScopedParallelism scope(8);
+        EXPECT_EQ(sim.simulate(400.0, dur).summary(), base)
+            << "same-seed repeat diverged";
+    }
+    // A different seed is a genuinely different experiment.
+    ScopedParallelism serial(1);
+    EXPECT_NE(sim.simulate(400.0, dur, 1234).summary(), base);
 }
 
 } // namespace
