@@ -6,12 +6,17 @@
  * shapes hit without them.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_report.h"
 #include "bench_util.h"
 #include "chip/device.h"
 #include "chip/kernel_cost_model.h"
+#include "core/simd.h"
+#include "ops/gemm_kernels.h"
+#include "sim/random.h"
+#include "tensor/tensor.h"
 
 using namespace mtia;
 
@@ -75,5 +80,34 @@ main()
         modern.peakGemmFlops(DType::FP16));
     report.metric("gemm_256_old_isa_efficiency_pct",
                   small_old.efficiencyVs(small_ideal) * 100.0, "%");
+
+    // Alongside the modeled roofline: the measured throughput of the
+    // host's functional blocked GEMM (core/simd_gemm via
+    // ops/gemm_kernels) at its widest supported dispatch tier. A
+    // wall-clock number by nature, so it lands as a plain metric with
+    // no band; the modeled efficiencies above stay the gated ones.
+    {
+        const FcShape s{512, 512, 512};
+        Rng rng(17);
+        Tensor a(Shape{s.m, s.k}, DType::FP32);
+        Tensor b(Shape{s.k, s.n}, DType::FP32);
+        a.fillGaussian(rng);
+        b.fillGaussian(rng);
+        double best = 0.0;
+        for (int rep = 0; rep < 3; ++rep) {
+            bench::WallTimer timer;
+            const Tensor c = gemm_kernels::gemm(a, b, DType::FP32);
+            const double secs = timer.seconds();
+            if (rep == 0 || secs < best)
+                best = secs;
+        }
+        const double gflops = best > 0.0 ? s.flops() / best / 1e9 : 0.0;
+        bench::section("measured functional GEMM (host)");
+        bench::row("dispatch tier", "widest supported",
+                   simd::isaName(simd::activeIsa()));
+        bench::row("512^3 fp32 GFLOP/s", "wall-clock, no band",
+                   bench::fmt("%.2f", gflops));
+        report.metric("functional_gemm_512_gflops", gflops, "GFLOP/s");
+    }
     return 0;
 }

@@ -46,6 +46,13 @@ silently break those properties:
                   batch kernels instead of the branchy scalar path
                   once per element.
 
+  raw-intrinsics  a raw SIMD intrinsic call (_mm*, or a NEON-shaped
+                  v*_f32/s8/u16/… name) in src/ outside the kernel
+                  layer (src/core/simd*) — platform intrinsics must
+                  stay behind the core/simd.h wrappers so every
+                  dispatch tier has a bit-exact scalar twin and the
+                  tree builds on any host.
+
   bare-allow      a sim-lint suppression comment with nothing after
                   the closing parenthesis — every allow must carry a
                   trailing justification so the reason survives next
@@ -121,6 +128,13 @@ SCALAR_CONV_RE = re.compile(
     r"\s*\(")
 LOOP_OPEN_RE = re.compile(r"\b(?:for|while)\s*\(")
 SCALAR_LOOP_WINDOW = 4
+
+# Raw SIMD intrinsic call site: an x86 _mm*/_mm256*/_mm512* name or a
+# NEON-shaped v*_<lane-type><bits> name followed by an open paren.
+# Member/qualified lookalikes (obj.vld1q_f32, ns::_mm_helper) are
+# excluded by the lookbehind, mirroring the other call-site rules.
+RAW_INTRINSICS_RE = re.compile(
+    r"(?<![\w:.])(?:_mm\w*|v[a-z]\w*_[fsup](?:8|16|32|64))\s*\(")
 
 CHECK_OPEN_RE = re.compile(r"\bMTIA_D?CHECK(?:_(?:EQ|NE|LT|LE|GT|GE))?\s*\(")
 # ++/-- anywhere, or an assignment operator that is not a comparison.
@@ -221,7 +235,8 @@ class Linter:
 
     def lint_file(self, path: pathlib.Path, in_src: bool,
                   logging_exempt: bool, telemetry: bool,
-                  sim_core: bool, dtype_kernel_layer: bool) -> None:
+                  sim_core: bool, dtype_kernel_layer: bool,
+                  simd_kernel_layer: bool) -> None:
         try:
             text = path.read_text(encoding="utf-8", errors="replace")
         except OSError as err:
@@ -277,6 +292,13 @@ class Linter:
                                 "loop; use convertBuffer so the batch "
                                 "kernels (core/simd.h) run instead",
                                 raw)
+            if (in_src and not simd_kernel_layer
+                    and RAW_INTRINSICS_RE.search(line)):
+                self.report(path, lineno, "raw-intrinsics",
+                            "raw SIMD intrinsic outside src/core/simd*; "
+                            "go through the core/simd.h wrappers so "
+                            "every dispatch tier stays bit-exact and "
+                            "portable", raw)
             recent.append(line)
             if sim_core:
                 m = HEAP_TOP_COPY_RE.search(line)
@@ -396,8 +418,9 @@ def main(argv: list[str]) -> int:
         sim_core = (rel_posix.startswith("src/sim/")
                     or args.treat_as_src)
         dtype_kernel_layer = rel_posix.startswith("src/tensor/dtype.")
+        simd_kernel_layer = rel_posix.startswith("src/core/simd")
         linter.lint_file(f, in_src, logging_exempt, telemetry, sim_core,
-                         dtype_kernel_layer)
+                         dtype_kernel_layer, simd_kernel_layer)
 
     for path, lineno, rule, detail in linter.violations:
         try:

@@ -48,6 +48,7 @@ SHARED_RULES = {
     "duplicate-include",
     "heap-top-copy",
     "scalar-hot-loop",
+    "raw-intrinsics",
     "bare-allow",
 }
 

@@ -1,5 +1,8 @@
 #include "autotune/kernel_tuner.h"
 
+#include <chrono> // sim-lint: allow(wall-clock) — measured GEMM variant tuning (see GemmKernelTuner)
+#include <vector>
+
 #include "core/check.h"
 #include "core/parallel.h"
 
@@ -114,6 +117,120 @@ KernelTuner::buildDatabase(const std::vector<FcShape> &corpus) const
     for (std::size_t i = 0; i < corpus.size(); ++i)
         db.insert(PerfEntry{corpus[i], results[i].variant,
                             results[i].kernel_time});
+    return db;
+}
+
+// --------------------------------------------- measured GEMM tuning
+
+std::vector<GemmVariant>
+GemmKernelTuner::variantSpace()
+{
+    // Scalar first, then ascending vector width: first-minimum
+    // tie-breaking therefore prefers the reference when timings tie.
+    static constexpr simd::SimdIsa kTiers[] = {
+        simd::SimdIsa::Scalar, simd::SimdIsa::Sse2, simd::SimdIsa::Neon,
+        simd::SimdIsa::Avx2, simd::SimdIsa::Avx512};
+    static constexpr simd::GemmBlocking kBlockings[] = {
+        {64, 256, 512}, {32, 128, 1024}, {128, 512, 256}};
+    std::vector<GemmVariant> space;
+    for (simd::SimdIsa isa : kTiers) {
+        if (!simd::isaSupported(isa))
+            continue;
+        for (const simd::GemmBlocking &blk : kBlockings)
+            space.push_back(GemmVariant{isa, blk});
+    }
+    return space;
+}
+
+double
+GemmKernelTuner::measureVariant(const GemmVariant &v, const float *a,
+                                const float *b, float *c,
+                                const FcShape &s) const
+{
+    double best = 0.0;
+    for (int rep = 0; rep < reps_; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now(); // sim-lint: allow(wall-clock) — measured variant tuning times real kernels by design
+        simd::gemmF32(a, b, c, s.m, s.n, s.k, v.isa, v.blocking);
+        const auto t1 = std::chrono::steady_clock::now(); // sim-lint: allow(wall-clock) — measured variant tuning times real kernels by design
+        const double secs = std::chrono::duration<double>(t1 - t0).count();
+        if (rep == 0 || secs < best)
+            best = secs;
+    }
+    return best;
+}
+
+GemmTuneResult
+GemmKernelTuner::tuneMeasured(const FcShape &shape) const
+{
+    MTIA_CHECK(shape.m > 0 && shape.n > 0 && shape.k > 0)
+        << ": GemmKernelTuner needs a positive shape, got "
+        << shape.toString();
+    const auto m = static_cast<std::size_t>(shape.m);
+    const auto n = static_cast<std::size_t>(shape.n);
+    const auto k = static_cast<std::size_t>(shape.k);
+    // Deterministic synthetic operands; values only have to be
+    // non-degenerate, timing does not depend on them.
+    std::vector<float> a(m * k);
+    std::vector<float> b(k * n);
+    std::vector<float> c(m * n);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = static_cast<float>(static_cast<int>(i % 251) - 125) * 0.01f;
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b[i] = static_cast<float>(static_cast<int>(i % 241) - 120) * 0.01f;
+
+    const std::vector<GemmVariant> space = variantSpace();
+    MTIA_CHECK(!space.empty()) << ": empty GEMM variant space";
+    GemmTuneResult result;
+    bool first = true;
+    for (const GemmVariant &v : space) {
+        const double secs =
+            measureVariant(v, a.data(), b.data(), c.data(), shape);
+        // Strict less-than: the earliest variant in space order wins
+        // ties, mirroring tuneExhaustive's deterministic reduction.
+        if (first || secs < result.seconds) {
+            result.variant = v;
+            result.seconds = secs;
+            first = false;
+        }
+    }
+    result.gflops = shape.flops() / result.seconds / 1e9;
+    return result;
+}
+
+GemmTuneResult
+GemmKernelTuner::tuneApproximate(const FcShape &shape,
+                                 GemmVariantDatabase &db) const
+{
+    if (const auto hit = db.lookup(shape)) {
+        const auto m = static_cast<std::size_t>(shape.m);
+        const auto n = static_cast<std::size_t>(shape.n);
+        const auto k = static_cast<std::size_t>(shape.k);
+        std::vector<float> a(m * k);
+        std::vector<float> b(k * n);
+        std::vector<float> c(m * n);
+        GemmTuneResult result;
+        result.variant = hit->best_variant;
+        result.seconds = measureVariant(result.variant, a.data(),
+                                        b.data(), c.data(), shape);
+        result.gflops = shape.flops() / result.seconds / 1e9;
+        return result;
+    }
+    const GemmTuneResult result = tuneMeasured(shape);
+    db.insert(GemmPerfEntry{shape, result.variant, result.seconds,
+                            result.gflops});
+    return result;
+}
+
+GemmVariantDatabase
+GemmKernelTuner::buildDatabase(const std::vector<FcShape> &corpus) const
+{
+    // Serial on purpose: concurrent timing runs would contend for the
+    // lane pool and cores, skewing every sample.
+    GemmVariantDatabase db;
+    for (const FcShape &shape : corpus) {
+        const GemmTuneResult r = tuneMeasured(shape);
+        db.insert(GemmPerfEntry{shape, r.variant, r.seconds, r.gflops});
+    }
     return db;
 }
 

@@ -58,6 +58,55 @@ class KernelTuner
     Tick replay_cost_;
 };
 
+/** Result of measured-GEMM tuning for one shape. */
+struct GemmTuneResult
+{
+    GemmVariant variant;
+    double seconds = 0.0; ///< best-of-reps wall clock of the winner
+    double gflops = 0.0;
+};
+
+/**
+ * Measured tuner for the functional GEMM kernel layer: unlike
+ * KernelTuner (analytic cost model), this one executes every
+ * supported dispatch tier × blocking config on the real
+ * core/simd_gemm kernels and picks the fastest from best-of-reps
+ * wall-clock samples (ties break to the earliest variant in
+ * variantSpace order, mirroring tuneExhaustive). Selection is
+ * timing-based by design — the NeuroScalar/agentic-operator
+ * direction of measuring real variants instead of estimating them —
+ * so it is the one sanctioned wall-clock consumer in src/.
+ */
+class GemmKernelTuner
+{
+  public:
+    explicit GemmKernelTuner(int reps = 3) : reps_(reps) {}
+
+    /** Supported tiers (scalar always included) × blocking configs. */
+    static std::vector<GemmVariant> variantSpace();
+
+    /** Run and time every variant on @p shape; pick the fastest. */
+    GemmTuneResult tuneMeasured(const FcShape &shape) const;
+
+    /**
+     * ANN tuning: adopt the nearest measured shape's variant from
+     * @p db (one confirmation timing for the reported numbers).
+     * Falls back to tuneMeasured (and records the result) on a miss.
+     */
+    GemmTuneResult tuneApproximate(const FcShape &shape,
+                                   GemmVariantDatabase &db) const;
+
+    /** Measure a corpus into a database. */
+    GemmVariantDatabase
+    buildDatabase(const std::vector<FcShape> &corpus) const;
+
+  private:
+    double measureVariant(const GemmVariant &v, const float *a,
+                          const float *b, float *c, const FcShape &s) const;
+
+    int reps_;
+};
+
 } // namespace mtia
 
 #endif // MTIA_AUTOTUNE_KERNEL_TUNER_H_

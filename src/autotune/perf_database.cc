@@ -116,4 +116,41 @@ PerfDatabase::lookup(const FcShape &shape) const
     return entries_[tree_->nearest(shapeKey(shape))];
 }
 
+std::string
+GemmVariant::name() const
+{
+    return std::string(simd::isaName(isa)) + "/mc" +
+           std::to_string(blocking.mc) + ".kc" +
+           std::to_string(blocking.kc) + ".nc" +
+           std::to_string(blocking.nc);
+}
+
+void
+GemmVariantDatabase::insert(GemmPerfEntry entry)
+{
+    entries_.push_back(std::move(entry));
+    dirty_ = true;
+}
+
+void
+GemmVariantDatabase::rebuild() const
+{
+    std::vector<ShapeKey> keys;
+    keys.reserve(entries_.size());
+    for (const auto &e : entries_)
+        keys.push_back(shapeKey(e.shape));
+    tree_ = std::make_unique<KdTree>(std::move(keys));
+    dirty_ = false;
+}
+
+std::optional<GemmPerfEntry>
+GemmVariantDatabase::lookup(const FcShape &shape) const
+{
+    if (entries_.empty())
+        return std::nullopt;
+    if (dirty_ || !tree_)
+        rebuild();
+    return entries_[tree_->nearest(shapeKey(shape))];
+}
+
 } // namespace mtia

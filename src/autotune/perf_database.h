@@ -13,9 +13,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "chip/kernel_cost_model.h"
+#include "core/simd_gemm.h"
 
 namespace mtia {
 
@@ -86,6 +88,49 @@ class PerfDatabase
     void rebuild() const;
 
     std::vector<PerfEntry> entries_;
+    mutable std::unique_ptr<KdTree> tree_;
+    mutable bool dirty_ = false;
+};
+
+/**
+ * One functional-GEMM kernel variant: runtime dispatch tier ×
+ * cache-blocking config. Unlike FcOptions (modeled variants), these
+ * are executed and timed for real by GemmKernelTuner.
+ */
+struct GemmVariant
+{
+    simd::SimdIsa isa = simd::SimdIsa::Scalar;
+    simd::GemmBlocking blocking;
+
+    /** e.g. "avx2/mc64.kc256.nc512" for reports and logs. */
+    std::string name() const;
+};
+
+/** One measured entry: the fastest variant found for a shape. */
+struct GemmPerfEntry
+{
+    FcShape shape;
+    GemmVariant best_variant;
+    double best_seconds = 0.0; ///< best-of-reps wall clock
+    double best_gflops = 0.0;
+};
+
+/** ANN database over measured GEMM variants (same KD-tree/log-shape
+ *  idiom as PerfDatabase). */
+class GemmVariantDatabase
+{
+  public:
+    void insert(GemmPerfEntry entry);
+
+    /** Nearest measured neighbour of @p shape (nullopt when empty). */
+    std::optional<GemmPerfEntry> lookup(const FcShape &shape) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    void rebuild() const;
+
+    std::vector<GemmPerfEntry> entries_;
     mutable std::unique_ptr<KdTree> tree_;
     mutable bool dirty_ = false;
 };

@@ -42,6 +42,13 @@ gatherRowsCounter()
     return c;
 }
 
+inline std::atomic<std::uint64_t> &
+gemmFlopsCounter()
+{
+    static std::atomic<std::uint64_t> c{0};
+    return c;
+}
+
 } // namespace detail
 
 /** Note @p bytes of dtype-conversion input processed by convertBuffer. */
@@ -68,6 +75,14 @@ noteGatherRows(std::uint64_t rows)
                                           std::memory_order_relaxed);
 }
 
+/** Note @p flops (2*m*n*k multiply-adds) done by a GEMM driver call. */
+inline void
+noteGemmFlops(std::uint64_t flops)
+{
+    detail::gemmFlopsCounter().fetch_add(flops,
+                                         std::memory_order_relaxed);
+}
+
 inline std::uint64_t
 bytesConverted()
 {
@@ -86,6 +101,12 @@ gatherRows()
     return detail::gatherRowsCounter().load(std::memory_order_relaxed);
 }
 
+inline std::uint64_t
+gemmFlops()
+{
+    return detail::gemmFlopsCounter().load(std::memory_order_relaxed);
+}
+
 /** Zero all numerics counters (tests and bench isolation). */
 inline void
 resetStats()
@@ -93,6 +114,7 @@ resetStats()
     detail::bytesConvertedCounter().store(0, std::memory_order_relaxed);
     detail::bytesCompressedCounter().store(0, std::memory_order_relaxed);
     detail::gatherRowsCounter().store(0, std::memory_order_relaxed);
+    detail::gemmFlopsCounter().store(0, std::memory_order_relaxed);
 }
 
 /**
@@ -109,6 +131,7 @@ publishNumericsMetrics(Registry &registry)
     registry.counter("numerics.bytes_converted").inc(bytesConverted());
     registry.counter("numerics.bytes_compressed").inc(bytesCompressed());
     registry.counter("numerics.gather_rows").inc(gatherRows());
+    registry.counter("numerics.gemm_flops").inc(gemmFlops());
 }
 
 } // namespace mtia::numerics

@@ -226,6 +226,33 @@ operator-(VecI32 a, VecI32 b)
 #endif
 }
 
+/** Lane-wise low-32-bit product (exact for int8×int8 accumulation). */
+inline VecI32
+mulLo(VecI32 a, VecI32 b)
+{
+#if defined(MTIA_SIMD_SSE2)
+    // SSE2 has no 32-bit lane multiply; _mm_mul_epu32 gives the full
+    // 64-bit product of the even lanes, whose low words equal the
+    // signed low-32 product. Do even and odd lanes, then re-interleave.
+    const __m128i even = _mm_mul_epu32(a.v, b.v);
+    const __m128i odd = _mm_mul_epu32(_mm_srli_si128(a.v, 4),
+                                      _mm_srli_si128(b.v, 4));
+    const __m128i even_lo =
+        _mm_shuffle_epi32(even, _MM_SHUFFLE(0, 0, 2, 0));
+    const __m128i odd_lo = _mm_shuffle_epi32(odd, _MM_SHUFFLE(0, 0, 2, 0));
+    return {_mm_unpacklo_epi32(even_lo, odd_lo)};
+#elif defined(MTIA_SIMD_NEON)
+    return {vmulq_s32(a.v, b.v)};
+#else
+    VecI32 r;
+    for (std::size_t i = 0; i < kLanes; ++i)
+        r.v[i] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(a.v[i]) *
+            static_cast<std::uint32_t>(b.v[i]));
+    return r;
+#endif
+}
+
 inline VecI32
 operator&(VecI32 a, VecI32 b)
 {
@@ -667,6 +694,63 @@ template <typename T> class AlignedBuffer
 
     T *ptr_ = nullptr;
     std::size_t n_ = 0;
+};
+
+// ------------------------------------------------- runtime dispatch
+
+/**
+ * Vector ISA tiers the GEMM kernel layer dispatches among at runtime.
+ * `Scalar` is the bit-exact reference; every wider tier must produce
+ * byte-identical results (same mul-then-add fp chains, vectorized only
+ * across independent output columns).
+ */
+enum class SimdIsa
+{
+    Scalar = 0,
+    Sse2,
+    Avx2,
+    Avx512,
+    Neon,
+};
+
+/** Stable lowercase name ("scalar", "sse2", ...) for logs and env. */
+const char *isaName(SimdIsa isa);
+
+/**
+ * True when the running CPU supports `isa` AND the matching kernel TU
+ * was compiled into this binary (AVX2/AVX-512 TUs are built only when
+ * the compiler accepts -mavx2/-mavx512f and MTIA_NO_SIMD is off).
+ */
+bool isaSupported(SimdIsa isa);
+
+/** Widest supported tier on this machine (cpuid-probed, cached). */
+SimdIsa detectBestIsa();
+
+/**
+ * Tier the GEMM kernels should use right now. Resolution order:
+ * innermost thread-local ScopedIsa override, else the cached
+ * `MTIA_SIMD_ISA` env override (checked against isaSupported), else
+ * detectBestIsa(). Drivers resolve this on the calling thread before
+ * fanning out, so pool workers inherit the caller's choice.
+ */
+SimdIsa activeIsa();
+
+/**
+ * RAII thread-local ISA override for tests and tuner sweeps; nests,
+ * innermost wins (mirrors core/parallel.h ScopedParallelism). The
+ * forced tier must satisfy isaSupported().
+ */
+class ScopedIsa
+{
+  public:
+    explicit ScopedIsa(SimdIsa isa);
+    ~ScopedIsa();
+    ScopedIsa(const ScopedIsa &) = delete;
+    ScopedIsa &operator=(const ScopedIsa &) = delete;
+
+  private:
+    SimdIsa prev_isa_;
+    bool prev_active_;
 };
 
 } // namespace mtia::simd

@@ -53,6 +53,12 @@ Executor::run(const Graph &g, const std::map<int, Tensor> &bound_inputs)
             m.counter("executor.output_bytes",
                       {{"op", nd.op->kind()}})
                 .inc(out.sizeBytes());
+            // Fused regions (fusion.cc rewrites) dispatch to real
+            // fused kernels; make that visible in every snapshot.
+            if (nd.op->fusedKernel())
+                m.counter("executor.fused_kernel_dispatches",
+                          {{"op", nd.op->kind()}})
+                    .inc();
         }
 
         live_bytes += out.sizeBytes();

@@ -2,10 +2,10 @@
 
 #include <cmath>
 
-#include "pe/dpe.h"
 #include "pe/mlu.h"
 #include "pe/simd_engine.h"
 #include "core/check.h"
+#include "ops/gemm_kernels.h"
 
 namespace mtia {
 
@@ -45,10 +45,11 @@ MhaOp::run(const std::vector<Tensor> &inputs, OpContext &ctx) const
     const Tensor x = MemoryLayoutUnit::reshape(
         inputs[0], Shape{batch_ * seq_, dim_});
     const auto &w = projections();
-    DotProductEngine dpe;
-    const Tensor q = dpe.gemm(x, w[0], dtype_);
-    const Tensor k = dpe.gemm(x, w[1], dtype_);
-    const Tensor v = dpe.gemm(x, w[2], dtype_);
+    // Projections go through the runtime-dispatched blocked GEMM
+    // (bit-identical to the DPE reference path it replaced).
+    const Tensor q = gemm_kernels::gemm(x, w[0], dtype_);
+    const Tensor k = gemm_kernels::gemm(x, w[1], dtype_);
+    const Tensor v = gemm_kernels::gemm(x, w[2], dtype_);
 
     const std::int64_t dh = dim_ / heads_;
     const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
@@ -105,8 +106,8 @@ MhaOp::run(const std::vector<Tensor> &inputs, OpContext &ctx) const
             }
         }
     }
-    return MemoryLayoutUnit::reshape(dpe.gemm(attn_out, w[3], dtype_),
-                                     inputs[0].shape());
+    return MemoryLayoutUnit::reshape(
+        gemm_kernels::gemm(attn_out, w[3], dtype_), inputs[0].shape());
 }
 
 KernelTime

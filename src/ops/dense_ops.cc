@@ -3,26 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
-#include "pe/dpe.h"
 #include "pe/mlu.h"
 #include "core/check.h"
+#include "ops/gemm_kernels.h"
 #include "tensor/quantize.h"
 
 namespace mtia {
 
 namespace {
 
-const SimdEngine &
-sharedSimd()
-{
-    static const SimdEngine engine;
-    return engine;
-}
-
 Tensor
 applyNonlinearity(Nonlinearity f, const Tensor &x, bool use_lut)
 {
-    return use_lut ? sharedSimd().apply(f, x)
+    return use_lut ? gemm_kernels::sharedSimdEngine().apply(f, x)
                    : SimdEngine::applyExact(f, x);
 }
 
@@ -80,11 +73,14 @@ Tensor
 FullyConnectedOp::run(const std::vector<Tensor> &inputs,
                       OpContext &ctx) const
 {
-    DotProductEngine dpe;
-    Tensor out = dpe.gemm(inputs[0], weights(), dtype_);
+    // Runtime-dispatched blocked GEMM (bit-identical to the DPE
+    // reference); with an activation the whole op runs as one fused
+    // kernel with the activation in the row-block epilogue.
     if (has_activation_)
-        out = applyNonlinearity(activation_, out, ctx.use_lut_simd);
-    return out;
+        return gemm_kernels::fusedGemmActivation(inputs[0], weights(),
+                                                 dtype_, activation_,
+                                                 ctx.use_lut_simd);
+    return gemm_kernels::gemm(inputs[0], weights(), dtype_);
 }
 
 KernelTime
@@ -400,11 +396,10 @@ FusedTransposeFcOp::run(const std::vector<Tensor> &inputs,
             weights_.push_back(std::move(w));
         }
     }
-    DotProductEngine dpe;
     std::vector<Tensor> outs;
     outs.reserve(weights_.size());
     for (const Tensor &w : weights_)
-        outs.push_back(dpe.gemm(xt, w, dtype_));
+        outs.push_back(gemm_kernels::gemm(xt, w, dtype_));
     return MemoryLayoutUnit::concat(outs, 1);
 }
 

@@ -67,6 +67,7 @@ class FullyConnectedOp : public Op
 
     std::string kind() const override { return "fc"; }
     std::size_t arity() const override { return 1; }
+    bool fusedKernel() const override { return has_activation_; }
     Shape outputShape(const std::vector<Shape> &inputs) const override;
     Tensor run(const std::vector<Tensor> &inputs,
                OpContext &ctx) const override;
@@ -351,6 +352,7 @@ class FusedTransposeFcOp : public Op
 
     std::string kind() const override { return "fused-transpose-fc"; }
     std::size_t arity() const override { return 1; }
+    bool fusedKernel() const override { return true; }
     Shape outputShape(const std::vector<Shape> &) const override;
     Tensor run(const std::vector<Tensor> &inputs,
                OpContext &ctx) const override;

@@ -1,0 +1,198 @@
+#include "ops/gemm_kernels.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "core/check.h"
+#include "tensor/dtype.h"
+
+namespace mtia::gemm_kernels
+{
+namespace
+{
+
+/**
+ * Round-tripped fp32 copy of a tensor: the reference gemm's
+ * `roundTrip(at2(i,x), compute_dtype)` hoisted out of the k loop.
+ * Elementwise, so hoisting is value-identical; halves go through the
+ * vectorized convertBuffer pair (itself bit-identical to the scalar
+ * conversions).
+ */
+std::vector<float>
+roundTrippedFloats(const Tensor &t, DType dt)
+{
+    std::vector<float> out = t.toFloats();
+    if (dt == DType::FP32 || out.empty())
+        return out;
+    if (dt == DType::FP16 || dt == DType::BF16) {
+        std::vector<std::uint16_t> bits(out.size());
+        convertBuffer(out.data(), bits.data(), out.size(), dt);
+        convertBuffer(bits.data(), out.data(), out.size(), dt);
+        return out;
+    }
+    for (float &x : out)
+        x = roundTrip(x, dt);
+    return out;
+}
+
+struct ActEpilogue
+{
+    float *c;
+    std::int64_t n;
+    Nonlinearity f;
+    bool use_lut;
+};
+
+// Runs on pool workers inside the GEMM's parallel region, once per
+// finished row block. Replicates applyNonlinearity in dense_ops.cc:
+// use_lut → SimdEngine::apply semantics (ReLU exact on ALUs, LUT
+// otherwise), else the exact reference.
+void
+applyActivationRows(void *arg, std::int64_t r0, std::int64_t r1)
+{
+    const auto *e = static_cast<const ActEpilogue *>(arg);
+    float *p = e->c + r0 * e->n;
+    const std::int64_t count = (r1 - r0) * e->n;
+    if (e->use_lut) {
+        const SimdEngine &eng = sharedSimdEngine();
+        for (std::int64_t i = 0; i < count; ++i)
+            p[i] = eng.applyOne(e->f, p[i]);
+        return;
+    }
+    for (std::int64_t i = 0; i < count; ++i)
+        p[i] = nonlinearityExact(e->f, p[i]);
+}
+
+struct DequantEpilogue
+{
+    const std::int32_t *acc;
+    float *out;
+    const QuantizedTensor *qa;
+    float sb;
+    std::int64_t n;
+    bool has_activation;
+    Nonlinearity f;
+    bool use_lut;
+};
+
+// Dequant exactly as DotProductEngine::gemmInt8: (float(acc)*sa)*sb,
+// sa per activation row, sb the per-tensor weight scale; then the
+// optional activation, all while the block is cache-hot.
+void
+dequantRows(void *arg, std::int64_t r0, std::int64_t r1)
+{
+    const auto *e = static_cast<const DequantEpilogue *>(arg);
+    for (std::int64_t i = r0; i < r1; ++i) {
+        const float sa = e->qa->scaleFor(i);
+        const std::int32_t *src = e->acc + i * e->n;
+        float *dst = e->out + i * e->n;
+        for (std::int64_t j = 0; j < e->n; ++j)
+            dst[j] = static_cast<float>(src[j]) * sa * e->sb;
+    }
+    if (e->has_activation) {
+        ActEpilogue act{e->out, e->n, e->f, e->use_lut};
+        applyActivationRows(&act, r0, r1);
+    }
+}
+
+void
+checkGemmShapes(const Tensor &a, const Tensor &b)
+{
+    MTIA_CHECK_EQ(a.shape().rank(), 2u) << ": gemm lhs must be rank-2";
+    MTIA_CHECK_EQ(b.shape().rank(), 2u) << ": gemm rhs must be rank-2";
+    MTIA_CHECK_EQ(a.shape().dim(1), b.shape().dim(0))
+        << ": gemm inner dimensions must match";
+}
+
+} // namespace
+
+const SimdEngine &
+sharedSimdEngine()
+{
+    static const SimdEngine engine;
+    return engine;
+}
+
+Tensor
+gemm(const Tensor &a, const Tensor &b, DType compute_dtype)
+{
+    return gemm(a, b, compute_dtype, simd::activeIsa(),
+                simd::GemmBlocking{});
+}
+
+Tensor
+gemm(const Tensor &a, const Tensor &b, DType compute_dtype,
+     simd::SimdIsa isa, const simd::GemmBlocking &blk)
+{
+    checkGemmShapes(a, b);
+    const std::int64_t m = a.shape().dim(0);
+    const std::int64_t k = a.shape().dim(1);
+    const std::int64_t n = b.shape().dim(1);
+    const std::vector<float> av = roundTrippedFloats(a, compute_dtype);
+    const std::vector<float> bv = roundTrippedFloats(b, compute_dtype);
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    simd::gemmF32(av.data(), bv.data(), c.data(), m, n, k, isa, blk);
+    return Tensor::fromFloats(c, Shape{m, n}, DType::FP32);
+}
+
+Tensor
+fusedGemmActivation(const Tensor &a, const Tensor &b, DType compute_dtype,
+                    Nonlinearity f, bool use_lut)
+{
+    return fusedGemmActivation(a, b, compute_dtype, f, use_lut,
+                               simd::activeIsa(), simd::GemmBlocking{});
+}
+
+Tensor
+fusedGemmActivation(const Tensor &a, const Tensor &b, DType compute_dtype,
+                    Nonlinearity f, bool use_lut, simd::SimdIsa isa,
+                    const simd::GemmBlocking &blk)
+{
+    checkGemmShapes(a, b);
+    const std::int64_t m = a.shape().dim(0);
+    const std::int64_t k = a.shape().dim(1);
+    const std::int64_t n = b.shape().dim(1);
+    const std::vector<float> av = roundTrippedFloats(a, compute_dtype);
+    const std::vector<float> bv = roundTrippedFloats(b, compute_dtype);
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    ActEpilogue ep{c.data(), n, f, use_lut};
+    simd::gemmF32(av.data(), bv.data(), c.data(), m, n, k, isa, blk,
+                  &applyActivationRows, &ep);
+    return Tensor::fromFloats(c, Shape{m, n}, DType::FP32);
+}
+
+Tensor
+fusedQuantizedGemm(const Tensor &a, const QuantizedTensor &w,
+                   bool has_activation, Nonlinearity f, bool use_lut)
+{
+    return fusedQuantizedGemm(a, w, has_activation, f, use_lut,
+                              simd::activeIsa(), simd::GemmBlocking{});
+}
+
+Tensor
+fusedQuantizedGemm(const Tensor &a, const QuantizedTensor &w,
+                   bool has_activation, Nonlinearity f, bool use_lut,
+                   simd::SimdIsa isa, const simd::GemmBlocking &blk)
+{
+    checkGemmShapes(a, w.values);
+    MTIA_CHECK_EQ(w.scales.size(), 1u)
+        << ": fusedQuantizedGemm expects per-tensor weight scales";
+    const std::int64_t m = a.shape().dim(0);
+    const std::int64_t k = a.shape().dim(1);
+    const std::int64_t n = w.values.shape().dim(1);
+    const QuantizedTensor qa =
+        quantizeDynamic(a, QuantGranularity::PerRow);
+    const auto *ai =
+        reinterpret_cast<const std::int8_t *>(qa.values.raw().data());
+    const auto *wi =
+        reinterpret_cast<const std::int8_t *>(w.values.raw().data());
+    std::vector<std::int32_t> acc(static_cast<std::size_t>(m * n));
+    std::vector<float> out(static_cast<std::size_t>(m * n));
+    DequantEpilogue ep{acc.data(), out.data(), &qa,       w.scales[0],
+                       n,          has_activation, f,     use_lut};
+    simd::gemmI8(ai, wi, acc.data(), m, n, k, isa, blk, &dequantRows,
+                 &ep);
+    return Tensor::fromFloats(out, Shape{m, n}, DType::FP32);
+}
+
+} // namespace mtia::gemm_kernels

@@ -58,6 +58,11 @@ class Op
     /** Number of graph inputs this op consumes. */
     virtual std::size_t arity() const = 0;
 
+    /** True when run() executes through a fused kernel (one pass over
+     * the output tiles instead of a chain of elementwise passes). The
+     * executor counts these dispatches in telemetry. */
+    virtual bool fusedKernel() const { return false; }
+
     /** Output shape given input shapes. */
     virtual Shape outputShape(const std::vector<Shape> &inputs) const = 0;
 

@@ -121,6 +121,15 @@ SimdEngine::apply(Nonlinearity f, const Tensor &x) const
     return out;
 }
 
+float
+SimdEngine::applyOne(Nonlinearity f, float x) const
+{
+    // Must mirror apply() exactly, element for element.
+    if (f == Nonlinearity::Relu)
+        return std::max(0.0f, x);
+    return tableFor(f).evaluate(x);
+}
+
 Tensor
 SimdEngine::applyExact(Nonlinearity f, const Tensor &x)
 {

@@ -95,6 +95,11 @@ class SimdEngine
     /** Apply the exact function (used as the GPU/reference baseline). */
     static Tensor applyExact(Nonlinearity f, const Tensor &x);
 
+    /** Single-element LUT-path evaluation, identical to apply()'s
+     * per-element math (ReLU exact on the ALUs, LUT otherwise). Used
+     * by the fused GEMM epilogues in ops/gemm_kernels. */
+    float applyOne(Nonlinearity f, float x) const;
+
     /** Max LUT approximation error over [lo, hi] sampled densely. */
     double maxLutError(Nonlinearity f, float lo, float hi) const;
 

@@ -1,0 +1,267 @@
+/**
+ * Runtime-dispatched blocked GEMM and the fused operator layer: every
+ * dispatch tier (scalar / sse2|neon / avx2 / avx512) and every thread
+ * count must produce bytes identical to the element-at-a-time
+ * references — DotProductEngine::gemm / gemmInt8 and the unfused
+ * SimdEngine activation composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/numerics_stats.h"
+#include "core/parallel.h"
+#include "core/simd.h"
+#include "core/simd_gemm.h"
+#include "ops/gemm_kernels.h"
+#include "pe/dpe.h"
+#include "pe/simd_engine.h"
+#include "sim/random.h"
+#include "telemetry/metrics.h"
+#include "tensor/quantize.h"
+#include "tensor/tensor.h"
+
+namespace mtia {
+namespace {
+
+std::vector<simd::SimdIsa>
+supportedTiers()
+{
+    std::vector<simd::SimdIsa> tiers;
+    for (const simd::SimdIsa isa :
+         {simd::SimdIsa::Scalar, simd::SimdIsa::Sse2,
+          simd::SimdIsa::Neon, simd::SimdIsa::Avx2,
+          simd::SimdIsa::Avx512}) {
+        if (simd::isaSupported(isa))
+            tiers.push_back(isa);
+    }
+    return tiers;
+}
+
+Tensor
+randomTensor(Shape shape, Rng &rng)
+{
+    Tensor t(shape, DType::FP32);
+    t.fillGaussian(rng);
+    return t;
+}
+
+struct GemmCase
+{
+    std::int64_t m, n, k;
+};
+
+// Odd extents exercise every partial-tile path of every micro-kernel
+// (mr/nr remainders, nc blocks that end mid-strip, kc tails).
+constexpr GemmCase kCases[] = {
+    {37, 29, 53}, {64, 48, 32}, {1, 7, 5}, {128, 96, 64}, {4, 33, 128},
+};
+
+TEST(SimdDispatchTest, ScalarAlwaysSupportedAndBestIsSupported)
+{
+    EXPECT_TRUE(simd::isaSupported(simd::SimdIsa::Scalar));
+    EXPECT_TRUE(simd::isaSupported(simd::detectBestIsa()));
+    EXPECT_TRUE(simd::isaSupported(simd::activeIsa()));
+}
+
+TEST(SimdDispatchTest, ScopedIsaOverridesAndNests)
+{
+    const simd::SimdIsa base = simd::activeIsa();
+    {
+        simd::ScopedIsa outer(simd::SimdIsa::Scalar);
+        EXPECT_EQ(simd::activeIsa(), simd::SimdIsa::Scalar);
+        for (const simd::SimdIsa isa : supportedTiers()) {
+            simd::ScopedIsa inner(isa);
+            EXPECT_EQ(simd::activeIsa(), isa);
+        }
+        EXPECT_EQ(simd::activeIsa(), simd::SimdIsa::Scalar);
+    }
+    EXPECT_EQ(simd::activeIsa(), base);
+}
+
+TEST(SimdDispatchTest, TierNamesRoundTrip)
+{
+    for (const simd::SimdIsa isa : supportedTiers())
+        EXPECT_STRNE(simd::isaName(isa), "");
+}
+
+TEST(GemmKernelsTest, EveryTierAndThreadCountMatchesDpeReference)
+{
+    const DotProductEngine dpe;
+    Rng rng(101);
+    for (const GemmCase &c : kCases) {
+        const Tensor a = randomTensor(Shape{c.m, c.k}, rng);
+        const Tensor b = randomTensor(Shape{c.k, c.n}, rng);
+        for (const DType dt :
+             {DType::FP32, DType::FP16, DType::BF16}) {
+            const Tensor ref = dpe.gemm(a, b, dt);
+            for (const simd::SimdIsa isa : supportedTiers()) {
+                for (const unsigned lanes : {1u, 2u, 8u}) {
+                    ScopedParallelism scope(lanes);
+                    const Tensor c_out = gemm_kernels::gemm(
+                        a, b, dt, isa, simd::GemmBlocking{});
+                    EXPECT_EQ(c_out.raw(), ref.raw())
+                        << c.m << "x" << c.n << "x" << c.k << " dtype "
+                        << dtypeName(dt) << " tier "
+                        << simd::isaName(isa) << " lanes " << lanes;
+                }
+            }
+        }
+    }
+}
+
+TEST(GemmKernelsTest, SmallBlockingsSplitEveryLoopIdentically)
+{
+    const DotProductEngine dpe;
+    Rng rng(102);
+    const Tensor a = randomTensor(Shape{65, 47}, rng);
+    const Tensor b = randomTensor(Shape{47, 51}, rng);
+    const Tensor ref = dpe.gemm(a, b, DType::FP32);
+    const simd::GemmBlocking blockings[] = {
+        {8, 16, 24}, {1, 1, 1}, {16, 8, 8}, {64, 256, 512}};
+    for (const simd::SimdIsa isa : supportedTiers()) {
+        for (const simd::GemmBlocking &blk : blockings) {
+            const Tensor c =
+                gemm_kernels::gemm(a, b, DType::FP32, isa, blk);
+            EXPECT_EQ(c.raw(), ref.raw())
+                << simd::isaName(isa) << " mc" << blk.mc << " kc"
+                << blk.kc << " nc" << blk.nc;
+        }
+    }
+}
+
+TEST(GemmKernelsTest, FusedActivationMatchesUnfusedComposition)
+{
+    const DotProductEngine dpe;
+    Rng rng(103);
+    const Tensor a = randomTensor(Shape{45, 37}, rng);
+    const Tensor b = randomTensor(Shape{37, 41}, rng);
+    const Tensor c_ref = dpe.gemm(a, b, DType::FP16);
+    for (const Nonlinearity f :
+         {Nonlinearity::Relu, Nonlinearity::Gelu, Nonlinearity::Tanh,
+          Nonlinearity::Silu}) {
+        const Tensor lut_ref =
+            gemm_kernels::sharedSimdEngine().apply(f, c_ref);
+        const Tensor exact_ref = SimdEngine::applyExact(f, c_ref);
+        for (const simd::SimdIsa isa : supportedTiers()) {
+            for (const unsigned lanes : {1u, 8u}) {
+                ScopedParallelism scope(lanes);
+                const Tensor lut = gemm_kernels::fusedGemmActivation(
+                    a, b, DType::FP16, f, /*use_lut=*/true, isa,
+                    simd::GemmBlocking{});
+                const Tensor exact = gemm_kernels::fusedGemmActivation(
+                    a, b, DType::FP16, f, /*use_lut=*/false, isa,
+                    simd::GemmBlocking{});
+                EXPECT_EQ(lut.raw(), lut_ref.raw())
+                    << nonlinearityName(f) << " lut tier "
+                    << simd::isaName(isa) << " lanes " << lanes;
+                EXPECT_EQ(exact.raw(), exact_ref.raw())
+                    << nonlinearityName(f) << " exact tier "
+                    << simd::isaName(isa) << " lanes " << lanes;
+            }
+        }
+    }
+}
+
+TEST(GemmKernelsTest, FusedQuantizedGemmMatchesUnfusedComposition)
+{
+    const DotProductEngine dpe;
+    Rng rng(104);
+    const Tensor a = randomTensor(Shape{33, 61}, rng);
+    const Tensor b = randomTensor(Shape{61, 29}, rng);
+    const QuantizedTensor w = quantizeStatic(b);
+    const QuantizedTensor qa =
+        quantizeDynamic(a, QuantGranularity::PerRow);
+    const Tensor plain_ref = dpe.gemmInt8(qa, w);
+    const Tensor act_ref =
+        gemm_kernels::sharedSimdEngine().apply(Nonlinearity::Relu,
+                                               plain_ref);
+    for (const simd::SimdIsa isa : supportedTiers()) {
+        for (const unsigned lanes : {1u, 8u}) {
+            ScopedParallelism scope(lanes);
+            const Tensor plain = gemm_kernels::fusedQuantizedGemm(
+                a, w, /*has_activation=*/false, Nonlinearity::Relu,
+                /*use_lut=*/true, isa, simd::GemmBlocking{});
+            const Tensor act = gemm_kernels::fusedQuantizedGemm(
+                a, w, /*has_activation=*/true, Nonlinearity::Relu,
+                /*use_lut=*/true, isa, simd::GemmBlocking{});
+            EXPECT_EQ(plain.raw(), plain_ref.raw())
+                << "tier " << simd::isaName(isa) << " lanes " << lanes;
+            EXPECT_EQ(act.raw(), act_ref.raw())
+                << "tier " << simd::isaName(isa) << " lanes " << lanes;
+        }
+    }
+}
+
+// Randomized property sweep mirroring tests/numerics_test.cc: a
+// million-element output, Gaussian inputs, every tier and a serial vs
+// wide thread count — all byte-identical to the scalar reference.
+TEST(GemmKernelsTest, MillionElementPropertySweep)
+{
+    const DotProductEngine dpe;
+    Rng rng(105);
+    const Tensor a = randomTensor(Shape{1024, 64}, rng);
+    const Tensor b = randomTensor(Shape{64, 1024}, rng);
+    const Tensor ref = dpe.gemm(a, b, DType::FP16);
+    ASSERT_EQ(ref.shape().numel(), 1024 * 1024);
+    for (const simd::SimdIsa isa : supportedTiers()) {
+        for (const unsigned lanes : {1u, 8u}) {
+            ScopedParallelism scope(lanes);
+            const Tensor c = gemm_kernels::gemm(a, b, DType::FP16, isa,
+                                                simd::GemmBlocking{});
+            EXPECT_EQ(c.raw(), ref.raw())
+                << "tier " << simd::isaName(isa) << " lanes " << lanes;
+        }
+    }
+}
+
+TEST(GemmKernelsTest, ActiveIsaDefaultMatchesExplicitTier)
+{
+    Rng rng(106);
+    const Tensor a = randomTensor(Shape{19, 23}, rng);
+    const Tensor b = randomTensor(Shape{23, 31}, rng);
+    for (const simd::SimdIsa isa : supportedTiers()) {
+        simd::ScopedIsa scope(isa);
+        const Tensor via_active = gemm_kernels::gemm(a, b, DType::FP32);
+        const Tensor via_explicit = gemm_kernels::gemm(
+            a, b, DType::FP32, isa, simd::GemmBlocking{});
+        EXPECT_EQ(via_active.raw(), via_explicit.raw())
+            << simd::isaName(isa);
+    }
+}
+
+TEST(GemmKernelsTest, GemmFlopsCounterTracksWork)
+{
+    numerics::resetStats();
+    Rng rng(107);
+    const Tensor a = randomTensor(Shape{12, 34}, rng);
+    const Tensor b = randomTensor(Shape{34, 56}, rng);
+    (void)gemm_kernels::gemm(a, b, DType::FP32);
+    EXPECT_EQ(numerics::gemmFlops(), 2ull * 12 * 34 * 56);
+    (void)gemm_kernels::fusedGemmActivation(
+        a, b, DType::FP32, Nonlinearity::Relu, /*use_lut=*/true);
+    EXPECT_EQ(numerics::gemmFlops(), 2ull * 2ull * 12 * 34 * 56);
+
+    telemetry::MetricRegistry metrics;
+    numerics::publishNumericsMetrics(metrics);
+    EXPECT_EQ(metrics.counter("numerics.gemm_flops").value(),
+              2ull * 2ull * 12 * 34 * 56);
+}
+
+TEST(GemmKernelsTest, RawPointerGemmHandlesDegenerateShapes)
+{
+    // m == 0 / n == 0 are no-ops; k == 0 zero-fills C.
+    std::vector<float> c(6, 42.0f);
+    simd::gemmF32(nullptr, nullptr, c.data(), 0, 3, 4,
+                  simd::SimdIsa::Scalar, simd::GemmBlocking{});
+    EXPECT_EQ(c[0], 42.0f);
+    simd::gemmF32(nullptr, nullptr, c.data(), 2, 3, 0,
+                  simd::SimdIsa::Scalar, simd::GemmBlocking{});
+    for (const float v : c)
+        EXPECT_EQ(v, 0.0f);
+}
+
+} // namespace
+} // namespace mtia

@@ -238,6 +238,7 @@ main(int argc, char **argv)
         ctx.sim_core =
             rel.rfind("src/sim/", 0) == 0 || opt.treat_as_src;
         ctx.dtype_kernel = rel.rfind("src/tensor/dtype.", 0) == 0;
+        ctx.simd_kernel = rel.rfind("src/core/simd", 0) == 0;
         const std::string ext = f.extension().string();
         ctx.is_header = ext == ".h" || ext == ".hpp";
 

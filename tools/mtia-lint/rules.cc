@@ -96,6 +96,7 @@ class RuleRunner
     void duplicateInclude();
     void heapTopCopy();
     void scalarHotLoop();
+    void rawIntrinsics();
     void unorderedIteration();
     void pointerKeyOrdered();
     void parallelCapture();
@@ -382,6 +383,42 @@ RuleRunner::scalarHotLoop()
                    "per-element dtype conversion in a loop; use "
                    "convertBuffer so the batch kernels (core/simd.h) "
                    "run instead");
+    }
+}
+
+/** NEON-intrinsic-shaped name: starts `v<lower>`, ends with a lane
+ *  type suffix `_[fsup](8|16|32|64)` — vld1q_f32, vmulq_s32, … */
+bool
+neonLike(const std::string &s)
+{
+    if (s.size() < 4 || s[0] != 'v' || s[1] < 'a' || s[1] > 'z')
+        return false;
+    const std::size_t us = s.rfind('_');
+    if (us == std::string::npos || us + 2 > s.size() - 1)
+        return false;
+    const char lane = s[us + 1];
+    if (lane != 'f' && lane != 's' && lane != 'u' && lane != 'p')
+        return false;
+    const std::string bits = s.substr(us + 2);
+    return bits == "8" || bits == "16" || bits == "32" || bits == "64";
+}
+
+void
+RuleRunner::rawIntrinsics()
+{
+    if (!ctx_.in_src || ctx_.simd_kernel)
+        return;
+    for (std::size_t i = 0; i + 1 < t_.size(); ++i) {
+        if (t_[i].kind != Tok::Ident || !isPunct(t_, i + 1, "(") ||
+            qualOf(t_, i) != Qual::None)
+            continue;
+        const std::string &s = t_[i].text;
+        if (s.compare(0, 3, "_mm") != 0 && !neonLike(s))
+            continue;
+        report(t_[i].line, "raw-intrinsics",
+               "raw SIMD intrinsic outside src/core/simd*; go through "
+               "the core/simd.h wrappers so every dispatch tier stays "
+               "bit-exact and portable");
     }
 }
 
@@ -672,6 +709,7 @@ RuleRunner::run()
     rawOutput();
     telemetryWallClock();
     scalarHotLoop();
+    rawIntrinsics();
     heapTopCopy();
     includeGuard();
     checkSideEffect();

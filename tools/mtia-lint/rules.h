@@ -36,6 +36,7 @@ struct FileContext
     bool telemetry = false;     ///< telemetry-wall-clock applies
     bool sim_core = false;      ///< heap-top-copy applies
     bool dtype_kernel = false;  ///< scalar-hot-loop exempt
+    bool simd_kernel = false;   ///< raw-intrinsics exempt (src/core/simd*)
     bool is_header = false;     ///< include-guard applies
 };
 
