@@ -61,6 +61,17 @@ Report::wallClockRatio(const std::string &ratio_name, double ratio)
     ratios_.push_back({ratio_name, ratio});
 }
 
+void
+Report::surrogate(const std::string &field, double value)
+{
+    MTIA_CHECK(!field.empty()) << ": surrogate block field needs a name";
+    for (const Ratio &f : surrogate_fields_) {
+        MTIA_CHECK(f.name != field)
+            << ": surrogate block field " << field << " recorded twice";
+    }
+    surrogate_fields_.push_back({field, value});
+}
+
 std::string
 Report::path() const
 {
@@ -120,6 +131,16 @@ Report::json() const
             os << '}';
         }
         os << ']';
+    }
+    if (!surrogate_fields_.empty()) {
+        os << ",\"surrogate\":{";
+        for (std::size_t i = 0; i < surrogate_fields_.size(); ++i) {
+            os << (i ? "," : "");
+            telemetry::writeJsonString(os, surrogate_fields_[i].name);
+            os << ":";
+            telemetry::writeJsonDouble(os, surrogate_fields_[i].ratio);
+        }
+        os << '}';
     }
     if (telemetry_ != nullptr) {
         std::string snap = telemetry_->json();

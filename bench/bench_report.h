@@ -23,6 +23,9 @@
  *     "wall_clock_ratios": [                                // optional
  *       {"name": "conversion", "ratio": 4.1}, ...
  *     ],
+ *     "surrogate": {                                        // optional
+ *       "mae": 0.01, "rank_correlation": 0.98, ...          // ordered
+ *     },
  *     "telemetry": { <mtia-metrics-v1 snapshot> }           // optional
  *   }
  *
@@ -31,7 +34,10 @@
  * "wall_clock_speedup" — a measured serial-vs-parallel harness ratio
  * — and "wall_clock_ratios" — named scalar-vs-vectorized kernel
  * throughput ratios — which by nature vary run to run; determinism
- * comparisons must strip those fields before diffing. Export failures
+ * comparisons must strip those fields before diffing. The "surrogate"
+ * block (learned-cost-model accuracy: MAE, rank correlation, regret,
+ * eval counts) is derived from deterministic evaluations and is
+ * covered by the byte-identity guarantee. Export failures
  * go through the telemetry error handler (ScopedTelemetryThrow makes
  * them assertable in tests).
  */
@@ -83,6 +89,15 @@ class Report
     void wallClockRatio(const std::string &ratio_name, double ratio);
 
     /**
+     * Record one field of the surrogate accuracy block (MAE,
+     * rank_correlation, regret_pct, surrogate_evals, real_evals,
+     * ...). Fields are emitted in recording order under the
+     * top-level "surrogate" object; recording the same field twice
+     * is a caller bug (checked).
+     */
+    void surrogate(const std::string &field, double value);
+
+    /**
      * Attach a metric registry whose snapshot is embedded under
      * "telemetry" at write time. The registry must outlive write().
      */
@@ -120,6 +135,7 @@ class Report
     std::string name_;
     std::vector<Entry> entries_;
     std::vector<Ratio> ratios_;
+    std::vector<Ratio> surrogate_fields_;
     const telemetry::MetricRegistry *telemetry_ = nullptr;
     unsigned speedup_threads_ = 0;
     double speedup_ = 0.0;

@@ -1,0 +1,145 @@
+#ifndef MTIA_AUTOTUNE_AUTOTUNE_STATS_H_
+#define MTIA_AUTOTUNE_AUTOTUNE_STATS_H_
+
+/**
+ * @file
+ * Process-wide counters for surrogate-guided autotuning, following
+ * the core/numerics_stats.h pattern: header-only atomics the tuning
+ * loop bumps without linking telemetry, published into a
+ * MetricRegistry by callers that hold one via
+ * publishAutotuneMetrics().
+ *
+ * surrogate_evals counts model predictions, real_evals counts calls
+ * into the real analytic/DES/measured evaluator, and the MAE pair
+ * (absolute-error sum + sample count) backs the
+ * autotune.surrogate_mae gauge. All are monotonic totals under
+ * relaxed atomics (attribution, not synchronization), deterministic
+ * for a deterministic workload, and resettable for tests/benches.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+namespace mtia::autotune {
+
+namespace detail {
+
+inline std::atomic<std::uint64_t> &
+surrogateEvalsCounter()
+{
+    static std::atomic<std::uint64_t> c{0};
+    return c;
+}
+
+inline std::atomic<std::uint64_t> &
+realEvalsCounter()
+{
+    static std::atomic<std::uint64_t> c{0};
+    return c;
+}
+
+inline std::atomic<double> &
+maeSumCounter()
+{
+    static std::atomic<double> c{0.0};
+    return c;
+}
+
+inline std::atomic<std::uint64_t> &
+maeSamplesCounter()
+{
+    static std::atomic<std::uint64_t> c{0};
+    return c;
+}
+
+inline void
+atomicAddDouble(std::atomic<double> &target, double by)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + by,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace detail
+
+/** Note @p n surrogate predictions issued by a tuning sweep. */
+inline void
+noteSurrogateEvals(std::uint64_t n)
+{
+    detail::surrogateEvalsCounter().fetch_add(n,
+                                              std::memory_order_relaxed);
+}
+
+/** Note @p n real (analytic/DES/measured) evaluator calls. */
+inline void
+noteRealEvals(std::uint64_t n)
+{
+    detail::realEvalsCounter().fetch_add(n, std::memory_order_relaxed);
+}
+
+/** Note @p samples verified predictions with absolute-error sum
+ *  @p abs_error_sum. */
+inline void
+noteSurrogateError(double abs_error_sum, std::uint64_t samples)
+{
+    detail::atomicAddDouble(detail::maeSumCounter(), abs_error_sum);
+    detail::maeSamplesCounter().fetch_add(samples,
+                                          std::memory_order_relaxed);
+}
+
+inline std::uint64_t
+surrogateEvals()
+{
+    return detail::surrogateEvalsCounter().load(std::memory_order_relaxed);
+}
+
+inline std::uint64_t
+realEvals()
+{
+    return detail::realEvalsCounter().load(std::memory_order_relaxed);
+}
+
+/** Mean |prediction - real| over every verified prediction so far
+ *  (0 before any verification). */
+inline double
+surrogateMae()
+{
+    const std::uint64_t n =
+        detail::maeSamplesCounter().load(std::memory_order_relaxed);
+    if (n == 0)
+        return 0.0;
+    return detail::maeSumCounter().load(std::memory_order_relaxed) /
+           static_cast<double>(n);
+}
+
+/** Zero all autotune counters (tests and bench isolation). */
+inline void
+resetStats()
+{
+    detail::surrogateEvalsCounter().store(0, std::memory_order_relaxed);
+    detail::realEvalsCounter().store(0, std::memory_order_relaxed);
+    detail::maeSumCounter().store(0.0, std::memory_order_relaxed);
+    detail::maeSamplesCounter().store(0, std::memory_order_relaxed);
+}
+
+/**
+ * Copy the current totals into @p registry as the
+ * autotune.{surrogate_evals,real_evals} counters and the
+ * autotune.surrogate_mae gauge, following publishNumericsMetrics.
+ * Templated so this header stays free of a telemetry dependency;
+ * instantiate with telemetry::MetricRegistry.
+ */
+template <typename Registry>
+inline void
+publishAutotuneMetrics(Registry &registry)
+{
+    registry.counter("autotune.surrogate_evals").inc(surrogateEvals());
+    registry.counter("autotune.real_evals").inc(realEvals());
+    registry.gauge("autotune.surrogate_mae").set(surrogateMae());
+}
+
+} // namespace mtia::autotune
+
+#endif // MTIA_AUTOTUNE_AUTOTUNE_STATS_H_

@@ -1,10 +1,35 @@
 #include "autotune/batch_tuner.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "graph/fusion.h"
 #include "core/check.h"
 #include "core/parallel.h"
 
 namespace mtia {
+
+namespace {
+
+/**
+ * Scalar cost the surrogate trains on, encoding evaluate()'s winner
+ * rule as a minimization: SLO-meeting snapshots compete on -qps
+ * (higher throughput is cheaper), violators all cost more than any
+ * meeting snapshot and compete on latency. The penalty dwarfs any
+ * real latency (picoticks; < 1e16 for sub-hour snapshots) while
+ * keeping training arithmetic finite.
+ */
+constexpr double kSloPenalty = 1e18;
+
+double
+batchCost(const BatchCandidate &c)
+{
+    if (c.meets_slo)
+        return -c.cost.qps;
+    return kSloPenalty + static_cast<double>(c.cost.latency);
+}
+
+} // namespace
 
 BatchCandidate
 BatchSizeTuner::evalOne(const ModelBuilder &builder, std::int64_t batch,
@@ -55,6 +80,38 @@ BatchSizeTuner::evaluate(const ModelBuilder &builder,
         }
     }
     return out;
+}
+
+BatchSurrogateResult
+BatchSizeTuner::tuneSurrogate(const ModelBuilder &builder,
+                              const std::vector<std::int64_t> &candidates,
+                              Tick slo,
+                              const SurrogateSweepOptions &opts) const
+{
+    MTIA_CHECK(!candidates.empty())
+        << ": BatchSizeTuner needs candidate batch sizes";
+    const SurrogateSweepResult loop = surrogateArgmin(
+        candidates.size(),
+        [&](std::size_t i) {
+            FeatureVec f{};
+            f[0] = std::log2(static_cast<double>(
+                std::max<std::int64_t>(1, candidates[i])));
+            f[1] = static_cast<double>(candidates[i]);
+            return f;
+        },
+        [&](std::size_t i) {
+            return batchCost(evalOne(builder, candidates[i], slo));
+        },
+        opts);
+
+    BatchSurrogateResult r;
+    // Re-derive the winner's full snapshot (deterministic, one extra
+    // model build) so callers get the same BatchCandidate evaluate()
+    // would hand them.
+    r.best = evalOne(builder, candidates[loop.best_index], slo);
+    r.loop = loop;
+    r.grid_size = candidates.size();
+    return r;
 }
 
 BatchCandidate

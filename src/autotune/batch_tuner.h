@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "autotune/surrogate.h"
 #include "graph/graph_cost.h"
 #include "models/model_zoo.h"
 
@@ -26,6 +27,14 @@ struct BatchCandidate
     std::int64_t batch = 0;
     ModelCost cost;
     bool meets_slo = false;
+};
+
+/** Result of a surrogate-guided batch sweep. */
+struct BatchSurrogateResult
+{
+    BatchCandidate best;
+    SurrogateSweepResult loop;
+    std::size_t grid_size = 0; ///< candidate batch sizes considered
 };
 
 /** Batch-size tuner. */
@@ -54,6 +63,23 @@ class BatchSizeTuner
     BatchCandidate tuneWithPlacementFallback(const ModelBuilder &builder,
                                              std::int64_t batch,
                                              Tick slo) const;
+
+    /**
+     * Surrogate-guided sweep over a dense candidate grid (the
+     * explore -> predict -> verify loop of autotune/surrogate.h):
+     * really builds + evaluates model snapshots only for the seed
+     * batch and the predicted top-k, so grids 100x denser than
+     * evaluate() can afford become tractable. The winner rule matches
+     * evaluate() exactly — highest QPS meeting @p slo, else lowest
+     * latency, earliest candidate on ties — encoded as the scalar
+     * cost the surrogate trains on (-qps for SLO-meeting snapshots, a
+     * large SLO-violation penalty plus latency otherwise). With the
+     * surrogate disabled this is a bit-identical exhaustive sweep.
+     */
+    BatchSurrogateResult
+    tuneSurrogate(const ModelBuilder &builder,
+                  const std::vector<std::int64_t> &candidates, Tick slo,
+                  const SurrogateSweepOptions &opts = {}) const;
 
   private:
     BatchCandidate evalOne(const ModelBuilder &builder,

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "autotune/surrogate.h"
 #include "models/workload.h"
 #include "serving/coalescer.h"
 
@@ -22,6 +23,14 @@ struct CoalescingCandidate
     CoalescerConfig config;
     CoalescerStats stats;
     double score = 0.0;
+};
+
+/** Result of a surrogate-guided coalescing sweep. */
+struct CoalescingSurrogateResult
+{
+    CoalescingCandidate best;
+    SurrogateSweepResult loop;
+    std::size_t grid_size = 0; ///< (window, parallel) cells considered
 };
 
 /** The coalescing tuner. */
@@ -45,7 +54,30 @@ class CoalescingTuner
           const std::vector<Tick> &windows,
           const std::vector<unsigned> &parallel_options) const;
 
+    /**
+     * Surrogate-guided sweep over the same (window x parallel) grid
+     * (explore -> predict -> verify, autotune/surrogate.h): the full
+     * trace is replayed only for the seed batch and the predicted
+     * top-k cells, which is what makes window grids 100x denser than
+     * sweep()'s affordable. Maximizes the same score sweep() sorts
+     * by (the surrogate trains on its negation); the winner equals
+     * sweep(...).front() on the same grid, including grid-order
+     * tie-breaking. With the surrogate disabled this is a
+     * bit-identical exhaustive sweep.
+     */
+    CoalescingSurrogateResult
+    sweepSurrogate(const std::vector<Request> &trace,
+                   std::int64_t batch_capacity,
+                   const std::vector<Tick> &windows,
+                   const std::vector<unsigned> &parallel_options,
+                   const SurrogateSweepOptions &opts = {}) const;
+
   private:
+    /** Replay the trace under @p config and score it (the quantity
+     *  sweep() maximizes). */
+    CoalescingCandidate evalCell(const std::vector<Request> &trace,
+                                 const CoalescerConfig &config) const;
+
     Tick max_wait_;
 };
 

@@ -1,12 +1,35 @@
 #include "autotune/kernel_tuner.h"
 
+#include <algorithm>
 #include <chrono> // sim-lint: allow(wall-clock) — measured GEMM variant tuning (see GemmKernelTuner)
+#include <cmath>
 #include <vector>
 
 #include "core/check.h"
 #include "core/parallel.h"
 
 namespace mtia {
+
+namespace {
+
+/**
+ * Cost assigned to an infeasible variant (weights that cannot be
+ * LLC-resident): large enough that no feasible kernel time (picotick
+ * scale, well under 1e16 for any real shape) ever loses to it, small
+ * enough that stump/MLP training arithmetic stays finite.
+ */
+constexpr double kInfeasibleCost = 1e18;
+
+/** KD-tree neighbours contributed to surrogate warm-starts. */
+constexpr std::size_t kWarmNeighbors = 8;
+
+double
+log2Positive(std::int64_t v)
+{
+    return std::log2(static_cast<double>(std::max<std::int64_t>(1, v)));
+}
+
+} // namespace
 
 std::vector<FcOptions>
 KernelTuner::variantSpace()
@@ -80,6 +103,106 @@ KernelTuner::tuneExhaustive(const FcShape &shape) const
     return best;
 }
 
+std::vector<FcOptions>
+KernelTuner::extendedVariantSpace()
+{
+    // The full placement x precision x loading cross product the cost
+    // model can price. Placement order mirrors the legacy grid
+    // (cached before streamed) so low-index tie-breaks still prefer
+    // the cache-friendly variant.
+    std::vector<FcOptions> space;
+    for (DType dtype : {DType::FP16, DType::INT8}) {
+        for (Placement weights : {Placement::Llc, Placement::Dram}) {
+            for (bool coordinated : {true, false}) {
+                for (Placement acts :
+                     {Placement::Lls, Placement::Llc, Placement::Dram}) {
+                    for (Placement out :
+                         {Placement::Lls, Placement::Llc,
+                          Placement::Dram}) {
+                        for (bool dyn_int8 : {false, true}) {
+                            for (bool sparse : {false, true}) {
+                                FcOptions opt;
+                                opt.dtype = dtype;
+                                opt.weights = weights;
+                                opt.coordinated_loading = coordinated;
+                                opt.activations = acts;
+                                opt.output = out;
+                                opt.dynamic_int8 = dyn_int8;
+                                opt.sparse_24 = sparse;
+                                space.push_back(opt);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return space;
+}
+
+FeatureVec
+KernelTuner::variantFeatures(const FcShape &shape, const FcOptions &opt)
+{
+    FeatureVec f{};
+    f[0] = log2Positive(shape.m);
+    f[1] = log2Positive(shape.n);
+    f[2] = log2Positive(shape.k);
+    f[3] = static_cast<double>(opt.weights);
+    f[4] = static_cast<double>(opt.activations);
+    f[5] = static_cast<double>(opt.output);
+    f[6] = opt.coordinated_loading ? 1.0 : 0.0;
+    f[7] = opt.dynamic_int8 ? 1.0 : 0.0;
+    f[8] = opt.sparse_24 ? 1.0 : 0.0;
+    f[9] = static_cast<double>(dtypeSize(opt.dtype));
+    return f;
+}
+
+KernelSurrogateResult
+KernelTuner::tuneSurrogate(const FcShape &shape, const PerfDatabase *warm,
+                           const SurrogateSweepOptions &opts) const
+{
+    const std::vector<FcOptions> space = extendedVariantSpace();
+
+    SurrogateSweepOptions o = opts;
+    if (warm != nullptr) {
+        for (const PerfEntry &e : warm->lookupK(shape, kWarmNeighbors)) {
+            o.warm_features.push_back(
+                variantFeatures(e.shape, e.best_variant));
+            o.warm_costs.push_back(static_cast<double>(e.best_time));
+        }
+    }
+
+    const Bytes llc = km_.device().sramPartition().llcBytes();
+    const SurrogateSweepResult loop = surrogateArgmin(
+        space.size(),
+        [&](std::size_t i) { return variantFeatures(shape, space[i]); },
+        [&](std::size_t i) -> double {
+            const FcOptions &variant = space[i];
+            if (variant.weights == Placement::Llc &&
+                shape.weightBytes(variant.dtype) > llc) {
+                return kInfeasibleCost;
+            }
+            // Per-task device clone, as in tuneExhaustive: cost-model
+            // queries bump mutable observability counters.
+            const Device dev = km_.device().cloneConfigured();
+            const KernelCostModel km(dev);
+            return static_cast<double>(km.fc(shape, variant).total);
+        },
+        o);
+
+    MTIA_CHECK_LT(loop.best_cost, kInfeasibleCost)
+        << ": tuneSurrogate found no feasible variant for "
+        << shape.toString();
+    KernelSurrogateResult r;
+    r.result.variant = space[loop.best_index];
+    r.result.kernel_time = static_cast<Tick>(loop.best_cost);
+    r.result.tuning_cost =
+        replay_cost_ * static_cast<Tick>(loop.real_evals);
+    r.loop = loop;
+    r.grid_size = space.size();
+    return r;
+}
+
 TuneResult
 KernelTuner::tuneApproximate(const FcShape &shape,
                              PerfDatabase &db) const
@@ -140,6 +263,95 @@ GemmKernelTuner::variantSpace()
             space.push_back(GemmVariant{isa, blk});
     }
     return space;
+}
+
+std::vector<GemmVariant>
+GemmKernelTuner::extendedVariantSpace()
+{
+    static constexpr simd::SimdIsa kTiers[] = {
+        simd::SimdIsa::Scalar, simd::SimdIsa::Sse2, simd::SimdIsa::Neon,
+        simd::SimdIsa::Avx2, simd::SimdIsa::Avx512};
+    static constexpr std::int64_t kMc[] = {32, 64, 128, 256};
+    static constexpr std::int64_t kKc[] = {128, 256, 512, 1024};
+    static constexpr std::int64_t kNc[] = {256, 512, 1024};
+    std::vector<GemmVariant> space;
+    for (simd::SimdIsa isa : kTiers) {
+        if (!simd::isaSupported(isa))
+            continue;
+        for (std::int64_t mc : kMc)
+            for (std::int64_t kc : kKc)
+                for (std::int64_t nc : kNc)
+                    space.push_back(
+                        GemmVariant{isa, simd::GemmBlocking{mc, kc, nc}});
+    }
+    return space;
+}
+
+FeatureVec
+GemmKernelTuner::variantFeatures(const FcShape &shape,
+                                 const GemmVariant &v)
+{
+    FeatureVec f{};
+    f[0] = log2Positive(shape.m);
+    f[1] = log2Positive(shape.n);
+    f[2] = log2Positive(shape.k);
+    f[3] = static_cast<double>(v.isa);
+    f[4] = log2Positive(v.blocking.mc);
+    f[5] = log2Positive(v.blocking.kc);
+    f[6] = log2Positive(v.blocking.nc);
+    return f;
+}
+
+GemmSurrogateResult
+GemmKernelTuner::tuneSurrogate(const FcShape &shape,
+                               const GemmVariantDatabase *warm,
+                               const SurrogateSweepOptions &opts) const
+{
+    MTIA_CHECK(shape.m > 0 && shape.n > 0 && shape.k > 0)
+        << ": GemmKernelTuner needs a positive shape, got "
+        << shape.toString();
+    const std::vector<GemmVariant> space = extendedVariantSpace();
+    MTIA_CHECK(!space.empty()) << ": empty GEMM variant space";
+
+    const auto m = static_cast<std::size_t>(shape.m);
+    const auto n = static_cast<std::size_t>(shape.n);
+    const auto k = static_cast<std::size_t>(shape.k);
+    std::vector<float> a(m * k);
+    std::vector<float> b(k * n);
+    std::vector<float> c(m * n);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = static_cast<float>(static_cast<int>(i % 251) - 125) * 0.01f;
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b[i] = static_cast<float>(static_cast<int>(i % 241) - 120) * 0.01f;
+
+    SurrogateSweepOptions o = opts;
+    // Timing-based evaluator: samples must not run concurrently.
+    o.serial_eval = true;
+    if (warm != nullptr) {
+        for (const GemmPerfEntry &e :
+             warm->lookupK(shape, kWarmNeighbors)) {
+            o.warm_features.push_back(
+                variantFeatures(e.shape, e.best_variant));
+            o.warm_costs.push_back(e.best_seconds);
+        }
+    }
+
+    const SurrogateSweepResult loop = surrogateArgmin(
+        space.size(),
+        [&](std::size_t i) { return variantFeatures(shape, space[i]); },
+        [&](std::size_t i) {
+            return measureVariant(space[i], a.data(), b.data(), c.data(),
+                                  shape);
+        },
+        o);
+
+    GemmSurrogateResult r;
+    r.result.variant = space[loop.best_index];
+    r.result.seconds = loop.best_cost;
+    r.result.gflops = shape.flops() / loop.best_cost / 1e9;
+    r.loop = loop;
+    r.grid_size = space.size();
+    return r;
 }
 
 double

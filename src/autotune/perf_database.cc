@@ -47,10 +47,15 @@ KdTree::build(std::vector<std::size_t> &idx, std::size_t lo,
         return -1;
     const int axis = depth % 3;
     const std::size_t mid = (lo + hi) / 2;
+    // Index tie-break on equal coordinates: nth_element's partition
+    // of equal keys is otherwise unspecified, and the tree shape
+    // must be a pure function of the point sequence.
     std::nth_element(idx.begin() + lo, idx.begin() + mid,
                      idx.begin() + hi,
                      [&](std::size_t a, std::size_t b) {
-                         return points_[a][axis] < points_[b][axis];
+                         if (points_[a][axis] != points_[b][axis])
+                             return points_[a][axis] < points_[b][axis];
+                         return a < b;
                      });
     const int node = static_cast<int>(nodes_.size());
     nodes_.push_back(KdNode{idx[mid], axis, -1, -1});
@@ -89,6 +94,50 @@ KdTree::nearest(const ShapeKey &q) const
 }
 
 void
+KdTree::searchK(int node, const ShapeKey &q, std::size_t k,
+                std::vector<std::pair<double, std::size_t>> &best) const
+{
+    if (node < 0)
+        return;
+    const KdNode &n = nodes_[static_cast<std::size_t>(node)];
+    const std::pair<double, std::size_t> cand{dist2(points_[n.point], q),
+                                              n.point};
+    // `best` stays sorted by (distance, index): insert in place, drop
+    // the worst once over capacity. The lexicographic comparison is
+    // the deterministic tie-break.
+    const auto pos = std::lower_bound(best.begin(), best.end(), cand);
+    if (pos != best.end() || best.size() < k) {
+        best.insert(pos, cand);
+        if (best.size() > k)
+            best.pop_back();
+    }
+    const double delta = q[n.axis] - points_[n.point][n.axis];
+    const int near = delta < 0.0 ? n.left : n.right;
+    const int far = delta < 0.0 ? n.right : n.left;
+    searchK(near, q, k, best);
+    // Visit the far side while the candidate set is unfilled, and on
+    // exact distance ties (<=) so equal-distance points still compete
+    // on index.
+    if (best.size() < k || delta * delta <= best.back().first)
+        searchK(far, q, k, best);
+}
+
+std::vector<std::size_t>
+KdTree::nearestK(const ShapeKey &q, std::size_t k) const
+{
+    std::vector<std::pair<double, std::size_t>> best;
+    if (k == 0)
+        return {};
+    best.reserve(k + 1);
+    searchK(root_, q, k, best);
+    std::vector<std::size_t> out;
+    out.reserve(best.size());
+    for (const auto &[d2, idx] : best)
+        out.push_back(idx);
+    return out;
+}
+
+void
 PerfDatabase::insert(PerfEntry entry)
 {
     entries_.push_back(std::move(entry));
@@ -114,6 +163,19 @@ PerfDatabase::lookup(const FcShape &shape) const
     if (dirty_ || !tree_)
         rebuild();
     return entries_[tree_->nearest(shapeKey(shape))];
+}
+
+std::vector<PerfEntry>
+PerfDatabase::lookupK(const FcShape &shape, std::size_t k) const
+{
+    if (entries_.empty() || k == 0)
+        return {};
+    if (dirty_ || !tree_)
+        rebuild();
+    std::vector<PerfEntry> out;
+    for (std::size_t idx : tree_->nearestK(shapeKey(shape), k))
+        out.push_back(entries_[idx]);
+    return out;
 }
 
 std::string
@@ -151,6 +213,19 @@ GemmVariantDatabase::lookup(const FcShape &shape) const
     if (dirty_ || !tree_)
         rebuild();
     return entries_[tree_->nearest(shapeKey(shape))];
+}
+
+std::vector<GemmPerfEntry>
+GemmVariantDatabase::lookupK(const FcShape &shape, std::size_t k) const
+{
+    if (entries_.empty() || k == 0)
+        return {};
+    if (dirty_ || !tree_)
+        rebuild();
+    std::vector<GemmPerfEntry> out;
+    for (std::size_t idx : tree_->nearestK(shapeKey(shape), k))
+        out.push_back(entries_[idx]);
+    return out;
 }
 
 } // namespace mtia

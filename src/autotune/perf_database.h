@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chip/kernel_cost_model.h"
@@ -28,9 +29,20 @@ using ShapeKey = std::array<double, 3>;
 ShapeKey shapeKey(const FcShape &shape);
 
 /**
- * Exact 3-D KD-tree with nearest-neighbour search. Small and
- * deterministic; used both by the tuner and as a brute-force-checked
- * property-test subject.
+ * Exact 3-D KD-tree with nearest-neighbour and k-nearest-neighbour
+ * search. Small and deterministic; used both by the tuner and as a
+ * brute-force-checked property-test subject.
+ *
+ * Tie-breaking contract (what makes query results invariant to the
+ * insertion order of duplicate points): the build comparator orders
+ * equal coordinates by index, so the tree shape is a pure function of
+ * the point sequence; traversal visits every point whose distance
+ * ties the current best (the prune test is <=, and an equal-distance
+ * point in the far subtree implies delta^2 <= best_d2), and both
+ * searches prefer the lowest index among equal distances. A query
+ * over any permutation of the same multiset of points therefore
+ * returns the same coordinates, and over the same sequence the same
+ * indices.
  */
 class KdTree
 {
@@ -40,6 +52,14 @@ class KdTree
 
     /** Index of the nearest point to @p q (brute-force-equal). */
     std::size_t nearest(const ShapeKey &q) const;
+
+    /**
+     * Indices of the (up to) @p k nearest points to @p q, ordered by
+     * (distance, index) ascending — brute-force-equal under the same
+     * ordering. Used for surrogate warm-starts.
+     */
+    std::vector<std::size_t> nearestK(const ShapeKey &q,
+                                      std::size_t k) const;
 
     std::size_t size() const { return points_.size(); }
 
@@ -59,6 +79,8 @@ class KdTree
               std::size_t hi, int depth);
     void search(int node, const ShapeKey &q, std::size_t &best,
                 double &best_d2) const;
+    void searchK(int node, const ShapeKey &q, std::size_t k,
+                 std::vector<std::pair<double, std::size_t>> &best) const;
 
     std::vector<ShapeKey> points_;
     std::vector<KdNode> nodes_;
@@ -81,6 +103,14 @@ class PerfDatabase
 
     /** Nearest tuned neighbour of @p shape (nullopt when empty). */
     std::optional<PerfEntry> lookup(const FcShape &shape) const;
+
+    /**
+     * The (up to) @p k nearest tuned entries, closest first with
+     * deterministic (distance, insertion-order) tie-breaking; empty
+     * when the database is. Surrogate warm-start path.
+     */
+    std::vector<PerfEntry> lookupK(const FcShape &shape,
+                                   std::size_t k) const;
 
     std::size_t size() const { return entries_.size(); }
 
@@ -124,6 +154,11 @@ class GemmVariantDatabase
 
     /** Nearest measured neighbour of @p shape (nullopt when empty). */
     std::optional<GemmPerfEntry> lookup(const FcShape &shape) const;
+
+    /** The (up to) @p k nearest measured entries, closest first with
+     *  deterministic tie-breaking (surrogate warm-start path). */
+    std::vector<GemmPerfEntry> lookupK(const FcShape &shape,
+                                       std::size_t k) const;
 
     std::size_t size() const { return entries_.size(); }
 

@@ -1,0 +1,209 @@
+#ifndef MTIA_AUTOTUNE_SURROGATE_H_
+#define MTIA_AUTOTUNE_SURROGATE_H_
+
+/**
+ * @file
+ * Learned cost surrogate for the autotuners (the NeuroScalar
+ * direction): a deterministic, dependency-free regression model
+ * trained online from the sweep's own (feature -> measured cost)
+ * samples, so a tuner can *predict* the cost of every point in a
+ * 100-1000x larger candidate grid and pay the real analytic/DES/
+ * measured evaluation only for a small seed batch plus the top-k
+ * predicted candidates.
+ *
+ * Two backends sit behind one CostSurrogate interface:
+ *
+ *  - GradientBoostedStumps (default): an additive ensemble of
+ *    depth-1 regression trees fitted to residuals. Thresholds are
+ *    midpoints of sorted unique feature values; every argmin breaks
+ *    ties toward the lowest feature index, then the lowest threshold,
+ *    so the fitted model is a pure function of the training set.
+ *  - TinyMlp: a 10-16-1 tanh network, weights initialized from a
+ *    fixed-seed Rng and trained by full-batch gradient descent over a
+ *    fixed epoch count on standardized features/targets.
+ *
+ * Determinism rules (the same contract as core/parallel.h): training
+ * and prediction are serial double-precision arithmetic with a fixed
+ * iteration order — same samples give a byte-identical model and
+ * byte-identical predictions at any MTIA_THREADS. The explore ->
+ * predict -> verify loop below only ever touches the lane pool
+ * through parallelMap with per-index pure evaluators, so its outputs
+ * are byte-identical at any lane count too.
+ *
+ * The MTIA_SURROGATE environment variable (or a ScopedSurrogate
+ * override) gates the whole subsystem: when off ("0"), the loop
+ * degrades to the legacy exhaustive path — every candidate is
+ * evaluated for real, bit-identically to a plain parallelMap sweep —
+ * which is the reference the zero-regret bench gate compares against.
+ */
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mtia {
+
+/** Fixed-width surrogate feature vector; unused trailing slots stay 0. */
+constexpr std::size_t kSurrogateFeatures = 10;
+using FeatureVec = std::array<double, kSurrogateFeatures>;
+
+/** Which learned backend a sweep trains. */
+enum class SurrogateKind : std::uint8_t {
+    Stumps, ///< gradient-boosted regression stumps (default)
+    Mlp,    ///< tiny fixed-seed multilayer perceptron
+};
+
+/** Human-readable backend name ("stumps" / "mlp"). */
+const char *surrogateKindName(SurrogateKind kind);
+
+/**
+ * One trained cost model: fit() on (features -> cost) samples, then
+ * predict() anywhere in feature space. Implementations are
+ * deterministic (see the file comment) and cheap enough to retrain
+ * from scratch inside every tuning call.
+ */
+class CostSurrogate
+{
+  public:
+    virtual ~CostSurrogate() = default;
+
+    /**
+     * Train from scratch on @p x / @p y (same length, nonempty).
+     * Calling fit again discards the previous model.
+     */
+    virtual void fit(const std::vector<FeatureVec> &x,
+                     const std::vector<double> &y) = 0;
+
+    /** Predicted cost at @p x. @pre fit() has run. */
+    virtual double predict(const FeatureVec &x) const = 0;
+
+    /**
+     * Deterministic dump of every fitted parameter (hex-float text):
+     * byte-equal dumps mean byte-equal models, which is what the
+     * lane-invariance tests diff.
+     */
+    virtual std::string describe() const = 0;
+
+    /** Backend name, e.g. "stumps". */
+    virtual const char *name() const = 0;
+};
+
+/** Construct an untrained surrogate of the given kind. */
+std::unique_ptr<CostSurrogate> makeSurrogate(SurrogateKind kind);
+
+/**
+ * Whether surrogate-guided tuning is on: the innermost live
+ * ScopedSurrogate if any, else MTIA_SURROGATE (off only when set to
+ * exactly "0"), else on.
+ */
+bool surrogateEnabled();
+
+/**
+ * RAII override of surrogateEnabled() for tests and benches: while
+ * alive on this thread, the surrogate path is forced on or off
+ * independent of the environment. Scopes nest; the innermost wins.
+ */
+class ScopedSurrogate
+{
+  public:
+    explicit ScopedSurrogate(bool enabled);
+    ~ScopedSurrogate();
+
+    ScopedSurrogate(const ScopedSurrogate &) = delete;
+    ScopedSurrogate &operator=(const ScopedSurrogate &) = delete;
+
+  private:
+    bool prev_value_;
+    bool prev_active_;
+};
+
+/** Tuning-loop knobs. Defaults suit grids of a few hundred to a few
+ *  thousand candidates. */
+struct SurrogateSweepOptions
+{
+    /** Real evaluations used to train the model (evenly strided over
+     *  the grid, first and last candidate always included). */
+    std::size_t seed_count = 24;
+    /** Predicted-best candidates re-checked with the real evaluator. */
+    std::size_t top_k = 8;
+    /** Backend to train. */
+    SurrogateKind kind = SurrogateKind::Stumps;
+    /**
+     * Warm-start samples (typically k-nearest entries from a
+     * PerfDatabase/GemmVariantDatabase KD-tree): extra training rows
+     * prepended to the seed batch. They never count as real
+     * evaluations of this grid and are never selection candidates.
+     */
+    std::vector<FeatureVec> warm_features;
+    std::vector<double> warm_costs;
+    /**
+     * Evaluate seed/verify batches serially on the calling thread
+     * instead of through the lane pool. Timing-based evaluators
+     * (GemmKernelTuner) set this so concurrent samples cannot skew
+     * each other.
+     */
+    bool serial_eval = false;
+};
+
+/** What one explore -> predict -> verify sweep did and found. */
+struct SurrogateSweepResult
+{
+    /** Grid index of the chosen candidate (lowest real cost among all
+     *  really-evaluated candidates; lowest index wins ties). */
+    std::size_t best_index = 0;
+    /** Real cost of the chosen candidate. */
+    double best_cost = 0.0;
+    /** Model predictions for the whole grid (empty on the exhaustive
+     *  fallback path). */
+    std::vector<double> predicted;
+    /** Grid indices evaluated for real, ascending. */
+    std::vector<std::size_t> measured;
+    /** Real costs aligned with @c measured. */
+    std::vector<double> measured_cost;
+    /** Predictions issued (grid size when the surrogate ran, else 0). */
+    std::size_t surrogate_evals = 0;
+    /** Real evaluator calls (seed + verify, or the whole grid). */
+    std::size_t real_evals = 0;
+    /** Mean |prediction - real| over the verified top-k (0 when the
+     *  surrogate did not run). */
+    double mae = 0.0;
+    /** False when the sweep fell back to exhaustive evaluation
+     *  (surrogate disabled or the grid is small enough to measure). */
+    bool used_surrogate = false;
+};
+
+/**
+ * The shared explore -> predict -> verify loop. Minimizes
+ * @p real_cost over the candidate grid [0, n):
+ *
+ *  1. really evaluate an evenly-strided seed batch,
+ *  2. train a surrogate on warm-start + seed samples — targets in
+ *     asinh space, so 1e18 penalty tiers don't drown the feasible
+ *     region's resolution (monotone: ranking is unaffected),
+ *  3. predict all n candidates and rank by (prediction, index),
+ *  4. really evaluate the top-k not already measured,
+ *  5. return the argmin of real cost over everything measured
+ *     (lowest index wins ties).
+ *
+ * @p feature and @p real_cost must be pure functions of the index
+ * (plus read-only captures) — the parallelFor contract. When the
+ * surrogate is disabled, or n <= seed_count + top_k, every candidate
+ * is evaluated for real instead (the legacy exhaustive path,
+ * bit-identical to a plain sweep).
+ *
+ * Every call feeds the autotune.{surrogate_evals,real_evals,
+ * surrogate_mae} process-wide stats (autotune_stats.h).
+ */
+SurrogateSweepResult
+surrogateArgmin(std::size_t n,
+                const std::function<FeatureVec(std::size_t)> &feature,
+                const std::function<double(std::size_t)> &real_cost,
+                const SurrogateSweepOptions &opts = {});
+
+} // namespace mtia
+
+#endif // MTIA_AUTOTUNE_SURROGATE_H_

@@ -1,18 +1,30 @@
 /**
  * @file
  * Tests for the autotuning framework: KD-tree ANN vs brute force
- * (property sweep), kernel tuning (1000x cheaper within 5%), batch
- * tuning with the placement fallback, coalescing tuning (>95% fill),
- * and NUMA-aware sharding.
+ * (property sweep), k-nearest queries with deterministic tie-breaks,
+ * kernel tuning (1000x cheaper within 5%), batch tuning with the
+ * placement fallback, coalescing tuning (>95% fill), NUMA-aware
+ * sharding, and the surrogate-guided explore -> predict -> verify
+ * loop: training determinism across lane counts, monotone-feature
+ * sanity, warm-start equivalence, held-out accuracy, and the
+ * MTIA_SURROGATE=0 exhaustive fallback.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "autotune/autotune_stats.h"
 #include "autotune/batch_tuner.h"
 #include "autotune/coalescing_tuner.h"
 #include "autotune/kernel_tuner.h"
 #include "autotune/perf_database.h"
 #include "autotune/sharding.h"
+#include "autotune/surrogate.h"
+#include "core/parallel.h"
 #include "models/model_zoo.h"
 #include "sim/random.h"
 
@@ -41,6 +53,85 @@ TEST(KdTreeTest, NearestMatchesBruteForceOnRandomSets)
     }
 }
 
+TEST(KdTreeTest, NearestKMatchesBruteForceOnRandomSets)
+{
+    Rng rng(53);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t n = 1 + rng.below(150);
+        std::vector<ShapeKey> pts(n);
+        for (auto &p : pts)
+            for (auto &x : p)
+                x = rng.uniform(0.0, 16.0);
+        KdTree tree(pts);
+        for (const std::size_t k :
+             {std::size_t{1}, std::size_t{5}, n, n + 3}) {
+            ShapeKey query;
+            for (auto &x : query)
+                x = rng.uniform(-1.0, 17.0);
+            // Brute-force reference: sort every index by
+            // (distance, index) and truncate.
+            std::vector<std::size_t> want(n);
+            std::iota(want.begin(), want.end(), std::size_t{0});
+            std::sort(want.begin(), want.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          const double da = KdTree::dist2(pts[a], query);
+                          const double db = KdTree::dist2(pts[b], query);
+                          if (da != db)
+                              return da < db;
+                          return a < b;
+                      });
+            want.resize(std::min(k, n));
+            EXPECT_EQ(tree.nearestK(query, k), want);
+        }
+    }
+}
+
+TEST(KdTreeTest, EqualDistanceTiesPreferLowestIndex)
+{
+    // Four copies of the same point plus a far one: every query tie
+    // must resolve to the lowest index, in every result slot.
+    std::vector<ShapeKey> pts = {{1.0, 1.0, 1.0},
+                                 {1.0, 1.0, 1.0},
+                                 {1.0, 1.0, 1.0},
+                                 {1.0, 1.0, 1.0},
+                                 {9.0, 9.0, 9.0}};
+    KdTree tree(pts);
+    const ShapeKey q{1.5, 1.0, 1.0};
+    EXPECT_EQ(tree.nearest(q), 0u);
+    const std::vector<std::size_t> want = {0, 1, 2, 3};
+    EXPECT_EQ(tree.nearestK(q, 4), want);
+}
+
+TEST(KdTreeTest, QueriesInvariantToInsertionOrderOfDuplicates)
+{
+    // Regression for the KD-tree build tie-break: nth_element's
+    // partitioning of equal keys is unspecified, so without the
+    // index tie-break in the build comparator, permuting duplicate
+    // points could reshape the tree and change which tied index a
+    // query returns. Queries over any permutation must return the
+    // same coordinates.
+    Rng rng(59);
+    std::vector<ShapeKey> pts;
+    for (int i = 0; i < 40; ++i) {
+        // Coarse grid: plenty of duplicate coordinates.
+        pts.push_back(ShapeKey{static_cast<double>(rng.below(4)),
+                               static_cast<double>(rng.below(4)),
+                               static_cast<double>(rng.below(4))});
+    }
+    std::vector<ShapeKey> reversed(pts.rbegin(), pts.rend());
+    KdTree a(pts);
+    KdTree b(reversed);
+    for (int t = 0; t < 40; ++t) {
+        const ShapeKey q{rng.uniform(-0.5, 4.5), rng.uniform(-0.5, 4.5),
+                         rng.uniform(-0.5, 4.5)};
+        const std::vector<std::size_t> ka = a.nearestK(q, 6);
+        const std::vector<std::size_t> kb = b.nearestK(q, 6);
+        ASSERT_EQ(ka.size(), kb.size());
+        for (std::size_t i = 0; i < ka.size(); ++i)
+            EXPECT_EQ(pts[ka[i]], reversed[kb[i]]);
+    }
+}
+
 TEST(PerfDatabaseTest, LookupReturnsNearestShape)
 {
     PerfDatabase db;
@@ -52,6 +143,38 @@ TEST(PerfDatabaseTest, LookupReturnsNearestShape)
     const auto hit2 = db.lookup(FcShape{100, 300, 200});
     ASSERT_TRUE(hit2.has_value());
     EXPECT_EQ(hit2->shape.m, 128);
+}
+
+TEST(PerfDatabaseTest, LookupKReturnsNeighboursClosestFirst)
+{
+    PerfDatabase db;
+    db.insert({FcShape{128, 256, 256}, FcOptions{}, 100});
+    db.insert({FcShape{256, 512, 512}, FcOptions{}, 150});
+    db.insert({FcShape{2048, 2048, 2048}, FcOptions{}, 200});
+    const auto near = db.lookupK(FcShape{128, 256, 256}, 2);
+    ASSERT_EQ(near.size(), 2u);
+    EXPECT_EQ(near[0].shape.m, 128);
+    EXPECT_EQ(near[1].shape.m, 256);
+    // k beyond the database size clamps; empty database yields empty.
+    EXPECT_EQ(db.lookupK(FcShape{64, 64, 64}, 10).size(), 3u);
+    EXPECT_TRUE(PerfDatabase{}.lookupK(FcShape{64, 64, 64}, 4).empty());
+}
+
+TEST(PerfDatabaseTest, LookupKBreaksDistanceTiesByInsertionOrder)
+{
+    // Two identical shapes with different recorded variants: the
+    // first inserted must come back first, whatever the tree layout.
+    PerfDatabase db;
+    FcOptions first;
+    first.weights = Placement::Llc;
+    FcOptions second;
+    second.weights = Placement::Dram;
+    db.insert({FcShape{512, 512, 512}, first, 100});
+    db.insert({FcShape{512, 512, 512}, second, 200});
+    const auto near = db.lookupK(FcShape{512, 512, 512}, 2);
+    ASSERT_EQ(near.size(), 2u);
+    EXPECT_EQ(near[0].best_time, 100u);
+    EXPECT_EQ(near[1].best_time, 200u);
 }
 
 class KernelTunerTest : public ::testing::Test
@@ -275,6 +398,382 @@ TEST(GemmKernelTunerTest, BuildDatabaseMeasuresWholeCorpus)
     EXPECT_EQ(hit->shape.m, 64);
     EXPECT_GT(hit->best_seconds, 0.0);
     EXPECT_GT(hit->best_gflops, 0.0);
+}
+
+// ---------------------------------------------------------- surrogate
+
+/** Smooth synthetic cost over a 1-D index grid (pure per index). */
+double
+syntheticCost(std::size_t i)
+{
+    const double x = static_cast<double>(i) / 40.0;
+    return 50.0 + 30.0 * (x - 4.0) * (x - 4.0) + 5.0 * std::sin(3.0 * x);
+}
+
+FeatureVec
+syntheticFeatures(std::size_t i)
+{
+    FeatureVec f{};
+    f[0] = static_cast<double>(i) / 40.0;
+    f[1] = std::log2(static_cast<double>(i + 1));
+    return f;
+}
+
+TEST(SurrogateTest, TrainingIsByteIdenticalAcrossLaneCounts)
+{
+    // Build a deterministic training set once.
+    std::vector<FeatureVec> x;
+    std::vector<double> y;
+    for (std::size_t i = 0; i < 48; ++i) {
+        x.push_back(syntheticFeatures(i * 7));
+        y.push_back(syntheticCost(i * 7));
+    }
+    for (const SurrogateKind kind :
+         {SurrogateKind::Stumps, SurrogateKind::Mlp}) {
+        std::string ref_dump;
+        std::vector<double> ref_pred;
+        for (const unsigned lanes : {1u, 2u, 8u}) {
+            ScopedParallelism scoped(lanes);
+            const auto model = makeSurrogate(kind);
+            model->fit(x, y);
+            std::vector<double> pred;
+            for (std::size_t i = 0; i < 300; i += 11)
+                pred.push_back(model->predict(syntheticFeatures(i)));
+            if (lanes == 1) {
+                ref_dump = model->describe();
+                ref_pred = pred;
+                continue;
+            }
+            // Byte-identical model (hex-float dump) and predictions.
+            EXPECT_EQ(model->describe(), ref_dump)
+                << surrogateKindName(kind) << " at " << lanes
+                << " lanes";
+            EXPECT_EQ(pred, ref_pred);
+        }
+    }
+}
+
+TEST(SurrogateTest, SweepIsByteIdenticalAcrossLaneCounts)
+{
+    ScopedSurrogate on(true);
+    SurrogateSweepResult ref;
+    for (const unsigned lanes : {1u, 2u, 8u}) {
+        ScopedParallelism scoped(lanes);
+        const SurrogateSweepResult r = surrogateArgmin(
+            400, syntheticFeatures, syntheticCost);
+        if (lanes == 1) {
+            ref = r;
+            EXPECT_TRUE(r.used_surrogate);
+            continue;
+        }
+        EXPECT_EQ(r.best_index, ref.best_index);
+        EXPECT_EQ(r.best_cost, ref.best_cost);
+        EXPECT_EQ(r.predicted, ref.predicted);
+        EXPECT_EQ(r.measured, ref.measured);
+        EXPECT_EQ(r.measured_cost, ref.measured_cost);
+        EXPECT_EQ(r.mae, ref.mae);
+    }
+}
+
+TEST(SurrogateTest, MonotoneCostLearnsMonotonePredictions)
+{
+    // Cost strictly increasing in feature 0: the fitted model must
+    // rank a far-right candidate above a far-left one, for both
+    // backends.
+    std::vector<FeatureVec> x;
+    std::vector<double> y;
+    for (std::size_t i = 0; i < 64; ++i) {
+        FeatureVec f{};
+        f[0] = static_cast<double>(i);
+        x.push_back(f);
+        y.push_back(10.0 + 3.0 * static_cast<double>(i));
+    }
+    for (const SurrogateKind kind :
+         {SurrogateKind::Stumps, SurrogateKind::Mlp}) {
+        const auto model = makeSurrogate(kind);
+        model->fit(x, y);
+        FeatureVec lo{};
+        lo[0] = 4.0;
+        FeatureVec mid{};
+        mid[0] = 32.0;
+        FeatureVec hi{};
+        hi[0] = 60.0;
+        EXPECT_LT(model->predict(lo), model->predict(mid))
+            << surrogateKindName(kind);
+        EXPECT_LT(model->predict(mid), model->predict(hi))
+            << surrogateKindName(kind);
+    }
+}
+
+TEST(SurrogateTest, HeldOutAccuracyOnSmoothSyntheticCost)
+{
+    // Train on a 48-sample stride, score on held-out indices: the
+    // relative MAE must clear a loose bound for both backends (the
+    // synthetic landscape spans ~[50, 530]).
+    std::vector<FeatureVec> x;
+    std::vector<double> y;
+    for (std::size_t i = 0; i < 400; i += 8) {
+        x.push_back(syntheticFeatures(i));
+        y.push_back(syntheticCost(i));
+    }
+    for (const SurrogateKind kind :
+         {SurrogateKind::Stumps, SurrogateKind::Mlp}) {
+        const auto model = makeSurrogate(kind);
+        model->fit(x, y);
+        double abs_err = 0.0;
+        double mean = 0.0;
+        std::size_t held = 0;
+        for (std::size_t i = 3; i < 400; i += 8) {
+            abs_err += std::abs(model->predict(syntheticFeatures(i)) -
+                                syntheticCost(i));
+            mean += syntheticCost(i);
+            ++held;
+        }
+        const double mae_pct =
+            abs_err / mean * 100.0;
+        EXPECT_LT(mae_pct, 10.0) << surrogateKindName(kind);
+    }
+}
+
+TEST(SurrogateTest, DisabledSweepIsExhaustiveAndFindsTrueArgmin)
+{
+    ScopedSurrogate off(false);
+    const SurrogateSweepResult r = surrogateArgmin(
+        400, syntheticFeatures, syntheticCost);
+    EXPECT_FALSE(r.used_surrogate);
+    EXPECT_EQ(r.real_evals, 400u);
+    EXPECT_EQ(r.surrogate_evals, 0u);
+    EXPECT_TRUE(r.predicted.empty());
+    ASSERT_EQ(r.measured.size(), 400u);
+    // True argmin with lowest-index tie-breaking.
+    std::size_t want = 0;
+    for (std::size_t i = 1; i < 400; ++i)
+        if (syntheticCost(i) < syntheticCost(want))
+            want = i;
+    EXPECT_EQ(r.best_index, want);
+    EXPECT_EQ(r.best_cost, syntheticCost(want));
+}
+
+TEST(SurrogateTest, SmallGridFallsBackToExhaustiveEvenWhenEnabled)
+{
+    ScopedSurrogate on(true);
+    SurrogateSweepOptions o;
+    o.seed_count = 8;
+    o.top_k = 4;
+    const SurrogateSweepResult r =
+        surrogateArgmin(12, syntheticFeatures, syntheticCost, o);
+    EXPECT_FALSE(r.used_surrogate);
+    EXPECT_EQ(r.real_evals, 12u);
+}
+
+TEST(SurrogateTest, SurrogateSweepFindsNearOptimalWithFewEvals)
+{
+    ScopedSurrogate on(true);
+    const SurrogateSweepResult r = surrogateArgmin(
+        400, syntheticFeatures, syntheticCost);
+    EXPECT_TRUE(r.used_surrogate);
+    EXPECT_LT(r.real_evals, 40u); // seeds + top-k, not 400
+    EXPECT_EQ(r.surrogate_evals, 400u);
+    // The smooth landscape's optimum must be recovered exactly.
+    std::size_t want = 0;
+    for (std::size_t i = 1; i < 400; ++i)
+        if (syntheticCost(i) < syntheticCost(want))
+            want = i;
+    EXPECT_EQ(r.best_index, want);
+}
+
+TEST(SurrogateTest, EnvVariableTogglesAndScopesNest)
+{
+    // No override: MTIA_SURROGATE=0 (and only "0") disables.
+    ASSERT_EQ(setenv("MTIA_SURROGATE", "0", 1), 0);
+    EXPECT_FALSE(surrogateEnabled());
+    ASSERT_EQ(setenv("MTIA_SURROGATE", "1", 1), 0);
+    EXPECT_TRUE(surrogateEnabled());
+    ASSERT_EQ(setenv("MTIA_SURROGATE", "0", 1), 0);
+    {
+        ScopedSurrogate outer(true);
+        EXPECT_TRUE(surrogateEnabled());
+        {
+            ScopedSurrogate inner(false);
+            EXPECT_FALSE(surrogateEnabled());
+        }
+        EXPECT_TRUE(surrogateEnabled());
+    }
+    EXPECT_FALSE(surrogateEnabled());
+    ASSERT_EQ(unsetenv("MTIA_SURROGATE"), 0);
+    EXPECT_TRUE(surrogateEnabled());
+}
+
+TEST(SurrogateTest, StatsCountEvalsAndErrors)
+{
+    autotune::resetStats();
+    ScopedSurrogate on(true);
+    SurrogateSweepOptions o;
+    o.seed_count = 16;
+    o.top_k = 8;
+    const SurrogateSweepResult r =
+        surrogateArgmin(300, syntheticFeatures, syntheticCost, o);
+    EXPECT_EQ(autotune::surrogateEvals(), 300u);
+    EXPECT_EQ(autotune::realEvals(), r.real_evals);
+    EXPECT_EQ(autotune::surrogateMae(), r.mae);
+    autotune::resetStats();
+    EXPECT_EQ(autotune::surrogateEvals(), 0u);
+    EXPECT_EQ(autotune::realEvals(), 0u);
+    EXPECT_EQ(autotune::surrogateMae(), 0.0);
+}
+
+TEST_F(KernelTunerTest, SurrogateDisabledMatchesExhaustiveGridSweep)
+{
+    // With the surrogate off, tuneSurrogate must pick the true argmin
+    // of the extended grid, bit-identically at any lane count.
+    ScopedSurrogate off(false);
+    const FcShape q{384, 1536, 768};
+    KernelSurrogateResult ref;
+    for (const unsigned lanes : {1u, 8u}) {
+        ScopedParallelism scoped(lanes);
+        const KernelSurrogateResult r = tuner_.tuneSurrogate(q);
+        EXPECT_FALSE(r.loop.used_surrogate);
+        EXPECT_EQ(r.loop.real_evals, r.grid_size);
+        if (lanes == 1) {
+            ref = r;
+            continue;
+        }
+        EXPECT_EQ(r.loop.best_index, ref.loop.best_index);
+        EXPECT_EQ(r.result.kernel_time, ref.result.kernel_time);
+        EXPECT_EQ(r.loop.measured_cost, ref.loop.measured_cost);
+    }
+}
+
+TEST_F(KernelTunerTest, SurrogateZeroRegretOnReferenceShapes)
+{
+    // Verify budget sized at the tie-cluster width (see tuneSurrogate
+    // docs): the surrogate winner must match the exhaustive winner of
+    // the same extended grid bit-exactly.
+    SurrogateSweepOptions o;
+    o.top_k = 24;
+    for (const FcShape q : {FcShape{256, 1024, 512},
+                            FcShape{768, 768, 384}}) {
+        KernelSurrogateResult ex;
+        {
+            ScopedSurrogate off(false);
+            ex = tuner_.tuneSurrogate(q);
+        }
+        KernelSurrogateResult sg;
+        {
+            ScopedSurrogate on(true);
+            sg = tuner_.tuneSurrogate(q, nullptr, o);
+        }
+        EXPECT_TRUE(sg.loop.used_surrogate);
+        EXPECT_LT(sg.loop.real_evals, ex.loop.real_evals / 4);
+        EXPECT_EQ(sg.loop.best_index, ex.loop.best_index);
+        EXPECT_EQ(sg.result.kernel_time, ex.result.kernel_time);
+        EXPECT_EQ(sg.loop.best_cost, ex.loop.best_cost);
+    }
+}
+
+TEST_F(KernelTunerTest, WarmStartFromDatabaseEqualsManualWarmSamples)
+{
+    // tuneSurrogate's KD-tree warm start must be exactly "prepend the
+    // k nearest entries as training rows": running the raw loop with
+    // manually assembled warm vectors reproduces it byte-for-byte.
+    PerfDatabase db = tuner_.buildDatabase(corpus());
+    const FcShape q{192, 1152, 576};
+    SurrogateSweepOptions o;
+    o.top_k = 24;
+
+    ScopedSurrogate on(true);
+    const KernelSurrogateResult via_db = tuner_.tuneSurrogate(q, &db, o);
+
+    SurrogateSweepOptions manual = o;
+    for (const PerfEntry &e : db.lookupK(q, 8)) {
+        manual.warm_features.push_back(
+            KernelTuner::variantFeatures(e.shape, e.best_variant));
+        manual.warm_costs.push_back(static_cast<double>(e.best_time));
+    }
+    const std::vector<FcOptions> space =
+        KernelTuner::extendedVariantSpace();
+    const Bytes llc = dev_.sramPartition().llcBytes();
+    const SurrogateSweepResult raw = surrogateArgmin(
+        space.size(),
+        [&](std::size_t i) {
+            return KernelTuner::variantFeatures(q, space[i]);
+        },
+        [&](std::size_t i) -> double {
+            const FcOptions &variant = space[i];
+            if (variant.weights == Placement::Llc &&
+                q.weightBytes(variant.dtype) > llc) {
+                return 1e18;
+            }
+            const Device dev = dev_.cloneConfigured();
+            const KernelCostModel km(dev);
+            return static_cast<double>(km.fc(q, variant).total);
+        },
+        manual);
+
+    EXPECT_EQ(via_db.loop.best_index, raw.best_index);
+    EXPECT_EQ(via_db.loop.best_cost, raw.best_cost);
+    EXPECT_EQ(via_db.loop.predicted, raw.predicted);
+    EXPECT_EQ(via_db.loop.measured, raw.measured);
+    EXPECT_EQ(via_db.loop.measured_cost, raw.measured_cost);
+    EXPECT_EQ(via_db.loop.mae, raw.mae);
+}
+
+TEST(BatchTunerTest, SurrogateWinnerRuleMatchesEvaluate)
+{
+    Device dev(ChipConfig::mtia2i());
+    BatchSizeTuner tuner(dev);
+    auto builder = [](std::int64_t batch) {
+        RankingModelParams p;
+        p.batch = batch;
+        p.tbe = TbeTableSpec{.tables = 16,
+                             .rows_per_table = 1 << 20,
+                             .dim = 64,
+                             .dtype = DType::FP16,
+                             .zipf_alpha = 0.9};
+        p.dhen_layers = 1;
+        p.dhen_width = 256;
+        return buildRankingModel(p);
+    };
+    const std::vector<std::int64_t> grid = {128, 256, 512, 1024, 2048};
+    std::size_t winner = 0;
+    const auto snaps =
+        tuner.evaluate(builder, grid, fromMillis(100.0), winner);
+    // Small grid: the loop falls back to exhaustive even when the
+    // surrogate is on, and its cost encoding must reproduce
+    // evaluate()'s highest-QPS-under-SLO winner rule exactly.
+    ScopedSurrogate on(true);
+    const BatchSurrogateResult r =
+        tuner.tuneSurrogate(builder, grid, fromMillis(100.0));
+    EXPECT_FALSE(r.loop.used_surrogate);
+    EXPECT_EQ(r.loop.best_index, winner);
+    EXPECT_EQ(r.best.batch, snaps[winner].batch);
+    EXPECT_EQ(r.best.cost.qps, snaps[winner].cost.qps);
+    EXPECT_EQ(r.grid_size, grid.size());
+}
+
+TEST(CoalescingTunerTest, SurrogateFallbackMatchesSweepFront)
+{
+    Rng rng(47);
+    TrafficParams t;
+    t.qps = 3000.0;
+    t.duration = fromSeconds(2.0);
+    t.candidates_mean = 64;
+    const auto trace = generateTrace(rng, t);
+    CoalescingTuner tuner(fromMillis(10.0));
+    const std::vector<Tick> windows = {fromMillis(0.5), fromMillis(2.0),
+                                       fromMillis(8.0),
+                                       fromMillis(32.0)};
+    const std::vector<unsigned> parallel = {1, 2, 4};
+    const auto ranked = tuner.sweep(trace, 512, windows, parallel);
+    ScopedSurrogate off(false);
+    const CoalescingSurrogateResult r =
+        tuner.sweepSurrogate(trace, 512, windows, parallel);
+    EXPECT_FALSE(r.loop.used_surrogate);
+    EXPECT_EQ(r.best.score, ranked.front().score);
+    EXPECT_EQ(r.best.config.window, ranked.front().config.window);
+    EXPECT_EQ(r.best.config.parallel_windows,
+              ranked.front().config.parallel_windows);
+    EXPECT_EQ(r.grid_size, windows.size() * parallel.size());
 }
 
 } // namespace
